@@ -1,0 +1,332 @@
+//! The two toy read protocols of the paper's Figure 1, in the round model.
+//!
+//! Three servers serve read requests. **Algorithm A** is majority-based:
+//! the contacted server must consult one other server (2-of-3 quorum)
+//! before replying; under full load the three servers complete **1 read
+//! per round** in aggregate. **Algorithm B** answers locally; to make the
+//! comparison about *throughput*, it artificially delays its reply so both
+//! algorithms have the same isolated **latency of 4 rounds** — yet B
+//! completes **3 reads per round** under load. `hts-bench --bin fig1`
+//! reproduces the figure's two claims from these processes.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use hts_sim::packet::NetworkId;
+use hts_sim::round::{RoundCtx, RoundProcess};
+use hts_types::{ClientId, NodeId, RequestId, ServerId};
+
+/// Messages of both Figure-1 protocols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fig1Msg {
+    /// Client → server: a read request.
+    Request {
+        /// Correlation id.
+        request: RequestId,
+    },
+    /// Server → quorum partner: consult (Algorithm A only).
+    Consult {
+        /// Correlation id.
+        request: RequestId,
+        /// The client waiting for the final reply.
+        client: ClientId,
+    },
+    /// Partner → server: consultation answer (Algorithm A only).
+    ConsultReply {
+        /// Correlation id.
+        request: RequestId,
+        /// The client waiting for the final reply.
+        client: ClientId,
+    },
+    /// Server → client: the read's answer.
+    Reply {
+        /// Correlation id.
+        request: RequestId,
+    },
+}
+
+/// An Algorithm-A (quorum) server: every read costs a consult round trip
+/// with the next server in the ring.
+pub struct QuorumServer {
+    me: ServerId,
+    n: u16,
+    net: NetworkId,
+    outbox: VecDeque<(NodeId, Fig1Msg)>,
+}
+
+impl QuorumServer {
+    /// Creates quorum server `me` of `n` on `net`.
+    pub fn new(me: ServerId, n: u16, net: NetworkId) -> Self {
+        QuorumServer {
+            me,
+            n,
+            net,
+            outbox: VecDeque::new(),
+        }
+    }
+
+    fn partner(&self) -> NodeId {
+        NodeId::Server(ServerId((self.me.0 + 1) % self.n))
+    }
+}
+
+impl RoundProcess<Fig1Msg> for QuorumServer {
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_, Fig1Msg>, _round: u64) {
+        if let Some((from, msg)) = ctx.take_incoming(self.net) {
+            match msg {
+                Fig1Msg::Request { request } => {
+                    if let Some(client) = from.as_client() {
+                        self.outbox
+                            .push_back((self.partner(), Fig1Msg::Consult { request, client }));
+                    }
+                }
+                Fig1Msg::Consult { request, client } => {
+                    self.outbox
+                        .push_back((from, Fig1Msg::ConsultReply { request, client }));
+                }
+                Fig1Msg::ConsultReply { request, client } => {
+                    self.outbox
+                        .push_back((NodeId::Client(client), Fig1Msg::Reply { request }));
+                }
+                Fig1Msg::Reply { .. } => {}
+            }
+        }
+        if let Some((to, msg)) = self.outbox.pop_front() {
+            ctx.send(self.net, &[to], msg);
+        }
+    }
+}
+
+/// An Algorithm-B (local-read) server: replies from local state, with an
+/// artificial 2-round delay so its isolated latency matches Algorithm A's
+/// 4 rounds (as drawn in the paper's figure).
+pub struct LocalServer {
+    net: NetworkId,
+    /// Matched delay in rounds before a reply may leave (2 = Fig. 1).
+    delay: u64,
+    outbox: VecDeque<(u64, NodeId, Fig1Msg)>, // (ready_round, to, msg)
+}
+
+impl LocalServer {
+    /// Creates a local-read server with the figure's 2-round delay.
+    pub fn new(net: NetworkId) -> Self {
+        LocalServer {
+            net,
+            delay: 2,
+            outbox: VecDeque::new(),
+        }
+    }
+
+    /// Creates a local-read server replying immediately (latency 2).
+    pub fn without_delay(net: NetworkId) -> Self {
+        LocalServer {
+            net,
+            delay: 0,
+            outbox: VecDeque::new(),
+        }
+    }
+}
+
+impl RoundProcess<Fig1Msg> for LocalServer {
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_, Fig1Msg>, round: u64) {
+        if let Some((from, Fig1Msg::Request { request })) = ctx.take_incoming(self.net) {
+            self.outbox
+                .push_back((round + self.delay, from, Fig1Msg::Reply { request }));
+        }
+        if let Some((ready, _, _)) = self.outbox.front() {
+            if *ready <= round {
+                let (_, to, msg) = self.outbox.pop_front().expect("non-empty");
+                ctx.send(self.net, &[to], msg);
+            }
+        }
+    }
+}
+
+/// Shared counters of a Figure-1 client.
+#[derive(Debug, Clone, Default)]
+pub struct Fig1Stats {
+    /// Completed reads.
+    pub completed: u64,
+    /// Latency of each read in rounds.
+    pub latencies: Vec<u64>,
+}
+
+/// A closed-loop Figure-1 read client.
+pub struct Fig1Client {
+    id: ClientId,
+    server: ServerId,
+    net: NetworkId,
+    next_request: u64,
+    issue_round: u64,
+    busy: bool,
+    limit: Option<u64>,
+    stats: Rc<RefCell<Fig1Stats>>,
+}
+
+impl Fig1Client {
+    /// Creates a client of `server`, issuing up to `limit` reads.
+    pub fn new(
+        id: ClientId,
+        server: ServerId,
+        limit: Option<u64>,
+        net: NetworkId,
+    ) -> (Self, Rc<RefCell<Fig1Stats>>) {
+        let stats = Rc::new(RefCell::new(Fig1Stats::default()));
+        (
+            Fig1Client {
+                id,
+                server,
+                net,
+                next_request: 0,
+                issue_round: 0,
+                busy: false,
+                limit,
+                stats: Rc::clone(&stats),
+            },
+            stats,
+        )
+    }
+}
+
+impl RoundProcess<Fig1Msg> for Fig1Client {
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_, Fig1Msg>, round: u64) {
+        if let Some((_, Fig1Msg::Reply { request })) = ctx.take_incoming(self.net) {
+            if self.busy && request == RequestId(self.next_request) {
+                self.busy = false;
+                let mut stats = self.stats.borrow_mut();
+                stats.completed += 1;
+                stats.latencies.push(round - self.issue_round);
+            }
+        }
+        let completed = self.stats.borrow().completed;
+        if self.busy || self.limit.is_some_and(|l| completed >= l) {
+            return;
+        }
+        self.next_request += 1;
+        self.busy = true;
+        self.issue_round = round;
+        let _ = self.id;
+        ctx.send(
+            self.net,
+            &[NodeId::Server(self.server)],
+            Fig1Msg::Request {
+                request: RequestId(self.next_request),
+            },
+        );
+    }
+}
+
+/// Runs one Figure-1 configuration: `n` servers of the given algorithm,
+/// `clients_per_server` closed-loop readers, for `rounds` rounds. Returns
+/// `(total completed, mean latency in rounds)`.
+pub fn run_fig1(quorum: bool, n: u16, clients_per_server: u32, rounds: u64) -> (u64, f64) {
+    use hts_sim::round::RoundSim;
+
+    let mut sim: RoundSim<Fig1Msg> = RoundSim::new();
+    let net = sim.add_network();
+    for i in 0..n {
+        let id = NodeId::Server(ServerId(i));
+        let proc: Box<dyn RoundProcess<Fig1Msg>> = if quorum {
+            Box::new(QuorumServer::new(ServerId(i), n, net))
+        } else {
+            Box::new(LocalServer::new(net))
+        };
+        sim.add_node(id, proc);
+        sim.attach(id, net);
+    }
+    let mut stats = Vec::new();
+    for c in 0..(u32::from(n) * clients_per_server) {
+        let id = NodeId::Client(ClientId(c));
+        let (client, s) = Fig1Client::new(
+            ClientId(c),
+            ServerId((c % u32::from(n)) as u16),
+            None,
+            net,
+        );
+        sim.add_node(id, Box::new(client));
+        sim.attach(id, net);
+        stats.push(s);
+    }
+    sim.run_rounds(rounds);
+    let mut completed = 0;
+    let mut latency_sum = 0u64;
+    let mut latency_n = 0u64;
+    for s in &stats {
+        let s = s.borrow();
+        completed += s.completed;
+        latency_sum += s.latencies.iter().sum::<u64>();
+        latency_n += s.latencies.len() as u64;
+    }
+    let mean_latency = if latency_n == 0 {
+        0.0
+    } else {
+        latency_sum as f64 / latency_n as f64
+    };
+    (completed, mean_latency)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isolated_latencies_match_figure_1() {
+        // One client, one op: A takes 4 rounds, B (delayed) takes 4 too.
+        let (a_done, a_lat) = {
+            use hts_sim::round::RoundSim;
+            let mut sim: RoundSim<Fig1Msg> = RoundSim::new();
+            let net = sim.add_network();
+            for i in 0..3u16 {
+                let id = NodeId::Server(ServerId(i));
+                sim.add_node(id, Box::new(QuorumServer::new(ServerId(i), 3, net)));
+                sim.attach(id, net);
+            }
+            let cid = NodeId::Client(ClientId(0));
+            let (client, stats) = Fig1Client::new(ClientId(0), ServerId(0), Some(1), net);
+            sim.add_node(cid, Box::new(client));
+            sim.attach(cid, net);
+            sim.run_rounds(12);
+            let s = stats.borrow();
+            (s.completed, s.latencies[0])
+        };
+        assert_eq!((a_done, a_lat), (1, 4));
+
+        let (b_done, b_lat) = {
+            use hts_sim::round::RoundSim;
+            let mut sim: RoundSim<Fig1Msg> = RoundSim::new();
+            let net = sim.add_network();
+            for i in 0..3u16 {
+                let id = NodeId::Server(ServerId(i));
+                sim.add_node(id, Box::new(LocalServer::new(net)));
+                sim.attach(id, net);
+            }
+            let cid = NodeId::Client(ClientId(0));
+            let (client, stats) = Fig1Client::new(ClientId(0), ServerId(0), Some(1), net);
+            sim.add_node(cid, Box::new(client));
+            sim.attach(cid, net);
+            sim.run_rounds(12);
+            let s = stats.borrow();
+            (s.completed, s.latencies[0])
+        };
+        assert_eq!((b_done, b_lat), (1, 4), "B is latency-matched to A");
+    }
+
+    #[test]
+    fn throughput_gap_is_threefold() {
+        // Four clients per server keep the 4-round pipeline full.
+        let rounds = 200;
+        let (a, _) = run_fig1(true, 3, 4, rounds);
+        let (b, _) = run_fig1(false, 3, 4, rounds);
+        let a_rate = a as f64 / rounds as f64;
+        let b_rate = b as f64 / rounds as f64;
+        assert!(
+            (0.8..=1.1).contains(&a_rate),
+            "algorithm A ≈ 1 op/round, got {a_rate}"
+        );
+        assert!(
+            (2.5..=3.1).contains(&b_rate),
+            "algorithm B ≈ 3 ops/round, got {b_rate}"
+        );
+    }
+}

@@ -1,0 +1,19 @@
+//! Reproduces **Figure 4**: unloaded read/write latency against the number
+//! of servers. The ring makes write latency linear in `n` (two full ring
+//! turns); read latency is a single client↔server round trip and stays
+//! flat.
+
+use hts_bench::latency_ring;
+
+fn main() {
+    println!("# Figure 4 — unloaded operation latency (64 KiB requests)");
+    println!();
+    println!("| servers | read latency (ms) | write latency (ms) |");
+    println!("|---|---|---|");
+    for n in 2..=8 {
+        let (read_ms, write_ms) = latency_ring(n, 64 * 1024, 11);
+        println!("| {n} | {read_ms:.2} | {write_ms:.2} |");
+    }
+    println!();
+    println!("paper: read flat (a few ms); write grows linearly to ≈60 ms at 8 servers.");
+}

@@ -1,0 +1,107 @@
+//! Failure-handling timeline (no figure in the paper, §3's mechanism):
+//! run a mixed workload, crash servers mid-run, and report per-interval
+//! throughput plus the invariant checks — every client operation still
+//! completes, and the history stays atomic.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use hts_core::{ClientStats, Config, OpMix, SimClient, SimServer, WorkloadConfig};
+use hts_lincheck::{check_conditions, History};
+use hts_sim::packet::{NetworkConfig, PacketSim};
+use hts_sim::Nanos;
+use hts_types::{ClientId, NodeId, ServerId};
+
+fn main() {
+    let n: u16 = 4;
+    let value_size = 16 * 1024;
+    let mut sim = PacketSim::new(21);
+    let ring_net = sim.add_network(NetworkConfig::fast_ethernet());
+    let client_net = sim.add_network(NetworkConfig::fast_ethernet());
+    for i in 0..n {
+        let id = NodeId::Server(ServerId(i));
+        sim.add_node(
+            id,
+            Box::new(SimServer::new(
+                ServerId(i),
+                n,
+                Config::default(),
+                ring_net,
+                client_net,
+            )),
+        );
+        sim.attach(id, ring_net);
+        sim.attach(id, client_net);
+    }
+    let history = Rc::new(RefCell::new(History::new()));
+    let mut stats: Vec<Rc<RefCell<ClientStats>>> = Vec::new();
+    for c in 0..u32::from(n) * 2 {
+        let id = ClientId(c);
+        let workload = WorkloadConfig {
+            mix: OpMix::Mixed { read_percent: 50 },
+            value_size,
+            op_limit: None,
+            start_delay: Nanos::ZERO,
+            timeout: Nanos::from_millis(120),
+        };
+        let (client, s) = SimClient::new(
+            id,
+            n,
+            ServerId((c % u32::from(n)) as u16),
+            workload,
+            client_net,
+            Some(Rc::clone(&history)),
+        );
+        sim.add_node(NodeId::Client(id), Box::new(client));
+        sim.attach(NodeId::Client(id), client_net);
+        stats.push(s);
+    }
+
+    // Crash s1 at 1.0s and s3 at 2.0s: the 4-ring shrinks to 2.
+    sim.crash_at(NodeId::Server(ServerId(1)), Nanos::from_secs(1));
+    sim.crash_at(NodeId::Server(ServerId(3)), Nanos::from_secs(2));
+
+    println!("# Recovery timeline — 4 servers, crash s1@1.0s and s3@2.0s");
+    println!();
+    println!("| window (s) | ops completed | ops/s | retries so far |");
+    println!("|---|---|---|---|");
+    let bin = Nanos::from_millis(250);
+    let total_windows = 12;
+    let mut last_total = 0u64;
+    for w in 0..total_windows {
+        sim.run_until(Nanos(bin.as_nanos() * (w + 1)));
+        let total: u64 = stats
+            .iter()
+            .map(|s| {
+                let s = s.borrow();
+                s.writes_done + s.reads_done
+            })
+            .sum();
+        let retries: u64 = stats.iter().map(|s| s.borrow().retries).sum();
+        let done = total - last_total;
+        last_total = total;
+        println!(
+            "| {:.2}–{:.2} | {done} | {:.0} | {retries} |",
+            w as f64 * 0.25,
+            (w + 1) as f64 * 0.25,
+            done as f64 / 0.25
+        );
+    }
+
+    let h = history.borrow();
+    let violations = check_conditions(&h);
+    println!();
+    println!(
+        "atomicity check over {} recorded operations: {}",
+        h.len(),
+        if violations.is_empty() {
+            "no violations".to_string()
+        } else {
+            format!("VIOLATIONS: {violations:?}")
+        }
+    );
+    println!("expected: each crash costs a brief stall (detection + client retries,");
+    println!("visible in the retry counter) inside one window; throughput then");
+    println!("recovers — and rises, because a shorter ring commits writes in fewer");
+    println!("hops. The history must stay linearizable throughout.");
+}

@@ -1,0 +1,32 @@
+//! Benchmark harness regenerating every table and figure of the paper.
+//!
+//! Each binary in `src/bin/` prints the rows/series of one paper artifact
+//! (see DESIGN.md §5 for the experiment index); the [`harness`] module
+//! holds the shared machinery: simulated cluster builders for the ring
+//! protocol and every baseline, warm-up/measure windowing, and throughput
+//! (Mbit/s of client payload, as the paper reports) and latency
+//! extraction.
+//!
+//! Quick orientation:
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `fig1` | Figure 1 — quorum vs local-read throughput (round model) |
+//! | `fig3` | Figure 3 — all four throughput charts |
+//! | `fig4` | Figure 4 — read/write latency vs servers |
+//! | `analytical` | §4 — round-model latency & throughput claims |
+//! | `compare_baselines` | ring vs ABD vs chain vs TOB |
+//! | `ablations` | A1 piggyback, A2 fast-path reads, A3 fairness |
+//! | `recovery` | throughput timeline across server crashes |
+//!
+//! Reduced-size versions of the same runs are registered as Criterion
+//! benches (`cargo bench`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+
+pub use harness::{
+    latency_ring, run_abd, run_chain, run_ring, run_tob, Measurement, Params, Protocol,
+};

@@ -1,0 +1,358 @@
+//! The client state machine.
+//!
+//! Clients are oblivious to the ring: they send each request to one server
+//! and wait (paper lines 1–10). If the reply times out — the contacted
+//! server crashed, or its reply was lost with it — the client re-issues
+//! the *same request id* to the next server (paper §3: "when their request
+//! times out, they simply re-send it to another server"). Transports own
+//! the actual timers; this core just decides what to send next.
+
+use hts_types::{ClientId, Message, ObjectId, RequestId, ServerId, Value};
+
+/// A finished operation, reported by [`ClientCore::on_reply`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// The request that finished.
+    pub request: RequestId,
+    /// `None` for writes; the value read for reads.
+    pub value: Option<Value>,
+}
+
+#[derive(Debug, Clone)]
+struct Inflight {
+    request: RequestId,
+    /// Message to (re-)send.
+    message: Message,
+    server: ServerId,
+    attempts: u32,
+}
+
+/// One client's request/retry logic. At most one operation is in flight at
+/// a time (the paper's clients are sequential; harnesses emulate load by
+/// running many `ClientCore`s, exactly like the paper's client machines).
+///
+/// # Examples
+///
+/// ```
+/// use hts_core::{ClientCore, Completion};
+/// use hts_types::{ClientId, Message, ObjectId, ServerId, Value};
+///
+/// let mut c = ClientCore::new(ClientId(0), ObjectId::SINGLE, 3, ServerId(1));
+/// let (request, server, msg) = c.begin_write(Value::from_u64(7));
+/// assert_eq!(server, ServerId(1));
+/// // ... transport sends msg, server replies ...
+/// let done = c.on_reply(&Message::WriteAck { object: ObjectId::SINGLE, request });
+/// assert_eq!(done, Some(Completion { request, value: None }));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClientCore {
+    id: ClientId,
+    object: ObjectId,
+    n: u16,
+    alive: Vec<bool>,
+    preferred: ServerId,
+    next_request: u64,
+    inflight: Option<Inflight>,
+}
+
+impl ClientCore {
+    /// Creates a client of a ring of `n` servers that prefers talking to
+    /// `preferred` (the paper pins client machines to servers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `preferred` is outside `0..n` or `n` is zero.
+    pub fn new(id: ClientId, object: ObjectId, n: u16, preferred: ServerId) -> Self {
+        assert!(n > 0, "a ring needs at least one server");
+        assert!(preferred.0 < n, "preferred server outside ring");
+        ClientCore {
+            id,
+            object,
+            n,
+            alive: vec![true; usize::from(n)],
+            preferred,
+            next_request: 0,
+            inflight: None,
+        }
+    }
+
+    /// This client's id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Whether an operation is currently in flight.
+    pub fn is_busy(&self) -> bool {
+        self.inflight.is_some()
+    }
+
+    /// The server the in-flight request was last sent to.
+    pub fn current_server(&self) -> Option<ServerId> {
+        self.inflight.as_ref().map(|i| i.server)
+    }
+
+    /// Starts a write of the default object; returns
+    /// `(request, server, message to send)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operation is already in flight.
+    pub fn begin_write(&mut self, value: Value) -> (RequestId, ServerId, Message) {
+        self.begin_write_to(self.object, value)
+    }
+
+    /// Starts a write of an explicit object (multi-register deployments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operation is already in flight.
+    pub fn begin_write_to(
+        &mut self,
+        object: ObjectId,
+        value: Value,
+    ) -> (RequestId, ServerId, Message) {
+        let request = self.fresh_request();
+        let message = Message::WriteReq {
+            object,
+            request,
+            value,
+        };
+        self.launch(request, message)
+    }
+
+    /// Starts a read of the default object; returns
+    /// `(request, server, message to send)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operation is already in flight.
+    pub fn begin_read(&mut self) -> (RequestId, ServerId, Message) {
+        self.begin_read_from(self.object)
+    }
+
+    /// Starts a read of an explicit object (multi-register deployments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operation is already in flight.
+    pub fn begin_read_from(&mut self, object: ObjectId) -> (RequestId, ServerId, Message) {
+        let request = self.fresh_request();
+        let message = Message::ReadReq { object, request };
+        self.launch(request, message)
+    }
+
+    /// Feeds a server reply; returns the completion if it answers the
+    /// in-flight request (stale or duplicate replies return `None`).
+    pub fn on_reply(&mut self, reply: &Message) -> Option<Completion> {
+        let (request, value) = match reply {
+            Message::WriteAck { request, .. } => (*request, None),
+            Message::ReadAck { request, value, .. } => (*request, Some(value.clone())),
+            _ => return None,
+        };
+        match &self.inflight {
+            Some(inflight) if inflight.request == request => {
+                self.inflight = None;
+                Some(Completion { request, value })
+            }
+            _ => None,
+        }
+    }
+
+    /// The transport's reply timer fired for `request`: re-issue it to the
+    /// next server believed alive. Returns `None` if the request already
+    /// completed (stale timer) — or panics never.
+    pub fn on_timeout(&mut self, request: RequestId) -> Option<(ServerId, Message)> {
+        let inflight = self.inflight.as_mut()?;
+        if inflight.request != request {
+            return None;
+        }
+        // The silent server is suspect: deprioritize it for future ops.
+        let from = inflight.server;
+        inflight.attempts += 1;
+        let next = self.next_server_after(from);
+        let inflight = self.inflight.as_mut().expect("checked above");
+        inflight.server = next;
+        Some((next, inflight.message.clone()))
+    }
+
+    /// The failure detector (or connection teardown) reported `s` crashed:
+    /// skip it in future retries. If the in-flight request targets `s`,
+    /// returns the immediate re-send.
+    pub fn on_server_down(&mut self, s: ServerId) -> Option<(ServerId, Message)> {
+        if let Some(a) = self.alive.get_mut(s.index()) {
+            *a = false;
+        }
+        match &self.inflight {
+            Some(inflight) if inflight.server == s => {
+                let request = inflight.request;
+                self.on_timeout(request)
+            }
+            _ => None,
+        }
+    }
+
+    fn fresh_request(&mut self) -> RequestId {
+        self.next_request += 1;
+        // Request ids are unique per client; transports key replies on
+        // (client, request).
+        RequestId(self.next_request)
+    }
+
+    fn launch(&mut self, request: RequestId, message: Message) -> (RequestId, ServerId, Message) {
+        assert!(
+            self.inflight.is_none(),
+            "{}: operation already in flight",
+            self.id
+        );
+        let server = if self.alive[self.preferred.index()] {
+            self.preferred
+        } else {
+            self.next_server_after(self.preferred)
+        };
+        self.inflight = Some(Inflight {
+            request,
+            message: message.clone(),
+            server,
+            attempts: 0,
+        });
+        (request, server, message)
+    }
+
+    fn next_server_after(&self, s: ServerId) -> ServerId {
+        let n = usize::from(self.n);
+        for step in 1..=n {
+            let idx = (s.index() + step) % n;
+            if self.alive[idx] {
+                return ServerId(idx as u16);
+            }
+        }
+        // Everyone suspected: fall back to round-robin anyway (the paper
+        // assumes at least one correct server, so suspicion must be wrong).
+        ServerId(((s.index() + 1) % n) as u16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn client() -> ClientCore {
+        ClientCore::new(ClientId(7), ObjectId::SINGLE, 3, ServerId(1))
+    }
+
+    #[test]
+    fn write_round_trip() {
+        let mut c = client();
+        let (request, server, msg) = c.begin_write(Value::from_u64(1));
+        assert_eq!(server, ServerId(1));
+        assert!(matches!(msg, Message::WriteReq { .. }));
+        assert!(c.is_busy());
+        let done = c.on_reply(&Message::WriteAck {
+            object: ObjectId::SINGLE,
+            request,
+        });
+        assert_eq!(
+            done,
+            Some(Completion {
+                request,
+                value: None
+            })
+        );
+        assert!(!c.is_busy());
+    }
+
+    #[test]
+    fn read_round_trip_returns_value() {
+        let mut c = client();
+        let (request, _server, _msg) = c.begin_read();
+        let done = c.on_reply(&Message::ReadAck {
+            object: ObjectId::SINGLE,
+            request,
+            value: Value::from_u64(9),
+        });
+        assert_eq!(done.unwrap().value, Some(Value::from_u64(9)));
+    }
+
+    #[test]
+    fn stale_and_foreign_replies_ignored() {
+        let mut c = client();
+        let (request, _, _) = c.begin_read();
+        // Wrong request id.
+        assert!(c
+            .on_reply(&Message::ReadAck {
+                object: ObjectId::SINGLE,
+                request: RequestId(999),
+                value: Value::bottom(),
+            })
+            .is_none());
+        // Real reply still works, exactly once.
+        assert!(c
+            .on_reply(&Message::ReadAck {
+                object: ObjectId::SINGLE,
+                request,
+                value: Value::bottom(),
+            })
+            .is_some());
+        assert!(c
+            .on_reply(&Message::ReadAck {
+                object: ObjectId::SINGLE,
+                request,
+                value: Value::bottom(),
+            })
+            .is_none());
+    }
+
+    #[test]
+    fn timeout_walks_the_ring() {
+        let mut c = client();
+        let (request, first, _) = c.begin_write(Value::from_u64(1));
+        assert_eq!(first, ServerId(1));
+        let (second, msg) = c.on_timeout(request).unwrap();
+        assert_eq!(second, ServerId(2));
+        assert!(matches!(msg, Message::WriteReq { .. }));
+        let (third, _) = c.on_timeout(request).unwrap();
+        assert_eq!(third, ServerId(0));
+        // Stale timer after completion: ignored.
+        c.on_reply(&Message::WriteAck {
+            object: ObjectId::SINGLE,
+            request,
+        });
+        assert!(c.on_timeout(request).is_none());
+    }
+
+    #[test]
+    fn server_down_triggers_immediate_retry_and_future_avoidance() {
+        let mut c = client();
+        let (_, first, _) = c.begin_read();
+        assert_eq!(first, ServerId(1));
+        let (retry, _) = c.on_server_down(ServerId(1)).unwrap();
+        assert_eq!(retry, ServerId(2));
+        // Complete, then a fresh op avoids the dead preferred server.
+        let req = c.current_server();
+        assert_eq!(req, Some(ServerId(2)));
+        let inflight = c.inflight.clone().unwrap();
+        c.on_reply(&Message::ReadAck {
+            object: ObjectId::SINGLE,
+            request: inflight.request,
+            value: Value::bottom(),
+        });
+        let (_, server, _) = c.begin_read();
+        assert_eq!(server, ServerId(2));
+    }
+
+    #[test]
+    fn down_report_for_other_server_does_not_resend() {
+        let mut c = client();
+        let (_, first, _) = c.begin_read();
+        assert_eq!(first, ServerId(1));
+        assert!(c.on_server_down(ServerId(0)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "already in flight")]
+    fn overlapping_operations_panic() {
+        let mut c = client();
+        let _ = c.begin_read();
+        let _ = c.begin_read();
+    }
+}

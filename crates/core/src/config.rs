@@ -1,0 +1,90 @@
+//! Protocol configuration and ablation flags.
+
+use hts_sim::Nanos;
+
+/// How a server multiplexes its own new writes with forwarded ring traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FairnessMode {
+    /// The paper's rule (§3 lines 53–75): per-origin forwarded-message
+    /// counters; the origin with the fewest forwarded messages goes next
+    /// (the local server competes as its own origin). Guarantees every
+    /// origin a fair share of the ring and thus write liveness.
+    #[default]
+    Fair,
+    /// Always initiate a local write when one is queued, otherwise forward
+    /// in arrival order. Under sustained local load this starves the ring —
+    /// the failure mode the paper's fairness rule exists to prevent
+    /// (ablation A3).
+    LocalFirst,
+    /// Always forward queued ring traffic before initiating local writes.
+    /// Under sustained ring load local clients starve.
+    ForwardFirst,
+}
+
+/// Protocol options. [`Config::default`] is the paper-faithful,
+/// full-performance configuration; every deviation is an explicitly
+/// documented ablation (see DESIGN.md §4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Config {
+    /// Carry the value in steady-state `write` ring messages instead of
+    /// resolving it from the pending cache (ablation A1). Doubles ring
+    /// bandwidth per write; the paper's measured 81 Mbit/s write throughput
+    /// on 100 Mbit/s links is impossible with this on.
+    pub write_carries_value: bool,
+    /// Let a read return immediately when the locally stored tag already
+    /// dominates every pending pre-write (ablation A2). The paper always
+    /// waits for the next `write` message.
+    pub read_fast_path: bool,
+    /// Scheduling of local writes vs. forwarded traffic.
+    pub fairness: FairnessMode,
+    /// Reply to an unblocked read with the value of the unblocking `write`
+    /// *message* — the conference pseudo-code's literal line 82 — instead
+    /// of the (≥) locally stored value. Exists to demonstrate the
+    /// read-inversion anomaly this allows when concurrent writes overtake
+    /// each other on the ring; see DESIGN.md §4.9. **Unsafe**; tests only.
+    pub unblock_replies_message_value: bool,
+    /// Complete writes orphaned by the crash of their originating server
+    /// (surrogate-origin adoption, DESIGN.md §4.10). Without it, readers
+    /// can block forever on a pre-write whose `write` phase died with its
+    /// origin.
+    pub adopt_orphans: bool,
+    /// How long a client waits for a reply before re-issuing the request
+    /// to the next server.
+    pub client_timeout: Nanos,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            write_carries_value: false,
+            read_fast_path: false,
+            fairness: FairnessMode::Fair,
+            unblock_replies_message_value: false,
+            adopt_orphans: true,
+            client_timeout: Nanos::from_millis(250),
+        }
+    }
+}
+
+impl Config {
+    /// The paper-faithful default configuration.
+    pub fn paper() -> Self {
+        Config::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_faithful() {
+        let c = Config::default();
+        assert!(!c.write_carries_value);
+        assert!(!c.read_fast_path);
+        assert_eq!(c.fairness, FairnessMode::Fair);
+        assert!(!c.unblock_replies_message_value);
+        assert!(c.adopt_orphans);
+        assert_eq!(c, Config::paper());
+    }
+}

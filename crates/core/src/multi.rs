@@ -1,0 +1,229 @@
+//! Multiplexing many register objects over one server ring.
+//!
+//! Distributed storage systems "combine multiple of these read/write
+//! objects, each storing its share of data" (paper §1). One
+//! [`MultiObjectServer`] hosts a [`ServerCore`] per object; all objects
+//! share the ring links, with transmission slots rotated round-robin
+//! across objects that have work (each object's own fairness rule governs
+//! *within* the object).
+
+use std::collections::BTreeMap;
+
+use hts_types::{ClientId, ObjectId, RequestId, RingFrame, ServerId, Value};
+
+use crate::{Action, Config, ServerCore};
+
+/// A ring server hosting many independent atomic registers.
+///
+/// # Examples
+///
+/// ```
+/// use hts_core::{Config, MultiObjectServer};
+/// use hts_types::{ClientId, ObjectId, RequestId, ServerId, Value};
+///
+/// let mut s = MultiObjectServer::new(ServerId(0), 1, Config::default());
+/// // Objects are created on first use; a 1-server ring answers at once.
+/// let acks = s.on_client_write(ObjectId(5), ClientId(0), RequestId(1), Value::from_u64(9));
+/// assert_eq!(acks.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiObjectServer {
+    me: ServerId,
+    n: u16,
+    config: Config,
+    objects: BTreeMap<ObjectId, ServerCore>,
+    /// Round-robin cursor over objects for ring slots.
+    cursor: Option<ObjectId>,
+    crashed: Vec<ServerId>,
+}
+
+impl MultiObjectServer {
+    /// Creates server `me` of a ring of `n`, initially hosting no objects
+    /// (they are created on first use).
+    pub fn new(me: ServerId, n: u16, config: Config) -> Self {
+        MultiObjectServer {
+            me,
+            n,
+            config,
+            objects: BTreeMap::new(),
+            cursor: None,
+            crashed: Vec::new(),
+        }
+    }
+
+    /// This server's id.
+    pub fn me(&self) -> ServerId {
+        self.me
+    }
+
+    /// The number of objects currently hosted.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Access to one object's core (if it exists yet).
+    pub fn object(&self, object: ObjectId) -> Option<&ServerCore> {
+        self.objects.get(&object)
+    }
+
+    /// The current ring successor.
+    pub fn successor(&self) -> Option<ServerId> {
+        // All cores share the same view; compute from any, else fresh.
+        match self.objects.values().next() {
+            Some(core) => core.successor(),
+            None => {
+                let mut core = ServerCore::new(self.me, self.n, ObjectId::SINGLE, self.config.clone());
+                for s in &self.crashed {
+                    let _ = core.on_server_crashed(*s);
+                }
+                core.successor()
+            }
+        }
+    }
+
+    fn core_mut(&mut self, object: ObjectId) -> &mut ServerCore {
+        let me = self.me;
+        let n = self.n;
+        let config = self.config.clone();
+        let crashed = self.crashed.clone();
+        self.objects.entry(object).or_insert_with(|| {
+            let mut core = ServerCore::new(me, n, object, config);
+            // Late-created objects must share the ring view.
+            for s in crashed {
+                let _ = core.on_server_crashed(s);
+            }
+            core
+        })
+    }
+
+    /// Routes a client write to its object.
+    pub fn on_client_write(
+        &mut self,
+        object: ObjectId,
+        client: ClientId,
+        request: RequestId,
+        value: Value,
+    ) -> Vec<Action> {
+        self.core_mut(object).on_client_write(client, request, value)
+    }
+
+    /// Routes a client read to its object.
+    pub fn on_client_read(
+        &mut self,
+        object: ObjectId,
+        client: ClientId,
+        request: RequestId,
+    ) -> Vec<Action> {
+        self.core_mut(object).on_client_read(client, request)
+    }
+
+    /// Routes a ring frame to its object.
+    pub fn on_frame(&mut self, frame: RingFrame) -> Vec<Action> {
+        self.core_mut(frame.object).on_frame(frame)
+    }
+
+    /// Fans a crash report to every object.
+    pub fn on_server_crashed(&mut self, s: ServerId) -> Vec<Action> {
+        if !self.crashed.contains(&s) {
+            self.crashed.push(s);
+        }
+        let mut actions = Vec::new();
+        for core in self.objects.values_mut() {
+            actions.extend(core.on_server_crashed(s));
+        }
+        actions
+    }
+
+    /// Whether any object has ring work queued.
+    pub fn has_ring_work(&self) -> bool {
+        self.objects.values().any(|c| c.has_ring_work())
+    }
+
+    /// Pulls the next ring frame, rotating fairly across objects.
+    pub fn next_frame(&mut self) -> Option<RingFrame> {
+        if self.objects.is_empty() {
+            return None;
+        }
+        // Start after the cursor, wrap once around all objects.
+        let ids: Vec<ObjectId> = self.objects.keys().copied().collect();
+        let start = match self.cursor {
+            Some(c) => ids.iter().position(|&o| o > c).unwrap_or(0),
+            None => 0,
+        };
+        for k in 0..ids.len() {
+            let id = ids[(start + k) % ids.len()];
+            if let Some(frame) = self.objects.get_mut(&id).expect("known id").next_frame() {
+                self.cursor = Some(id);
+                return Some(frame);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hts_types::Tag;
+
+    #[test]
+    fn objects_are_independent_registers() {
+        let mut s = MultiObjectServer::new(ServerId(0), 1, Config::default());
+        s.on_client_write(ObjectId(1), ClientId(0), RequestId(1), Value::from_u64(10));
+        s.on_client_write(ObjectId(2), ClientId(0), RequestId(2), Value::from_u64(20));
+        assert_eq!(s.object_count(), 2);
+        assert_eq!(
+            s.object(ObjectId(1)).unwrap().stored().1,
+            &Value::from_u64(10)
+        );
+        assert_eq!(
+            s.object(ObjectId(2)).unwrap().stored().1,
+            &Value::from_u64(20)
+        );
+    }
+
+    #[test]
+    fn ring_slots_rotate_across_objects() {
+        let mut s = MultiObjectServer::new(ServerId(0), 3, Config::default());
+        // Queue one write in each of three objects.
+        for o in 1..=3u32 {
+            s.on_client_write(
+                ObjectId(o),
+                ClientId(0),
+                RequestId(u64::from(o)),
+                Value::from_u64(u64::from(o)),
+            );
+        }
+        let mut seen = Vec::new();
+        while let Some(frame) = s.next_frame() {
+            seen.push(frame.object);
+            if seen.len() > 10 {
+                break;
+            }
+        }
+        assert_eq!(seen, vec![ObjectId(1), ObjectId(2), ObjectId(3)]);
+        assert!(s.has_ring_work() || !seen.is_empty());
+    }
+
+    #[test]
+    fn late_objects_inherit_crash_knowledge() {
+        let mut s = MultiObjectServer::new(ServerId(0), 3, Config::default());
+        s.on_server_crashed(ServerId(1));
+        // Object created after the crash still skips s1.
+        s.on_client_write(ObjectId(9), ClientId(0), RequestId(1), Value::from_u64(1));
+        let core = s.object(ObjectId(9)).unwrap();
+        assert_eq!(core.successor(), Some(ServerId(2)));
+        assert_eq!(s.successor(), Some(ServerId(2)));
+    }
+
+    #[test]
+    fn frames_route_to_their_object() {
+        let mut s = MultiObjectServer::new(ServerId(1), 3, Config::default());
+        let frame = RingFrame::pre_write(ObjectId(4), Tag::new(1, ServerId(0)), Value::from_u64(4));
+        s.on_frame(frame);
+        assert!(s.has_ring_work());
+        let out = s.next_frame().unwrap();
+        assert_eq!(out.object, ObjectId(4));
+        assert_eq!(s.object(ObjectId(4)).unwrap().pending().len(), 1);
+    }
+}

@@ -1,0 +1,675 @@
+//! The server state machine of the high-throughput atomic storage
+//! algorithm.
+//!
+//! This is a **sans-io** translation of the paper's server pseudo-code
+//! (§3): events come in through the `on_*` methods, client-visible effects
+//! come out as [`Action`]s, and ring transmissions are *pulled* by the
+//! transport through [`ServerCore::next_frame`] whenever the ring NIC can
+//! send — which is where the fairness rule runs. The same core drives the
+//! packet-level simulator, the round-model simulator and the real TCP
+//! runtime.
+//!
+//! The protocol in one paragraph: a write is assigned a [`Tag`] greater
+//! than everything its coordinator has seen and circulates the ring twice —
+//! once as a value-carrying *pre-write* announcing it, once as a (tag-only)
+//! *write* notice committing it. Every server caches pre-written values in
+//! its [`PendingSet`]; a read is served locally and immediately unless the
+//! server knows of a pending pre-write, in which case it waits until a
+//! write notice at or above that tag arrives (this is what prevents the
+//! read-inversion anomaly). Failure handling splices the ring, retransmits
+//! in-flight state, and *adopts* writes orphaned by their coordinator's
+//! crash. See DESIGN.md §4 for the resolved pseudo-code ambiguities.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use hts_types::{
+    ClientId, ObjectId, PreWrite, RequestId, RingFrame, ServerId, Tag, Value, WriteNotice,
+};
+
+use crate::{Config, ForwardScheduler, PendingSet, RingView, Selection};
+
+/// A client-visible effect produced by the server core; the transport
+/// layer turns these into reply messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Acknowledge a completed write (paper line 50).
+    WriteAck {
+        /// The register object written.
+        object: ObjectId,
+        /// The client to reply to.
+        client: ClientId,
+        /// Its request id.
+        request: RequestId,
+    },
+    /// Answer a read (paper lines 78 and 82).
+    ReadReply {
+        /// The register object read.
+        object: ObjectId,
+        /// The client to reply to.
+        client: ClientId,
+        /// Its request id.
+        request: RequestId,
+        /// The value read.
+        value: Value,
+        /// The tag of that value (white-box witness for the
+        /// linearizability checker; not sent to clients).
+        tag: Tag,
+    },
+}
+
+/// Cumulative protocol counters (inspected by benchmarks and tests).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Writes this server initiated (its clients' writes + adoptions).
+    pub writes_initiated: u64,
+    /// Pre-writes forwarded for other origins.
+    pub prewrites_forwarded: u64,
+    /// Write notices forwarded or emitted.
+    pub notices_sent: u64,
+    /// Reads answered immediately.
+    pub reads_immediate: u64,
+    /// Reads that had to wait for a pending write.
+    pub reads_blocked: u64,
+    /// Duplicate or already-committed ring messages dropped.
+    pub duplicates_dropped: u64,
+    /// Ring splices performed (successor crashes survived).
+    pub recoveries: u64,
+    /// Orphaned writes adopted from crashed origins.
+    pub adoptions: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    PreWrite,
+    Write,
+}
+
+#[derive(Debug, Clone)]
+struct Outstanding {
+    client: Option<(ClientId, RequestId)>,
+    phase: Phase,
+}
+
+#[derive(Debug, Clone)]
+struct WaitingRead {
+    client: ClientId,
+    request: RequestId,
+    /// The read unblocks on the first write notice with tag >= target
+    /// (paper line 81).
+    target: Tag,
+}
+
+/// The per-object server state machine. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct ServerCore {
+    object: ObjectId,
+    config: Config,
+    ring: RingView,
+    stored_tag: Tag,
+    stored_value: Value,
+    pending: PendingSet,
+    sched: ForwardScheduler,
+    write_queue: VecDeque<(Option<(ClientId, RequestId)>, Value)>,
+    notice_queue: VecDeque<WriteNotice>,
+    outstanding: BTreeMap<Tag, Outstanding>,
+    /// Orphaned writes this server completes as surrogate origin.
+    adopted: BTreeMap<Tag, Value>,
+    waiting_reads: Vec<WaitingRead>,
+    /// Highest pre-write timestamp seen per origin (duplicate suppression).
+    prewrite_seen: HashMap<ServerId, u64>,
+    /// Highest write timestamp seen per origin.
+    write_seen: HashMap<ServerId, u64>,
+    stats: ServerStats,
+}
+
+impl ServerCore {
+    /// Creates the state machine of server `me` in a ring of `n`, serving
+    /// register `object`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is outside `0..n` (see [`RingView::new`]).
+    pub fn new(me: ServerId, n: u16, object: ObjectId, config: Config) -> Self {
+        ServerCore {
+            object,
+            ring: RingView::new(me, n),
+            sched: ForwardScheduler::new(config.fairness),
+            config,
+            stored_tag: Tag::ZERO,
+            stored_value: Value::bottom(),
+            pending: PendingSet::new(),
+            write_queue: VecDeque::new(),
+            notice_queue: VecDeque::new(),
+            outstanding: BTreeMap::new(),
+            adopted: BTreeMap::new(),
+            waiting_reads: Vec::new(),
+            prewrite_seen: HashMap::new(),
+            write_seen: HashMap::new(),
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// This server's id.
+    pub fn me(&self) -> ServerId {
+        self.ring.me()
+    }
+
+    /// The register object this core serves.
+    pub fn object(&self) -> ObjectId {
+        self.object
+    }
+
+    /// The currently stored `(tag, value)` pair.
+    pub fn stored(&self) -> (Tag, &Value) {
+        (self.stored_tag, &self.stored_value)
+    }
+
+    /// The ring membership view.
+    pub fn ring(&self) -> &RingView {
+        &self.ring
+    }
+
+    /// The current ring successor (where [`next_frame`](Self::next_frame)
+    /// output goes), or `None` when this server is the only survivor.
+    pub fn successor(&self) -> Option<ServerId> {
+        self.ring.successor()
+    }
+
+    /// The pending (pre-written, uncommitted) set.
+    pub fn pending(&self) -> &PendingSet {
+        &self.pending
+    }
+
+    /// Protocol counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Number of reads currently blocked on a pending write.
+    pub fn waiting_reads(&self) -> usize {
+        self.waiting_reads.len()
+    }
+
+    /// Whether anything waits for a ring transmission slot.
+    pub fn has_ring_work(&self) -> bool {
+        !self.write_queue.is_empty() || self.sched.has_queued() || !self.notice_queue.is_empty()
+    }
+
+    /// A client asked to write `value` (paper lines 18–20).
+    pub fn on_client_write(
+        &mut self,
+        client: ClientId,
+        request: RequestId,
+        value: Value,
+    ) -> Vec<Action> {
+        if self.ring.alive_count() == 1 {
+            // Degenerate ring: the full circulation is a no-op.
+            let tag = self.next_tag();
+            self.apply(tag, value);
+            self.stats.writes_initiated += 1;
+            return vec![Action::WriteAck {
+                object: self.object,
+                client,
+                request,
+            }];
+        }
+        self.write_queue
+            .push_back((Some((client, request)), value));
+        Vec::new()
+    }
+
+    /// A client asked to read (paper lines 76–84).
+    pub fn on_client_read(&mut self, client: ClientId, request: RequestId) -> Vec<Action> {
+        let highest_pending = self.pending.max_tag();
+        let immediate = match highest_pending {
+            None => true,
+            Some(max) => self.config.read_fast_path && self.stored_tag >= max,
+        };
+        if immediate || self.ring.alive_count() == 1 {
+            self.stats.reads_immediate += 1;
+            return vec![Action::ReadReply {
+                object: self.object,
+                client,
+                request,
+                value: self.stored_value.clone(),
+                tag: self.stored_tag,
+            }];
+        }
+        self.stats.reads_blocked += 1;
+        self.waiting_reads.push(WaitingRead {
+            client,
+            request,
+            target: highest_pending.expect("blocked read requires a pending write"),
+        });
+        Vec::new()
+    }
+
+    /// A ring frame arrived from the predecessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame belongs to a different object (routing bug).
+    pub fn on_frame(&mut self, frame: RingFrame) -> Vec<Action> {
+        assert_eq!(frame.object, self.object, "frame routed to wrong object");
+        let mut actions = Vec::new();
+        // Commit before announce: a piggybacked frame carries an older
+        // write notice next to a newer pre-write.
+        if let Some(notice) = frame.write {
+            self.process_write_notice(notice, &mut actions);
+        }
+        if let Some(pw) = frame.pre_write {
+            self.process_pre_write(pw, &mut actions);
+        }
+        actions
+    }
+
+    /// The perfect failure detector reported the crash of `s`.
+    pub fn on_server_crashed(&mut self, s: ServerId) -> Vec<Action> {
+        if s == self.me() || !self.ring.is_alive(s) {
+            return Vec::new(); // stale or self-report
+        }
+        let was_successor = self.ring.successor() == Some(s);
+        self.ring.mark_crashed(s);
+        let mut actions = Vec::new();
+
+        if self.ring.alive_count() == 1 {
+            self.complete_everything_alone(&mut actions);
+            return actions;
+        }
+
+        if was_successor {
+            self.stats.recoveries += 1;
+            // Everything forwarded to the dead successor may be lost
+            // (paper lines 85–92): re-send the current value and every
+            // pending pre-write to the new successor. Recovery pre-writes
+            // bypass duplicate suppression so they can complete a full
+            // turn even through servers that saw them already.
+            if self.stored_tag != Tag::ZERO {
+                self.notice_queue.push_front(WriteNotice {
+                    tag: self.stored_tag,
+                    value: Some(self.stored_value.clone()),
+                });
+            }
+            let resend: Vec<PreWrite> = self
+                .pending
+                .iter()
+                .map(|(tag, value)| PreWrite {
+                    tag,
+                    value: value.clone(),
+                    recovery: true,
+                })
+                .collect();
+            self.sched.enqueue_front(resend);
+        }
+
+        if self.config.adopt_orphans && self.ring.is_adopter_of(s) {
+            // Writes initiated by the dead server that never committed
+            // would block readers forever; as its first alive successor we
+            // complete them under their original tags (DESIGN.md §4.10).
+            let orphans = self.pending.with_origin(s);
+            let mut resend = Vec::new();
+            for (tag, value) in orphans {
+                self.adopted.insert(tag, value.clone());
+                self.stats.adoptions += 1;
+                if !was_successor {
+                    resend.push(PreWrite {
+                        tag,
+                        value,
+                        recovery: true,
+                    });
+                }
+                // (if `was_successor`, the blanket re-send above already
+                // queued a recovery copy.)
+            }
+            self.sched.enqueue_front(resend);
+            // Pre-writes from the dead origin still waiting in our forward
+            // queues were seen by no one downstream; adopt them and let
+            // their (first) forwarding double as the adoption circulation.
+            let queued = self.sched.drain_origin(s);
+            if !queued.is_empty() {
+                for pw in &queued {
+                    self.adopted.insert(pw.tag, pw.value.clone());
+                    self.stats.adoptions += 1;
+                }
+                self.sched.enqueue_front(queued);
+            }
+        }
+        actions
+    }
+
+    /// Pulls the next ring frame for the current successor, running the
+    /// fairness rule. Returns `None` when nothing needs the slot (or this
+    /// server is alone).
+    pub fn next_frame(&mut self) -> Option<RingFrame> {
+        if self.ring.successor().is_none() {
+            return None;
+        }
+        loop {
+            let want_local = !self.write_queue.is_empty();
+            let me = self.me();
+            let mut frame = RingFrame {
+                object: self.object,
+                pre_write: None,
+                write: None,
+            };
+            match self.sched.select(me, want_local) {
+                Some(Selection::InitiateLocal) => {
+                    let (client, value) = self
+                        .write_queue
+                        .pop_front()
+                        .expect("InitiateLocal offered only when a write is queued");
+                    let tag = self.next_tag();
+                    self.pending.insert(tag, value.clone());
+                    self.outstanding.insert(
+                        tag,
+                        Outstanding {
+                            client,
+                            phase: Phase::PreWrite,
+                        },
+                    );
+                    self.note_prewrite_seen(tag);
+                    self.sched.record_initiation(me);
+                    self.stats.writes_initiated += 1;
+                    frame.pre_write = Some(PreWrite {
+                        tag,
+                        value,
+                        recovery: false,
+                    });
+                }
+                Some(Selection::Forward(pw)) => {
+                    // Late guard: the tag may have committed while queued.
+                    if pw.tag <= self.stored_tag
+                        || self.write_seen_ts(pw.tag.origin) >= pw.tag.ts
+                    {
+                        self.stats.duplicates_dropped += 1;
+                        continue;
+                    }
+                    // Paper line 71: the tag becomes pending at forward
+                    // time (with its value cached for the tag-only commit).
+                    self.pending.insert(pw.tag, pw.value.clone());
+                    self.stats.prewrites_forwarded += 1;
+                    frame.pre_write = Some(pw);
+                }
+                None => {}
+            }
+            // Piggyback at most one write notice (§4.2 "(2)").
+            if let Some(notice) = self.notice_queue.pop_front() {
+                self.stats.notices_sent += 1;
+                frame.write = Some(notice);
+            }
+            if frame.is_empty() {
+                return None;
+            }
+            return Some(frame);
+        }
+    }
+
+    fn next_tag(&self) -> Tag {
+        let highest = self
+            .pending
+            .max_tag()
+            .map_or(self.stored_tag.ts, |t| t.ts.max(self.stored_tag.ts));
+        Tag::new(highest + 1, self.me())
+    }
+
+    fn apply(&mut self, tag: Tag, value: Value) {
+        if tag > self.stored_tag {
+            self.stored_tag = tag;
+            self.stored_value = value;
+        }
+    }
+
+    fn prewrite_seen_ts(&self, origin: ServerId) -> u64 {
+        self.prewrite_seen.get(&origin).copied().unwrap_or(0)
+    }
+
+    fn write_seen_ts(&self, origin: ServerId) -> u64 {
+        self.write_seen.get(&origin).copied().unwrap_or(0)
+    }
+
+    fn note_prewrite_seen(&mut self, tag: Tag) {
+        let e = self.prewrite_seen.entry(tag.origin).or_insert(0);
+        *e = (*e).max(tag.ts);
+    }
+
+    fn note_write_seen(&mut self, tag: Tag) {
+        let e = self.write_seen.entry(tag.origin).or_insert(0);
+        *e = (*e).max(tag.ts);
+    }
+
+    fn process_pre_write(&mut self, pw: PreWrite, actions: &mut Vec<Action>) {
+        let tag = pw.tag;
+
+        // Already committed (here or anywhere upstream): never re-pend.
+        if tag <= self.stored_tag || self.write_seen_ts(tag.origin) >= tag.ts {
+            self.stats.duplicates_dropped += 1;
+            return;
+        }
+
+        // Surrogate return: an adopted orphan completed its ring turn.
+        if self.adopted.remove(&tag).is_some() {
+            self.apply(tag, pw.value.clone());
+            self.pending.remove(tag);
+            self.note_write_seen(tag);
+            self.notice_queue.push_back(WriteNotice {
+                tag,
+                value: Some(pw.value),
+            });
+            self.check_waiting_reads(tag, None, actions);
+            return;
+        }
+
+        if tag.origin == self.me() {
+            // Own pre-write returned: every server saw it; start the write
+            // phase (paper lines 32–38).
+            match self.outstanding.get_mut(&tag) {
+                Some(out) if out.phase == Phase::PreWrite => {
+                    out.phase = Phase::Write;
+                    self.apply(tag, pw.value.clone());
+                    self.pending.remove(tag);
+                    let value = self.config.write_carries_value.then_some(pw.value);
+                    self.notice_queue.push_back(WriteNotice { tag, value });
+                }
+                _ => self.stats.duplicates_dropped += 1,
+            }
+            return;
+        }
+
+        // Foreign pre-write: suppress duplicates unless it is a recovery
+        // re-circulation (which must pass through servers that saw it to
+        // reach whoever consumes it — the alive origin, or the adopter of
+        // a dead one). A recovery frame nobody will consume must fall back
+        // to normal suppression or it would circle the ring forever.
+        let consumable = self.ring.is_alive(tag.origin) || self.config.adopt_orphans;
+        let bypass = pw.recovery && consumable;
+        if !bypass && self.prewrite_seen_ts(tag.origin) >= tag.ts {
+            self.stats.duplicates_dropped += 1;
+            return;
+        }
+        self.note_prewrite_seen(tag);
+
+        // If the origin is already known to be dead and we are its
+        // designated adopter, claim the orphan now; its forwarding below
+        // doubles as the adoption circulation.
+        if self.config.adopt_orphans && self.ring.is_adopter_of(tag.origin) {
+            self.adopted.insert(tag, pw.value.clone());
+            self.stats.adoptions += 1;
+        }
+
+        self.sched.enqueue(pw);
+    }
+
+    fn process_write_notice(&mut self, notice: WriteNotice, actions: &mut Vec<Action>) {
+        let tag = notice.tag;
+        let mine = tag.origin == self.me();
+
+        if !mine && self.write_seen_ts(tag.origin) >= tag.ts {
+            self.stats.duplicates_dropped += 1;
+            return;
+        }
+        self.note_write_seen(tag);
+
+        // Resolve the committed value: carried explicitly, or from the
+        // pending cache filled by the matching pre-write.
+        let resolved = notice
+            .value
+            .clone()
+            .or_else(|| self.pending.get(tag).cloned());
+        match &resolved {
+            Some(v) => self.apply(tag, v.clone()),
+            None => {
+                // Only already-applied tags may lack a cached value.
+                debug_assert!(
+                    tag <= self.stored_tag,
+                    "tag-only write {tag} without a cached pre-write"
+                );
+            }
+        }
+
+        // Subsumption (DESIGN.md §4.2): a committed tag proves every lower
+        // pre-write can never be read again.
+        self.pending.remove_le(tag);
+        self.adopted.retain(|t, _| *t > tag);
+
+        // Acknowledge own writes at or below the committed tag — the exact
+        // own-write return (paper line 49) and any of ours it subsumes.
+        let first_kept = if tag.origin.0 < u16::MAX {
+            Tag::new(tag.ts, ServerId(tag.origin.0 + 1))
+        } else {
+            Tag::new(tag.ts.saturating_add(1), ServerId(0))
+        };
+        let still_out = self.outstanding.split_off(&first_kept);
+        let acked = std::mem::replace(&mut self.outstanding, still_out);
+        for (t, out) in acked {
+            debug_assert!(t <= tag);
+            if let Some((client, request)) = out.client {
+                actions.push(Action::WriteAck {
+                    object: self.object,
+                    client,
+                    request,
+                });
+            }
+        }
+
+        self.check_waiting_reads(tag, resolved.as_ref(), actions);
+
+        if !mine {
+            // Forward the commit around the ring (tag-only in steady
+            // state; keep the explicit value in recovery/ablation frames).
+            let value = if self.config.write_carries_value {
+                resolved
+            } else {
+                notice.value
+            };
+            self.notice_queue.push_back(WriteNotice { tag, value });
+        }
+    }
+
+    /// Unblocks reads whose target the committed `tag` satisfies (paper
+    /// line 81). Replies carry the *stored* value — see DESIGN.md §4.9 for
+    /// why the pseudo-code's literal reply (the message value) admits a
+    /// read inversion when ring writes overtake each other; that behaviour
+    /// is available as the `unblock_replies_message_value` ablation.
+    fn check_waiting_reads(
+        &mut self,
+        tag: Tag,
+        message_value: Option<&Value>,
+        actions: &mut Vec<Action>,
+    ) {
+        if self.waiting_reads.is_empty() {
+            return;
+        }
+        let literal = self.config.unblock_replies_message_value;
+        let (reply_value, reply_tag) = if literal {
+            match message_value {
+                Some(v) => (v.clone(), tag),
+                None => (self.stored_value.clone(), self.stored_tag),
+            }
+        } else {
+            (self.stored_value.clone(), self.stored_tag)
+        };
+        let mut still_waiting = Vec::with_capacity(self.waiting_reads.len());
+        let object = self.object;
+        for wr in self.waiting_reads.drain(..) {
+            if wr.target <= tag {
+                actions.push(Action::ReadReply {
+                    object,
+                    client: wr.client,
+                    request: wr.request,
+                    value: reply_value.clone(),
+                    tag: reply_tag,
+                });
+            } else {
+                still_waiting.push(wr);
+            }
+        }
+        self.waiting_reads = still_waiting;
+    }
+
+    /// Last survivor: every circulation is a no-op, so finish all
+    /// in-flight work locally.
+    fn complete_everything_alone(&mut self, actions: &mut Vec<Action>) {
+        // Commit every pending pre-write under its original tag (nothing
+        // newer can be overwritten, and readers blocked on them unblock).
+        let committed = self.pending.remove_le(Tag {
+            ts: u64::MAX,
+            origin: ServerId(u16::MAX),
+        });
+        for (tag, value) in committed {
+            self.apply(tag, value);
+            self.note_write_seen(tag);
+        }
+        // Same for pre-writes still waiting in the forward queues and for
+        // adopted orphans.
+        for origin in self.ring_origins() {
+            for pw in self.sched.drain_origin(origin) {
+                self.apply(pw.tag, pw.value);
+                self.note_write_seen(pw.tag);
+            }
+        }
+        for (tag, value) in std::mem::take(&mut self.adopted) {
+            self.apply(tag, value);
+            self.note_write_seen(tag);
+        }
+        // Local writes apply directly now.
+        let queued: Vec<_> = self.write_queue.drain(..).collect();
+        for (client, value) in queued {
+            let tag = self.next_tag();
+            self.apply(tag, value);
+            self.stats.writes_initiated += 1;
+            if let Some((client, request)) = client {
+                actions.push(Action::WriteAck {
+                    object: self.object,
+                    client,
+                    request,
+                });
+            }
+        }
+        // Outstanding two-phase writes are complete by fiat.
+        for (_, out) in std::mem::take(&mut self.outstanding) {
+            if let Some((client, request)) = out.client {
+                actions.push(Action::WriteAck {
+                    object: self.object,
+                    client,
+                    request,
+                });
+            }
+        }
+        self.notice_queue.clear();
+        // All blocked reads can be answered from the store.
+        let waiting = std::mem::take(&mut self.waiting_reads);
+        for wr in waiting {
+            actions.push(Action::ReadReply {
+                object: self.object,
+                client: wr.client,
+                request: wr.request,
+                value: self.stored_value.clone(),
+                tag: self.stored_tag,
+            });
+        }
+    }
+
+    fn ring_origins(&self) -> Vec<ServerId> {
+        (0..self.ring.n()).map(ServerId).collect()
+    }
+}

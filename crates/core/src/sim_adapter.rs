@@ -1,0 +1,449 @@
+//! Adapters running the protocol cores on the packet-level simulator.
+//!
+//! [`SimServer`] wires a [`MultiObjectServer`] to two (possibly identical)
+//! simulated networks — the ring network and the client network, matching
+//! the paper's dual-homed cluster. Ring transmissions are *pulled* through
+//! [`MultiObjectServer::next_frame`] whenever the ring NIC reports idle,
+//! which is exactly where the paper's fairness rule takes effect.
+//!
+//! [`SimClient`] is a closed-loop workload client: it keeps one operation
+//! in flight (like the paper's client processes), records every operation
+//! into a shared [`History`] for linearizability checking, accumulates
+//! latency/throughput counters, and re-issues timed-out requests to the
+//! next server.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use hts_lincheck::{History, OpId};
+use hts_sim::packet::{Ctx, NetworkId, Process, TimerId};
+use hts_sim::Nanos;
+use hts_types::{ClientId, Message, NodeId, ObjectId, RequestId, ServerId, Value};
+
+use crate::{Action, ClientCore, Config, MultiObjectServer};
+
+/// A ring storage server as a simulated process.
+pub struct SimServer {
+    server: MultiObjectServer,
+    ring_net: NetworkId,
+    client_net: NetworkId,
+    /// Outgoing client replies, paced one frame at a time so that on a
+    /// shared network they interleave fairly with ring traffic instead of
+    /// monopolizing the NIC (the kernel's per-socket queues do this on
+    /// real hardware).
+    replies: VecDeque<(NodeId, Message)>,
+    /// Shared-network alternation flag: reply next (vs ring frame).
+    prefer_reply: bool,
+}
+
+impl SimServer {
+    /// Creates server `me` of an `n`-ring attached to the given networks
+    /// (pass the same id twice for the shared-network experiments).
+    pub fn new(
+        me: ServerId,
+        n: u16,
+        config: Config,
+        ring_net: NetworkId,
+        client_net: NetworkId,
+    ) -> Self {
+        SimServer {
+            server: MultiObjectServer::new(me, n, config),
+            ring_net,
+            client_net,
+            replies: VecDeque::new(),
+            prefer_reply: true,
+        }
+    }
+
+    /// Access to the hosted multi-object server (tests/inspection).
+    pub fn server(&self) -> &MultiObjectServer {
+        &self.server
+    }
+
+    fn flush(&mut self, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                // Write acks are a couple dozen bytes: real NICs interleave
+                // them between large segments of other sockets, so they
+                // jump ahead of queued 64 KiB read replies here.
+                Action::WriteAck {
+                    object,
+                    client,
+                    request,
+                } => self.replies.push_front((
+                    NodeId::Client(client),
+                    Message::WriteAck { object, request },
+                )),
+                Action::ReadReply {
+                    object,
+                    client,
+                    request,
+                    value,
+                    tag: _,
+                } => self.replies.push_back((
+                    NodeId::Client(client),
+                    Message::ReadAck {
+                        object,
+                        request,
+                        value,
+                    },
+                )),
+            }
+        }
+    }
+
+    fn send_ring_frame(&mut self, ctx: &mut Ctx<'_, Message>) -> bool {
+        let Some(successor) = self.server.successor() else {
+            return false;
+        };
+        match self.server.next_frame() {
+            Some(frame) => {
+                ctx.send(self.ring_net, NodeId::Server(successor), Message::Ring(frame));
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn send_reply(&mut self, ctx: &mut Ctx<'_, Message>) -> bool {
+        match self.replies.pop_front() {
+            Some((to, msg)) => {
+                ctx.send(self.client_net, to, msg);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn pump(&mut self, ctx: &mut Ctx<'_, Message>) {
+        if self.ring_net == self.client_net {
+            // One NIC for everything: alternate replies and ring frames so
+            // neither side starves (Figure 3's shared-network setup).
+            if !ctx.tx_is_idle(self.ring_net) {
+                return;
+            }
+            if self.prefer_reply {
+                if self.send_reply(ctx) || self.send_ring_frame(ctx) {
+                    self.prefer_reply = false;
+                }
+            } else if self.send_ring_frame(ctx) || self.send_reply(ctx) {
+                self.prefer_reply = true;
+            }
+        } else {
+            if ctx.tx_is_idle(self.client_net) {
+                self.send_reply(ctx);
+            }
+            if ctx.tx_is_idle(self.ring_net) {
+                self.send_ring_frame(ctx);
+            }
+        }
+    }
+}
+
+impl Process<Message> for SimServer {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Message>, from: NodeId, msg: Message) {
+        let actions = match msg {
+            Message::WriteReq {
+                object,
+                request,
+                value,
+            } => match from.as_client() {
+                Some(client) => self.server.on_client_write(object, client, request, value),
+                None => Vec::new(),
+            },
+            Message::ReadReq { object, request } => match from.as_client() {
+                Some(client) => self.server.on_client_read(object, client, request),
+                None => Vec::new(),
+            },
+            Message::Ring(frame) => self.server.on_frame(frame),
+            // Acks are client-bound; a server receiving one is a routing
+            // bug in the harness.
+            Message::WriteAck { .. } | Message::ReadAck { .. } => Vec::new(),
+        };
+        self.flush(actions);
+        self.pump(ctx);
+    }
+
+    fn on_tx_idle(&mut self, ctx: &mut Ctx<'_, Message>, net: NetworkId) {
+        if net == self.ring_net || net == self.client_net {
+            self.pump(ctx);
+        }
+    }
+
+    fn on_crashed(&mut self, ctx: &mut Ctx<'_, Message>, node: NodeId) {
+        if let Some(s) = node.as_server() {
+            let actions = self.server.on_server_crashed(s);
+            self.flush(actions);
+            self.pump(ctx);
+        }
+    }
+}
+
+/// What mix of operations a [`SimClient`] issues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpMix {
+    /// Only reads.
+    ReadOnly,
+    /// Only writes.
+    WriteOnly,
+    /// Reads with probability `read_percent`/100, writes otherwise.
+    Mixed {
+        /// Percentage of reads (0–100).
+        read_percent: u8,
+    },
+}
+
+/// Closed-loop workload parameters for a [`SimClient`].
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Operation mix.
+    pub mix: OpMix,
+    /// Payload size of written values, in bytes (≥ 12: the unique header).
+    pub value_size: usize,
+    /// Stop after this many completed operations (`None` = run forever).
+    pub op_limit: Option<u64>,
+    /// Delay before the first operation.
+    pub start_delay: Nanos,
+    /// Reply timeout before re-issuing to the next server.
+    pub timeout: Nanos,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            mix: OpMix::Mixed { read_percent: 50 },
+            value_size: 64 * 1024,
+            op_limit: None,
+            start_delay: Nanos::ZERO,
+            timeout: Nanos::from_millis(250),
+        }
+    }
+}
+
+/// Shared, inspectable counters of one client.
+#[derive(Debug, Clone, Default)]
+pub struct ClientStats {
+    /// Completed writes.
+    pub writes_done: u64,
+    /// Completed reads.
+    pub reads_done: u64,
+    /// Payload bytes written (completed writes × value size).
+    pub write_payload_bytes: u64,
+    /// Payload bytes read.
+    pub read_payload_bytes: u64,
+    /// Sum of write latencies.
+    pub write_latency_total: Nanos,
+    /// Sum of read latencies.
+    pub read_latency_total: Nanos,
+    /// Individual write latencies (ns), for percentiles.
+    pub write_latencies: Vec<u64>,
+    /// Individual read latencies (ns), for percentiles.
+    pub read_latencies: Vec<u64>,
+    /// Re-sends after timeout.
+    pub retries: u64,
+}
+
+impl ClientStats {
+    /// Mean write latency, if any writes completed.
+    pub fn mean_write_latency(&self) -> Option<Nanos> {
+        (self.writes_done > 0)
+            .then(|| Nanos(self.write_latency_total.as_nanos() / self.writes_done))
+    }
+
+    /// Mean read latency, if any reads completed.
+    pub fn mean_read_latency(&self) -> Option<Nanos> {
+        (self.reads_done > 0).then(|| Nanos(self.read_latency_total.as_nanos() / self.reads_done))
+    }
+}
+
+/// Builds a workload value that is globally unique (first 12 bytes encode
+/// the writing client and a sequence number) and padded to `size`.
+///
+/// Unique values are what let the fast linearizability checker map reads
+/// to writes; see `hts-lincheck`.
+pub fn unique_value(client: ClientId, seq: u64, size: usize) -> Value {
+    let mut bytes = Vec::with_capacity(size.max(12));
+    bytes.extend_from_slice(&client.0.to_be_bytes());
+    bytes.extend_from_slice(&seq.to_be_bytes());
+    if size > bytes.len() {
+        bytes.resize(size, 0xA5);
+    }
+    Value::from(bytes)
+}
+
+enum ArmedTimer {
+    None,
+    Kick(TimerId),
+    Timeout(TimerId, RequestId),
+}
+
+/// A closed-loop simulated client. See the [module docs](self).
+pub struct SimClient {
+    core: ClientCore,
+    workload: WorkloadConfig,
+    client_net: NetworkId,
+    stats: Rc<RefCell<ClientStats>>,
+    history: Option<Rc<RefCell<History>>>,
+    current_op: Option<(RequestId, Option<OpId>, Nanos, bool)>, // (req, op, issued, is_read)
+    timer: ArmedTimer,
+    value_seq: u64,
+    done: bool,
+}
+
+impl SimClient {
+    /// Creates a client that talks to `preferred` in an `n`-server ring,
+    /// issuing ops per `workload` on `client_net`. `history`, when given,
+    /// records every operation for linearizability checking.
+    pub fn new(
+        id: ClientId,
+        n: u16,
+        preferred: ServerId,
+        workload: WorkloadConfig,
+        client_net: NetworkId,
+        history: Option<Rc<RefCell<History>>>,
+    ) -> (Self, Rc<RefCell<ClientStats>>) {
+        let stats = Rc::new(RefCell::new(ClientStats::default()));
+        (
+            SimClient {
+                core: ClientCore::new(id, ObjectId::SINGLE, n, preferred),
+                workload,
+                client_net,
+                stats: Rc::clone(&stats),
+                history,
+                current_op: None,
+                timer: ArmedTimer::None,
+                value_seq: 0,
+                done: false,
+            },
+            stats,
+        )
+    }
+
+    fn completed_total(&self) -> u64 {
+        let s = self.stats.borrow();
+        s.writes_done + s.reads_done
+    }
+
+    fn issue_next(&mut self, ctx: &mut Ctx<'_, Message>) {
+        if self.done || self.core.is_busy() {
+            return;
+        }
+        if let Some(limit) = self.workload.op_limit {
+            if self.completed_total() >= limit {
+                self.done = true;
+                return;
+            }
+        }
+        let read = match self.workload.mix {
+            OpMix::ReadOnly => true,
+            OpMix::WriteOnly => false,
+            OpMix::Mixed { read_percent } => ctx.rand_below(100) < u64::from(read_percent),
+        };
+        let now = ctx.now();
+        let (request, server, message, op_id) = if read {
+            let (request, server, message) = self.core.begin_read();
+            let op_id = self.history.as_ref().map(|h| {
+                h.borrow_mut()
+                    .invoke_read(self.core.id(), now.as_nanos())
+            });
+            (request, server, message, op_id)
+        } else {
+            self.value_seq += 1;
+            let value = unique_value(self.core.id(), self.value_seq, self.workload.value_size);
+            let op_id = self.history.as_ref().map(|h| {
+                h.borrow_mut()
+                    .invoke_write(self.core.id(), value.clone(), now.as_nanos())
+            });
+            let (request, server, message) = self.core.begin_write(value);
+            (request, server, message, op_id)
+        };
+        self.current_op = Some((request, op_id, now, read));
+        ctx.send(self.client_net, NodeId::Server(server), message);
+        self.timer = ArmedTimer::Timeout(ctx.set_timer(self.workload.timeout), request);
+    }
+}
+
+impl Process<Message> for SimClient {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Message>) {
+        if self.workload.start_delay == Nanos::ZERO {
+            self.issue_next(ctx);
+        } else {
+            self.timer = ArmedTimer::Kick(ctx.set_timer(self.workload.start_delay));
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Message>, _from: NodeId, msg: Message) {
+        let Some(completion) = self.core.on_reply(&msg) else {
+            return;
+        };
+        let (request, op_id, issued, is_read) =
+            self.current_op.take().expect("completion without op");
+        debug_assert_eq!(request, completion.request);
+        if let ArmedTimer::Timeout(t, _) = self.timer {
+            ctx.cancel_timer(t);
+        }
+        self.timer = ArmedTimer::None;
+        let now = ctx.now();
+        let latency = now.saturating_sub(issued);
+        {
+            let mut stats = self.stats.borrow_mut();
+            if is_read {
+                let value = completion.value.as_ref().expect("read returns a value");
+                stats.reads_done += 1;
+                stats.read_payload_bytes += value.len() as u64;
+                stats.read_latency_total += latency;
+                stats.read_latencies.push(latency.as_nanos());
+            } else {
+                stats.writes_done += 1;
+                stats.write_payload_bytes += self.workload.value_size as u64;
+                stats.write_latency_total += latency;
+                stats.write_latencies.push(latency.as_nanos());
+            }
+        }
+        if let (Some(h), Some(op)) = (&self.history, op_id) {
+            let mut h = h.borrow_mut();
+            match completion.value {
+                Some(value) => h.complete_read(op, value, now.as_nanos()),
+                None => h.complete_write(op, now.as_nanos()),
+            }
+        }
+        self.issue_next(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Message>, timer: TimerId) {
+        match self.timer {
+            ArmedTimer::Kick(t) if t == timer => {
+                self.timer = ArmedTimer::None;
+                self.issue_next(ctx);
+            }
+            ArmedTimer::Timeout(t, request) if t == timer => {
+                if let Some((server, message)) = self.core.on_timeout(request) {
+                    self.stats.borrow_mut().retries += 1;
+                    ctx.send(self.client_net, NodeId::Server(server), message);
+                    self.timer = ArmedTimer::Timeout(ctx.set_timer(self.workload.timeout), request);
+                } else {
+                    self.timer = ArmedTimer::None;
+                }
+            }
+            _ => {} // stale timer
+        }
+    }
+
+    fn on_crashed(&mut self, ctx: &mut Ctx<'_, Message>, node: NodeId) {
+        if let Some(s) = node.as_server() {
+            if let Some((server, message)) = self.core.on_server_down(s) {
+                self.stats.borrow_mut().retries += 1;
+                ctx.send(self.client_net, NodeId::Server(server), message);
+                if let ArmedTimer::Timeout(t, request) = self.timer {
+                    ctx.cancel_timer(t);
+                    let _ = request;
+                }
+                if let Some((request, _, _, _)) = self.current_op {
+                    self.timer =
+                        ArmedTimer::Timeout(ctx.set_timer(self.workload.timeout), request);
+                }
+            }
+        }
+    }
+}

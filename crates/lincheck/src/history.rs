@@ -1,0 +1,300 @@
+//! Operation histories.
+
+use std::fmt;
+
+use hts_types::{ClientId, Tag, Value};
+
+/// Index of an operation within its [`History`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpId(pub usize);
+
+/// What an operation did, from the client's point of view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// A write of the given value.
+    Write(Value),
+    /// A read; the payload is the value **returned** (set at completion).
+    Read(Value),
+}
+
+impl Op {
+    /// The value written or returned.
+    pub fn value(&self) -> &Value {
+        match self {
+            Op::Write(v) | Op::Read(v) => v,
+        }
+    }
+
+    /// Returns `true` for reads.
+    pub fn is_read(&self) -> bool {
+        matches!(self, Op::Read(_))
+    }
+}
+
+/// One recorded operation: who, what, and the real-time window in which it
+/// was in flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpRecord {
+    /// The invoking client.
+    pub client: ClientId,
+    /// The operation and its payload. For a read that never completed the
+    /// payload is `Value::bottom()` and is ignored by checkers.
+    pub op: Op,
+    /// Invocation instant (any monotone clock shared by all recorders).
+    pub invoked_at: u64,
+    /// Response instant; `None` while pending (e.g. the client crashed or
+    /// the run ended first).
+    pub returned_at: Option<u64>,
+    /// Optional white-box witness: the tag this operation resolved to,
+    /// reported by the implementation. Used by
+    /// [`check_witnessed`](crate::check_witnessed) only.
+    pub witness: Option<Tag>,
+}
+
+impl OpRecord {
+    /// Returns `true` if the operation completed.
+    pub fn is_complete(&self) -> bool {
+        self.returned_at.is_some()
+    }
+
+    /// The response instant, treating pending operations as returning at
+    /// the end of time (they may linearize arbitrarily late).
+    pub fn effective_return(&self) -> u64 {
+        self.returned_at.unwrap_or(u64::MAX)
+    }
+
+    /// Returns `true` if `self` precedes `other` in real time (`self`
+    /// returned strictly before `other` was invoked).
+    pub fn precedes(&self, other: &OpRecord) -> bool {
+        self.effective_return() < other.invoked_at
+    }
+}
+
+/// A concurrent history of register operations.
+///
+/// Build a history by bracketing each operation with an
+/// `invoke_*`/`complete_*` pair; operations left pending are handled
+/// correctly by the checkers (a pending write may or may not have taken
+/// effect). Instants must come from one monotone clock shared by all
+/// recording sites — in the simulator this is virtual time, in the TCP
+/// runtime a single `Instant` origin.
+///
+/// # Examples
+///
+/// ```
+/// use hts_lincheck::History;
+/// use hts_types::{ClientId, Value};
+///
+/// let mut h = History::new();
+/// let w = h.invoke_write(ClientId(0), Value::from_u64(7), 100);
+/// h.complete_write(w, 250);
+/// assert_eq!(h.len(), 1);
+/// assert!(h.record(w).is_complete());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    records: Vec<OpRecord>,
+}
+
+impl History {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        History::default()
+    }
+
+    /// Records a write invocation; returns its id for later completion.
+    pub fn invoke_write(&mut self, client: ClientId, value: Value, at: u64) -> OpId {
+        self.push(OpRecord {
+            client,
+            op: Op::Write(value),
+            invoked_at: at,
+            returned_at: None,
+            witness: None,
+        })
+    }
+
+    /// Records a read invocation; returns its id for later completion.
+    pub fn invoke_read(&mut self, client: ClientId, at: u64) -> OpId {
+        self.push(OpRecord {
+            client,
+            op: Op::Read(Value::bottom()),
+            invoked_at: at,
+            returned_at: None,
+            witness: None,
+        })
+    }
+
+    /// Marks a write as completed at instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a pending write of this history.
+    pub fn complete_write(&mut self, id: OpId, at: u64) {
+        let rec = &mut self.records[id.0];
+        assert!(!rec.op.is_read(), "complete_write on a read");
+        assert!(rec.returned_at.is_none(), "operation completed twice");
+        assert!(at >= rec.invoked_at, "response precedes invocation");
+        rec.returned_at = Some(at);
+    }
+
+    /// Marks a read as completed at instant `at`, returning `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a pending read of this history.
+    pub fn complete_read(&mut self, id: OpId, value: Value, at: u64) {
+        let rec = &mut self.records[id.0];
+        assert!(rec.op.is_read(), "complete_read on a write");
+        assert!(rec.returned_at.is_none(), "operation completed twice");
+        assert!(at >= rec.invoked_at, "response precedes invocation");
+        rec.op = Op::Read(value);
+        rec.returned_at = Some(at);
+    }
+
+    /// Attaches a white-box tag witness to an operation.
+    pub fn set_witness(&mut self, id: OpId, tag: Tag) {
+        self.records[id.0].witness = Some(tag);
+    }
+
+    /// Appends a fully-formed record (useful for generators in tests).
+    pub fn push(&mut self, record: OpRecord) -> OpId {
+        let id = OpId(self.records.len());
+        self.records.push(record);
+        id
+    }
+
+    /// The number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` if no operations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Borrows one record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn record(&self, id: OpId) -> &OpRecord {
+        &self.records[id.0]
+    }
+
+    /// Iterates over `(OpId, &OpRecord)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (OpId, &OpRecord)> {
+        self.records.iter().enumerate().map(|(i, r)| (OpId(i), r))
+    }
+
+    /// All records as a slice.
+    pub fn records(&self) -> &[OpRecord] {
+        &self.records
+    }
+
+    /// Number of completed operations.
+    pub fn completed(&self) -> usize {
+        self.records.iter().filter(|r| r.is_complete()).count()
+    }
+
+    /// Drops pending operations that no completed operation could have
+    /// observed — **only valid for pending reads**, which have no effect on
+    /// other operations. Pending writes are kept (they may have taken
+    /// effect).
+    pub fn prune_pending_reads(&mut self) {
+        self.records
+            .retain(|r| r.is_complete() || !r.op.is_read());
+    }
+}
+
+impl fmt::Display for History {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, r) in self.records.iter().enumerate() {
+            let ret = match r.returned_at {
+                Some(t) => format!("{t}"),
+                None => "⋯".to_string(),
+            };
+            let op = match &r.op {
+                Op::Write(v) => format!("write({v:?})"),
+                Op::Read(v) if r.is_complete() => format!("read -> {v:?}"),
+                Op::Read(_) => "read -> ?".to_string(),
+            };
+            writeln!(f, "#{i:<4} {} [{} .. {}] {}", r.client, r.invoked_at, ret, op)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_inspect() {
+        let mut h = History::new();
+        let w = h.invoke_write(ClientId(0), Value::from_u64(1), 0);
+        let r = h.invoke_read(ClientId(1), 1);
+        h.complete_write(w, 4);
+        h.complete_read(r, Value::from_u64(1), 6);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.completed(), 2);
+        assert!(h.record(w).precedes(&OpRecord {
+            client: ClientId(9),
+            op: Op::Read(Value::bottom()),
+            invoked_at: 5,
+            returned_at: None,
+            witness: None,
+        }));
+        assert!(!h.is_empty());
+        assert_eq!(h.iter().count(), 2);
+    }
+
+    #[test]
+    fn pending_ops_have_infinite_return() {
+        let mut h = History::new();
+        let w = h.invoke_write(ClientId(0), Value::from_u64(1), 10);
+        let rec = h.record(w);
+        assert!(!rec.is_complete());
+        assert_eq!(rec.effective_return(), u64::MAX);
+    }
+
+    #[test]
+    fn prune_pending_reads_keeps_pending_writes() {
+        let mut h = History::new();
+        h.invoke_write(ClientId(0), Value::from_u64(1), 0);
+        h.invoke_read(ClientId(1), 1);
+        let r = h.invoke_read(ClientId(2), 2);
+        h.complete_read(r, Value::from_u64(1), 3);
+        h.prune_pending_reads();
+        assert_eq!(h.len(), 2); // pending write + completed read
+        assert!(h.records()[0].op.is_read() == false);
+    }
+
+    #[test]
+    #[should_panic(expected = "operation completed twice")]
+    fn double_completion_panics() {
+        let mut h = History::new();
+        let w = h.invoke_write(ClientId(0), Value::from_u64(1), 0);
+        h.complete_write(w, 1);
+        h.complete_write(w, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "complete_read on a write")]
+    fn mismatched_completion_panics() {
+        let mut h = History::new();
+        let w = h.invoke_write(ClientId(0), Value::from_u64(1), 0);
+        h.complete_read(w, Value::from_u64(1), 1);
+    }
+
+    #[test]
+    fn display_contains_all_ops() {
+        let mut h = History::new();
+        let w = h.invoke_write(ClientId(0), Value::from_u64(1), 0);
+        h.complete_write(w, 2);
+        h.invoke_read(ClientId(1), 1);
+        let s = h.to_string();
+        assert!(s.contains("write"));
+        assert!(s.contains("read -> ?"));
+    }
+}

@@ -1,0 +1,69 @@
+//! Linearizability checking for read/write register histories.
+//!
+//! The `hts` test-suite validates the storage algorithm by recording every
+//! client operation (invocation and response instants plus payloads) into a
+//! [`History`] and asking this crate whether the history is **linearizable**
+//! (atomic, in the sense of Herlihy & Wing / Lamport): does a total order of
+//! the operations exist that respects real-time precedence and register
+//! semantics?
+//!
+//! Three checkers with different trade-offs:
+//!
+//! * [`check_exhaustive`] — the Wing–Gong search with memoization. Exact for
+//!   any history (including pending operations), exponential in the worst
+//!   case; use for histories up to a few hundred operations.
+//! * [`check_conditions`] — a register-specialized condition checker
+//!   requiring **unique written values**. Linear-ish time, *sound but
+//!   incomplete*: every violation it reports is real (including the paper's
+//!   "read inversion"), but it may miss exotic ones. Use as a fast triage on
+//!   huge simulator histories.
+//! * [`check_witnessed`] — exact and `O(n log n)` when the implementation
+//!   discloses the [`Tag`] each operation resolved to (white-box). Verifies
+//!   that the tag order is a valid linearization.
+//!
+//! # Examples
+//!
+//! ```
+//! use hts_lincheck::{History, Outcome, check_exhaustive};
+//! use hts_types::{ClientId, Value};
+//!
+//! let mut h = History::new();
+//! // c0: |--- write(1) ---|        c1:      |-- read -> 1 --|
+//! let w = h.invoke_write(ClientId(0), Value::from_u64(1), 0);
+//! let r = h.invoke_read(ClientId(1), 5);
+//! h.complete_write(w, 10);
+//! h.complete_read(r, Value::from_u64(1), 12);
+//! assert_eq!(check_exhaustive(&h), Outcome::Linearizable);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod conditions;
+mod history;
+mod witness;
+mod wg;
+
+pub use conditions::{check_conditions, Violation};
+pub use history::{History, Op, OpId, OpRecord};
+pub use witness::check_witnessed;
+pub use wg::{check_exhaustive, check_exhaustive_bounded};
+
+/// The verdict of a linearizability check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// A valid linearization exists.
+    Linearizable,
+    /// No valid linearization exists; the string describes the witness or
+    /// violated condition.
+    NotLinearizable(String),
+    /// The (bounded) checker gave up before reaching a verdict.
+    Unknown,
+}
+
+impl Outcome {
+    /// Returns `true` for [`Outcome::Linearizable`].
+    pub fn is_linearizable(&self) -> bool {
+        matches!(self, Outcome::Linearizable)
+    }
+}

@@ -1,0 +1,331 @@
+//! The Wing–Gong exhaustive linearizability checker.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+use hts_types::Value;
+
+use crate::{History, Outcome};
+
+/// Exhaustively checks a register history for linearizability.
+///
+/// This is the classic Wing–Gong search (as refined by Lowe): repeatedly
+/// pick a *minimal* un-linearized operation (one not really-preceded by any
+/// other un-linearized operation), apply it to the register, and backtrack
+/// on failure; visited `(linearized-set, register-value)` states are
+/// memoized. Pending reads are discarded (they constrain nothing); pending
+/// writes may or may not be linearized.
+///
+/// Exact but worst-case exponential: intended for histories up to a few
+/// hundred operations. For bigger histories see
+/// [`check_conditions`](crate::check_conditions) and
+/// [`check_witnessed`](crate::check_witnessed), or bound the effort with
+/// [`check_exhaustive_bounded`].
+pub fn check_exhaustive(history: &History) -> Outcome {
+    check_exhaustive_bounded(history, usize::MAX)
+}
+
+/// Like [`check_exhaustive`] but gives up with [`Outcome::Unknown`] after
+/// visiting `max_states` distinct search states.
+pub fn check_exhaustive_bounded(history: &History, max_states: usize) -> Outcome {
+    let mut h = history.clone();
+    h.prune_pending_reads();
+
+    // Intern values; index 0 is the initial content ⊥.
+    let mut values: HashMap<Value, u32> = HashMap::new();
+    values.insert(Value::bottom(), 0);
+    let mut intern = |v: &Value| -> u32 {
+        let next = values.len() as u32;
+        *values.entry(v.clone()).or_insert(next)
+    };
+
+    struct SearchOp {
+        inv: u64,
+        ret: u64, // u64::MAX when pending
+        is_read: bool,
+        value: u32,
+        complete: bool,
+    }
+
+    let ops: Vec<SearchOp> = h
+        .records()
+        .iter()
+        .map(|r| SearchOp {
+            inv: r.invoked_at,
+            ret: r.effective_return(),
+            is_read: r.op.is_read(),
+            value: intern(r.op.value()),
+            complete: r.is_complete(),
+        })
+        .collect();
+
+    let n = ops.len();
+    if n == 0 {
+        return Outcome::Linearizable;
+    }
+    let complete_count = ops.iter().filter(|o| o.complete).count();
+
+    let words = n.div_ceil(64);
+    type Bits = Vec<u64>;
+    let is_set = |bits: &Bits, i: usize| bits[i / 64] & (1u64 << (i % 64)) != 0;
+    let set = |bits: &mut Bits, i: usize| bits[i / 64] |= 1u64 << (i % 64);
+    let clear = |bits: &mut Bits, i: usize| bits[i / 64] &= !(1u64 << (i % 64));
+
+    // Iterative depth-first search with an explicit stack of "next candidate
+    // to try at this depth" so deep histories cannot overflow the call stack.
+    // Each stack frame: (op chosen at this level, value before choosing it).
+    let mut linearized: Bits = vec![0; words];
+    let mut linearized_complete = 0usize;
+    let mut value: u32 = 0;
+    let mut seen: HashSet<(Bits, u32)> = HashSet::new();
+    let mut stack: Vec<(usize, u32)> = Vec::new(); // (op index, previous value)
+    let mut cursor = 0usize; // next candidate index to try at current depth
+
+    loop {
+        if linearized_complete == complete_count {
+            return Outcome::Linearizable;
+        }
+
+        // The earliest return instant among un-linearized complete ops: an
+        // op can only linearize next if it was invoked no later than this.
+        let min_ret = ops
+            .iter()
+            .enumerate()
+            .filter(|(i, o)| o.complete && !is_set(&linearized, *i))
+            .map(|(_, o)| o.ret)
+            .min()
+            .unwrap_or(u64::MAX);
+
+        // Try candidates from `cursor` upward.
+        let mut advanced = false;
+        let mut i = cursor;
+        while i < n {
+            if !is_set(&linearized, i) && ops[i].inv <= min_ret {
+                let ok = if ops[i].is_read {
+                    ops[i].value == value
+                } else {
+                    true
+                };
+                if ok {
+                    // Tentatively linearize op i.
+                    let prev_value = value;
+                    set(&mut linearized, i);
+                    if ops[i].complete {
+                        linearized_complete += 1;
+                    }
+                    if !ops[i].is_read {
+                        value = ops[i].value;
+                    }
+                    if seen.contains(&(linearized.clone(), value)) {
+                        // Known dead state: undo and keep scanning.
+                        clear(&mut linearized, i);
+                        if ops[i].complete {
+                            linearized_complete -= 1;
+                        }
+                        value = prev_value;
+                    } else {
+                        stack.push((i, prev_value));
+                        cursor = 0;
+                        advanced = true;
+                        break;
+                    }
+                }
+            }
+            i += 1;
+        }
+
+        if advanced {
+            continue;
+        }
+
+        // Dead end: memoize and backtrack.
+        if seen.len() >= max_states {
+            return Outcome::Unknown;
+        }
+        seen.insert((linearized.clone(), value));
+        match stack.pop() {
+            None => {
+                return Outcome::NotLinearizable(format!(
+                    "no valid linearization of {complete_count} completed ops \
+                     (search visited {} states)",
+                    seen.len()
+                ));
+            }
+            Some((i, prev_value)) => {
+                clear(&mut linearized, i);
+                if ops[i].complete {
+                    linearized_complete -= 1;
+                }
+                value = prev_value;
+                cursor = i + 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hts_types::ClientId;
+
+    fn v(n: u64) -> Value {
+        Value::from_u64(n)
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        assert_eq!(check_exhaustive(&History::new()), Outcome::Linearizable);
+    }
+
+    #[test]
+    fn sequential_write_then_read() {
+        let mut h = History::new();
+        let w = h.invoke_write(ClientId(0), v(1), 0);
+        h.complete_write(w, 1);
+        let r = h.invoke_read(ClientId(0), 2);
+        h.complete_read(r, v(1), 3);
+        assert_eq!(check_exhaustive(&h), Outcome::Linearizable);
+    }
+
+    #[test]
+    fn stale_read_after_write_completes_is_rejected() {
+        let mut h = History::new();
+        let w = h.invoke_write(ClientId(0), v(1), 0);
+        h.complete_write(w, 1);
+        let r = h.invoke_read(ClientId(1), 2);
+        h.complete_read(r, Value::bottom(), 3); // still sees ⊥: stale
+        assert!(!check_exhaustive(&h).is_linearizable());
+    }
+
+    #[test]
+    fn concurrent_read_may_see_either_value() {
+        // write(1) spans [0,10]; a concurrent read [2,3] may see ⊥ or 1.
+        for seen in [Value::bottom(), v(1)] {
+            let mut h = History::new();
+            let w = h.invoke_write(ClientId(0), v(1), 0);
+            let r = h.invoke_read(ClientId(1), 2);
+            h.complete_read(r, seen, 3);
+            h.complete_write(w, 10);
+            assert_eq!(check_exhaustive(&h), Outcome::Linearizable);
+        }
+    }
+
+    #[test]
+    fn read_inversion_is_rejected() {
+        // The exact anomaly the paper's pre-write phase prevents:
+        // write(1) spans [0,100]; r1=[10,20] returns 1; r2=[30,40] returns ⊥.
+        let mut h = History::new();
+        let w = h.invoke_write(ClientId(0), v(1), 0);
+        let r1 = h.invoke_read(ClientId(1), 10);
+        h.complete_read(r1, v(1), 20);
+        let r2 = h.invoke_read(ClientId(2), 30);
+        h.complete_read(r2, Value::bottom(), 40);
+        h.complete_write(w, 100);
+        assert!(!check_exhaustive(&h).is_linearizable());
+    }
+
+    #[test]
+    fn pending_write_may_have_taken_effect() {
+        // Pending write(1); read after it returns 1: linearizable.
+        let mut h = History::new();
+        h.invoke_write(ClientId(0), v(1), 0); // never completes
+        let r = h.invoke_read(ClientId(1), 5);
+        h.complete_read(r, v(1), 6);
+        assert_eq!(check_exhaustive(&h), Outcome::Linearizable);
+    }
+
+    #[test]
+    fn pending_write_may_also_never_take_effect() {
+        let mut h = History::new();
+        h.invoke_write(ClientId(0), v(1), 0); // never completes
+        let r = h.invoke_read(ClientId(1), 5);
+        h.complete_read(r, Value::bottom(), 6);
+        assert_eq!(check_exhaustive(&h), Outcome::Linearizable);
+    }
+
+    #[test]
+    fn value_must_have_been_written() {
+        let mut h = History::new();
+        let r = h.invoke_read(ClientId(0), 0);
+        h.complete_read(r, v(42), 1);
+        assert!(!check_exhaustive(&h).is_linearizable());
+    }
+
+    #[test]
+    fn write_order_constrained_by_reads() {
+        // w1(1)=[0,1], w2(2)=[2,3] — real time forces w1 < w2.
+        // A later read returning 1 (the overwritten value) is a violation.
+        let mut h = History::new();
+        let w1 = h.invoke_write(ClientId(0), v(1), 0);
+        h.complete_write(w1, 1);
+        let w2 = h.invoke_write(ClientId(1), v(2), 2);
+        h.complete_write(w2, 3);
+        let r = h.invoke_read(ClientId(2), 4);
+        h.complete_read(r, v(1), 5);
+        assert!(!check_exhaustive(&h).is_linearizable());
+    }
+
+    #[test]
+    fn fully_concurrent_writes_allow_either_read_order() {
+        // Both writes span the whole run: a read pair may observe 1 then 2
+        // OR 2 then 1 (each write can linearize between the reads).
+        let build = |first: u64, second: u64| {
+            let mut h = History::new();
+            let w1 = h.invoke_write(ClientId(0), v(1), 0);
+            let w2 = h.invoke_write(ClientId(1), v(2), 0);
+            let r1 = h.invoke_read(ClientId(2), 10);
+            h.complete_read(r1, v(first), 11);
+            let r2 = h.invoke_read(ClientId(2), 12);
+            h.complete_read(r2, v(second), 13);
+            h.complete_write(w1, 20);
+            h.complete_write(w2, 20);
+            h
+        };
+        assert!(check_exhaustive(&build(1, 2)).is_linearizable());
+        assert!(check_exhaustive(&build(2, 2)).is_linearizable());
+        assert!(check_exhaustive(&build(2, 1)).is_linearizable());
+    }
+
+    #[test]
+    fn sequential_writes_forbid_inverted_read_order() {
+        // w1 strictly precedes w2; later reads must not see 2 then 1.
+        let build = |first: u64, second: u64| {
+            let mut h = History::new();
+            let w1 = h.invoke_write(ClientId(0), v(1), 0);
+            h.complete_write(w1, 1);
+            let w2 = h.invoke_write(ClientId(1), v(2), 2);
+            h.complete_write(w2, 3);
+            let r1 = h.invoke_read(ClientId(2), 10);
+            h.complete_read(r1, v(first), 11);
+            let r2 = h.invoke_read(ClientId(2), 12);
+            h.complete_read(r2, v(second), 13);
+            h
+        };
+        assert!(check_exhaustive(&build(2, 2)).is_linearizable());
+        assert!(!check_exhaustive(&build(1, 2)).is_linearizable()); // stale r1
+        assert!(!check_exhaustive(&build(2, 1)).is_linearizable()); // inversion
+    }
+
+    #[test]
+    fn bounded_search_reports_unknown() {
+        // A non-linearizable history needs at least two dead-end states to
+        // prove it; a budget of one forces Unknown.
+        let mut h = History::new();
+        let w = h.invoke_write(ClientId(0), v(1), 0);
+        h.complete_write(w, 1);
+        let r = h.invoke_read(ClientId(1), 2);
+        h.complete_read(r, Value::bottom(), 3);
+        assert_eq!(check_exhaustive_bounded(&h, 1), Outcome::Unknown);
+        assert!(!check_exhaustive(&h).is_linearizable());
+    }
+
+    #[test]
+    fn many_concurrent_writes_linearize_without_backtracking() {
+        let mut h = History::new();
+        for i in 0..20 {
+            let w = h.invoke_write(ClientId(i), v(u64::from(i)), 0);
+            h.complete_write(w, 100); // all concurrent
+        }
+        assert_eq!(check_exhaustive(&h), Outcome::Linearizable);
+    }
+}

@@ -1,0 +1,252 @@
+//! Exact, fast checking against implementation-provided tag witnesses.
+
+use std::collections::HashMap;
+
+use hts_types::Tag;
+
+use crate::{History, Outcome};
+
+/// Verifies a history against the implementation's own [`Tag`] witnesses.
+///
+/// The `hts` protocol orders all writes by tag; a white-box harness records,
+/// for every operation, the tag it resolved to (the tag assigned to a write,
+/// the tag of the value a read returned). If the induced total order — all
+/// operations sorted by `(tag, writes-before-reads, invocation)` — respects
+/// real-time precedence and register semantics, the history is linearizable
+/// *with that order as the witness*; if it does not, **the tag order is not
+/// a linearization** (the implementation violated its own ordering
+/// contract), which for this protocol is a correctness bug even when some
+/// other linearization might exist.
+///
+/// `O(n log n)`. Every completed operation must carry a witness; writes'
+/// witnesses must be unique; a read's witness must be [`Tag::ZERO`] (initial
+/// value) or the witness of some write whose value it returned.
+pub fn check_witnessed(history: &History) -> Outcome {
+    // Collect completed ops; pending ops don't constrain the witness order.
+    struct W {
+        id: usize,
+        inv: u64,
+        ret: u64,
+        is_read: bool,
+        tag: Tag,
+    }
+    let mut ops: Vec<W> = Vec::new();
+    let mut write_values: HashMap<Tag, &[u8]> = HashMap::new();
+    let mut pending_write_values: Vec<&[u8]> = Vec::new();
+
+    for (id, rec) in history.iter() {
+        if !rec.is_complete() {
+            if !rec.op.is_read() {
+                pending_write_values.push(rec.op.value().as_bytes());
+            }
+            continue;
+        }
+        let tag = match rec.witness {
+            Some(t) => t,
+            None => {
+                return Outcome::NotLinearizable(format!(
+                    "op #{} completed without a tag witness",
+                    id.0
+                ))
+            }
+        };
+        if !rec.op.is_read() {
+            if tag == Tag::ZERO {
+                return Outcome::NotLinearizable(format!(
+                    "write #{} carries the initial tag",
+                    id.0
+                ));
+            }
+            if write_values.insert(tag, rec.op.value().as_bytes()).is_some() {
+                return Outcome::NotLinearizable(format!(
+                    "two writes share tag {tag} (op #{})",
+                    id.0
+                ));
+            }
+        }
+        ops.push(W {
+            id: id.0,
+            inv: rec.invoked_at,
+            ret: rec.effective_return(),
+            is_read: rec.op.is_read(),
+            tag,
+        });
+    }
+
+    // Reads must return the value their witness tag names.
+    for op in ops.iter().filter(|o| o.is_read) {
+        let rec = history.record(crate::OpId(op.id));
+        let returned = rec.op.value().as_bytes();
+        if op.tag == Tag::ZERO {
+            if !returned.is_empty() {
+                return Outcome::NotLinearizable(format!(
+                    "read #{} claims the initial tag but returned a non-⊥ value",
+                    op.id
+                ));
+            }
+        } else {
+            match write_values.get(&op.tag) {
+                Some(v) if *v == returned => {}
+                Some(_) => {
+                    return Outcome::NotLinearizable(format!(
+                        "read #{} returned a value different from its witness write {}",
+                        op.id, op.tag
+                    ))
+                }
+                None if pending_write_values.contains(&returned) => {
+                    // The read observed a write that never completed (its
+                    // client crashed or the run ended): the pending write
+                    // linearizes just before this read.
+                }
+                None => {
+                    return Outcome::NotLinearizable(format!(
+                        "read #{} witnesses tag {} but no write (completed or \
+                         pending) wrote that value",
+                        op.id, op.tag
+                    ))
+                }
+            }
+        }
+    }
+
+    // The candidate linearization: by tag, writes before their reads,
+    // then by invocation time.
+    ops.sort_by(|a, b| {
+        (a.tag, a.is_read, a.inv, a.id).cmp(&(b.tag, b.is_read, b.inv, b.id))
+    });
+
+    // Real-time check: no operation may precede (in real time) an operation
+    // ordered before it. Scan the candidate order keeping the latest
+    // invocation seen; if some later-ordered op returned before it, the
+    // witness order contradicts real time.
+    let mut max_inv_so_far: Option<(u64, usize)> = None;
+    for op in &ops {
+        if let Some((max_inv, culprit)) = max_inv_so_far {
+            if op.ret < max_inv {
+                return Outcome::NotLinearizable(format!(
+                    "witness order violates real time: op #{} (tag {}) returned at {} \
+                     before op #{} was invoked at {}",
+                    op.id, op.tag, op.ret, culprit, max_inv
+                ));
+            }
+        }
+        if max_inv_so_far.map_or(true, |(m, _)| op.inv > m) {
+            max_inv_so_far = Some((op.inv, op.id));
+        }
+    }
+
+    Outcome::Linearizable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hts_types::{ClientId, ServerId, Value};
+
+    fn v(n: u64) -> Value {
+        Value::from_u64(n)
+    }
+
+    fn t(ts: u64) -> Tag {
+        Tag::new(ts, ServerId(0))
+    }
+
+    #[test]
+    fn witnessed_sequential_history_passes() {
+        let mut h = History::new();
+        let w = h.invoke_write(ClientId(0), v(1), 0);
+        h.complete_write(w, 1);
+        h.set_witness(w, t(1));
+        let r = h.invoke_read(ClientId(1), 2);
+        h.complete_read(r, v(1), 3);
+        h.set_witness(r, t(1));
+        assert_eq!(check_witnessed(&h), Outcome::Linearizable);
+    }
+
+    #[test]
+    fn read_of_initial_value_passes() {
+        let mut h = History::new();
+        let r = h.invoke_read(ClientId(0), 0);
+        h.complete_read(r, Value::bottom(), 1);
+        h.set_witness(r, Tag::ZERO);
+        assert_eq!(check_witnessed(&h), Outcome::Linearizable);
+    }
+
+    #[test]
+    fn missing_witness_is_reported() {
+        let mut h = History::new();
+        let w = h.invoke_write(ClientId(0), v(1), 0);
+        h.complete_write(w, 1);
+        assert!(!check_witnessed(&h).is_linearizable());
+    }
+
+    #[test]
+    fn duplicate_write_tags_rejected() {
+        let mut h = History::new();
+        let a = h.invoke_write(ClientId(0), v(1), 0);
+        h.complete_write(a, 1);
+        h.set_witness(a, t(1));
+        let b = h.invoke_write(ClientId(1), v(2), 2);
+        h.complete_write(b, 3);
+        h.set_witness(b, t(1));
+        assert!(!check_witnessed(&h).is_linearizable());
+    }
+
+    #[test]
+    fn tag_order_contradicting_real_time_rejected() {
+        // w1 gets the *higher* tag but strictly precedes w2 in real time.
+        let mut h = History::new();
+        let w1 = h.invoke_write(ClientId(0), v(1), 0);
+        h.complete_write(w1, 1);
+        h.set_witness(w1, t(2));
+        let w2 = h.invoke_write(ClientId(1), v(2), 5);
+        h.complete_write(w2, 6);
+        h.set_witness(w2, t(1));
+        assert!(!check_witnessed(&h).is_linearizable());
+    }
+
+    #[test]
+    fn read_value_mismatching_witness_rejected() {
+        let mut h = History::new();
+        let w = h.invoke_write(ClientId(0), v(1), 0);
+        h.complete_write(w, 1);
+        h.set_witness(w, t(1));
+        let r = h.invoke_read(ClientId(1), 2);
+        h.complete_read(r, v(9), 3);
+        h.set_witness(r, t(1));
+        assert!(!check_witnessed(&h).is_linearizable());
+    }
+
+    #[test]
+    fn stale_read_detected_via_witness_order() {
+        // w1(tag 1) then w2(tag 2) sequentially; later read witnesses tag 1:
+        // candidate order w1 r w2 puts r before w2, but w2 returned before r
+        // was invoked.
+        let mut h = History::new();
+        let w1 = h.invoke_write(ClientId(0), v(1), 0);
+        h.complete_write(w1, 1);
+        h.set_witness(w1, t(1));
+        let w2 = h.invoke_write(ClientId(0), v(2), 2);
+        h.complete_write(w2, 3);
+        h.set_witness(w2, t(2));
+        let r = h.invoke_read(ClientId(1), 4);
+        h.complete_read(r, v(1), 5);
+        h.set_witness(r, t(1));
+        assert!(!check_witnessed(&h).is_linearizable());
+    }
+
+    #[test]
+    fn concurrent_reads_any_tag_order_passes() {
+        let mut h = History::new();
+        let w = h.invoke_write(ClientId(0), v(1), 0);
+        let r1 = h.invoke_read(ClientId(1), 2);
+        h.complete_read(r1, v(1), 3);
+        h.set_witness(r1, t(1));
+        let r2 = h.invoke_read(ClientId(2), 4);
+        h.complete_read(r2, v(1), 5);
+        h.set_witness(r2, t(1));
+        h.complete_write(w, 10);
+        h.set_witness(w, t(1));
+        assert_eq!(check_witnessed(&h), Outcome::Linearizable);
+    }
+}

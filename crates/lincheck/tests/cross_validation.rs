@@ -1,0 +1,155 @@
+//! Cross-validation of the three checkers on randomly generated histories.
+//!
+//! Strategy: generate histories that are linearizable **by construction**
+//! (each operation is expanded from a point in a random sequential
+//! execution into a random enclosing interval), then also corrupted
+//! variants. Invariants:
+//!
+//! * constructed histories: all three checkers accept;
+//! * any history: a `check_conditions` violation implies `check_exhaustive`
+//!   rejects (soundness of the fast checker);
+//! * corrupted witnesses are rejected by `check_witnessed`.
+
+use hts_lincheck::{
+    check_conditions, check_exhaustive, check_exhaustive_bounded, check_witnessed, History,
+    Outcome,
+};
+use hts_types::{ClientId, ServerId, Tag, Value};
+use proptest::prelude::*;
+
+/// One op of the generated sequential execution.
+#[derive(Debug, Clone)]
+struct GenOp {
+    is_read: bool,
+    /// Slack subtracted from the linearization point to form the invocation.
+    pre: u64,
+    /// Slack added to form the response.
+    post: u64,
+}
+
+fn arb_genops() -> impl Strategy<Value = Vec<GenOp>> {
+    prop::collection::vec(
+        (any::<bool>(), 0u64..30, 0u64..30).prop_map(|(is_read, pre, post)| GenOp {
+            is_read,
+            pre,
+            post,
+        }),
+        1..14,
+    )
+}
+
+/// Expands sequential ops (linearization points 10, 20, 30, …) into a
+/// concurrent history that is linearizable by construction, with correct
+/// tag witnesses attached.
+fn build_history(ops: &[GenOp]) -> History {
+    let mut h = History::new();
+    let mut value = Value::bottom();
+    let mut tag = Tag::ZERO;
+    let mut next_write = 1u64;
+    for (i, op) in ops.iter().enumerate() {
+        let lin = 10 * (i as u64 + 1);
+        let inv = lin.saturating_sub(op.pre);
+        let ret = lin + op.post;
+        let client = ClientId(i as u32); // distinct clients: max concurrency
+        if op.is_read {
+            let id = h.invoke_read(client, inv);
+            h.complete_read(id, value.clone(), ret);
+            h.set_witness(id, tag);
+        } else {
+            let v = Value::from_u64(next_write);
+            next_write += 1;
+            tag = tag.successor(ServerId(0));
+            value = v.clone();
+            let id = h.invoke_write(client, v, inv);
+            h.complete_write(id, ret);
+            h.set_witness(id, tag);
+        }
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn constructed_histories_accepted_by_all_checkers(ops in arb_genops()) {
+        let h = build_history(&ops);
+        prop_assert_eq!(check_exhaustive(&h), Outcome::Linearizable);
+        prop_assert_eq!(check_witnessed(&h), Outcome::Linearizable);
+        let cond = check_conditions(&h);
+        prop_assert!(cond.is_empty(), "false positives: {cond:?}\n{h}");
+    }
+
+    #[test]
+    fn conditions_checker_is_sound(ops in arb_genops(), corrupt in any::<prop::sample::Index>()) {
+        // Corrupt one read (if any) to return a random other written value.
+        let h = build_history(&ops);
+        let reads: Vec<usize> = h
+            .iter()
+            .filter(|(_, r)| r.op.is_read())
+            .map(|(id, _)| id.0)
+            .collect();
+        prop_assume!(!reads.is_empty());
+        let victim = reads[corrupt.index(reads.len())];
+        // Swap in a value one greater than what it returned (may or may not
+        // exist; may or may not be linearizable afterwards).
+        let old = h.records()[victim].op.value().as_u64().unwrap_or(0);
+        let mut h2 = History::new();
+        for (i, rec) in h.records().iter().enumerate() {
+            let mut rec = rec.clone();
+            if i == victim {
+                rec.op = hts_lincheck::Op::Read(Value::from_u64(old + 1));
+            }
+            h2.push(rec);
+        }
+        let cond = check_conditions(&h2);
+        if !cond.is_empty() {
+            // Soundness: the exhaustive checker must agree it is broken.
+            let exact = check_exhaustive_bounded(&h2, 2_000_000);
+            prop_assert!(
+                !exact.is_linearizable(),
+                "conditions reported {cond:?} but WG accepts:\n{h2}"
+            );
+        }
+    }
+
+    #[test]
+    fn exhaustive_acceptance_implies_no_conditions_violation(ops in arb_genops()) {
+        let h = build_history(&ops);
+        if check_exhaustive(&h).is_linearizable() {
+            prop_assert!(check_conditions(&h).is_empty());
+        }
+    }
+
+    #[test]
+    fn corrupted_witness_rejected(ops in arb_genops(), bump in 1u64..5) {
+        let h = build_history(&ops);
+        // Bump the witness tag of the last write: order no longer matches.
+        let writes: Vec<usize> = h
+            .iter()
+            .filter(|(_, r)| !r.op.is_read())
+            .map(|(id, _)| id.0)
+            .collect();
+        prop_assume!(writes.len() >= 2);
+        let mut h2 = History::new();
+        for rec in h.records() {
+            h2.push(rec.clone());
+        }
+        // Give the *first* write a tag higher than every other tag: unless
+        // it is concurrent with everything after it, real time is violated.
+        let first = writes[0];
+        let max_ts = h.records().iter().filter_map(|r| r.witness).map(|t| t.ts).max().unwrap();
+        h2.set_witness(hts_lincheck::OpId(first), Tag::new(max_ts + bump, ServerId(0)));
+        // The first write's reads now witness a tag nobody wrote -> reject,
+        // or the order violates real time -> reject. Only if the history
+        // has no later non-overlapping op can it still pass; require one.
+        let first_ret = h.records()[first].returned_at.unwrap();
+        let has_later = h
+            .records()
+            .iter()
+            .enumerate()
+            .any(|(i, r)| i != first && r.invoked_at > first_ret);
+        prop_assume!(has_later);
+        prop_assert!(!check_witnessed(&h2).is_linearizable());
+    }
+}

@@ -1,0 +1,171 @@
+//! A blocking TCP client.
+
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use hts_core::ClientCore;
+use hts_types::{codec::Hello, ClientId, Message, ObjectId, ServerId, Value};
+
+use crate::framing::{read_message, write_message};
+
+/// A synchronous client of a TCP `hts` cluster.
+///
+/// Wraps [`ClientCore`]: one operation in flight, a reply timeout, and
+/// retry against the next server when the contacted one is silent or its
+/// connection breaks — the paper's client behaviour (§3).
+///
+/// See the [crate docs](crate) for an example.
+pub struct Client {
+    core: ClientCore,
+    addrs: Vec<SocketAddr>,
+    connections: Vec<Option<TcpStream>>,
+    id: ClientId,
+    timeout: Duration,
+}
+
+impl Client {
+    /// Connects lazily to a cluster at `addrs` (indexed by [`ServerId`]).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible at connect time (connections are opened on
+    /// first use); the signature leaves room for eager validation.
+    pub fn connect(id: u32, addrs: Vec<SocketAddr>) -> io::Result<Client> {
+        assert!(!addrs.is_empty(), "need at least one server address");
+        let n = addrs.len() as u16;
+        let id = ClientId(id);
+        Ok(Client {
+            core: ClientCore::new(id, ObjectId::SINGLE, n, ServerId(0)),
+            addrs,
+            connections: (0..n).map(|_| None).collect(),
+            id,
+            timeout: Duration::from_millis(500),
+        })
+    }
+
+    /// Sets the per-attempt reply timeout (default 500 ms).
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+    }
+
+    /// Writes `value` to the register, blocking until acknowledged.
+    ///
+    /// # Errors
+    ///
+    /// Fails only when every server is unreachable for a full retry cycle.
+    pub fn write(&mut self, value: Value) -> io::Result<()> {
+        let (request, server, msg) = self.core.begin_write(value);
+        let _ = request;
+        self.run_to_completion(server, msg).map(|_| ())
+    }
+
+    /// Writes `value` into register `object` (multi-register stores).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::write`].
+    pub fn write_to(&mut self, object: ObjectId, value: Value) -> io::Result<()> {
+        let (_, server, msg) = self.core.begin_write_to(object, value);
+        self.run_to_completion(server, msg).map(|_| ())
+    }
+
+    /// Reads the register, blocking until a server answers.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::write`].
+    pub fn read(&mut self) -> io::Result<Value> {
+        let (_, server, msg) = self.core.begin_read();
+        self.run_to_completion(server, msg)
+            .map(|v| v.expect("read completion carries a value"))
+    }
+
+    /// Reads register `object`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::write`].
+    pub fn read_from(&mut self, object: ObjectId) -> io::Result<Value> {
+        let (_, server, msg) = self.core.begin_read_from(object);
+        self.run_to_completion(server, msg)
+            .map(|v| v.expect("read completion carries a value"))
+    }
+
+    fn run_to_completion(
+        &mut self,
+        mut server: ServerId,
+        mut msg: Message,
+    ) -> io::Result<Option<Value>> {
+        // Each attempt: (re)connect, send, await the matching reply until
+        // the timeout, else rotate to the next server via the core.
+        let max_attempts = self.addrs.len() * 8;
+        for _ in 0..max_attempts {
+            match self.attempt(server, &msg) {
+                Ok(Some(value)) => return Ok(value),
+                Ok(None) | Err(_) => {
+                    self.connections[server.index()] = None;
+                    let request = match &msg {
+                        Message::WriteReq { request, .. } | Message::ReadReq { request, .. } => {
+                            *request
+                        }
+                        _ => unreachable!("clients only send requests"),
+                    };
+                    match self.core.on_timeout(request) {
+                        Some((next_server, next_msg)) => {
+                            server = next_server;
+                            msg = next_msg;
+                        }
+                        None => {
+                            return Err(io::Error::other("request completed out of band"))
+                        }
+                    }
+                }
+            }
+        }
+        Err(io::Error::new(
+            io::ErrorKind::TimedOut,
+            "no server answered after a full retry cycle",
+        ))
+    }
+
+    /// One attempt against one server. `Ok(Some)` = completed; `Ok(None)` =
+    /// timed out waiting (server alive but slow, or reply lost).
+    fn attempt(&mut self, server: ServerId, msg: &Message) -> io::Result<Option<Option<Value>>> {
+        self.ensure_connection(server)?;
+        // Field-disjoint borrows: the socket and the protocol core.
+        let Client {
+            connections, core, ..
+        } = self;
+        let stream = connections[server.index()].as_mut().expect("ensured");
+        write_message(stream, msg)?;
+        loop {
+            match read_message(stream) {
+                Ok(reply) => {
+                    if let Some(done) = core.on_reply(&reply) {
+                        return Ok(Some(done.value));
+                    }
+                    // Stale reply from an earlier attempt: keep waiting.
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(None);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn ensure_connection(&mut self, server: ServerId) -> io::Result<()> {
+        if self.connections[server.index()].is_none() {
+            let mut stream = TcpStream::connect(self.addrs[server.index()])?;
+            stream.set_nodelay(true).ok();
+            stream.set_read_timeout(Some(self.timeout))?;
+            stream.write_all(&Hello::Client(self.id).encode())?;
+            self.connections[server.index()] = Some(stream);
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,92 @@
+//! In-process cluster harness for tests and examples.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+
+use hts_core::Config;
+use hts_types::ServerId;
+
+use crate::server::{Server, ServerConfig};
+
+/// A local cluster of `n` servers on ephemeral localhost ports.
+///
+/// See the [crate docs](crate) for an example.
+pub struct Cluster {
+    servers: Vec<Option<Server>>,
+    addrs: Vec<SocketAddr>,
+}
+
+impl Cluster {
+    /// Boots `n` servers with the paper-faithful [`Config`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn launch(n: u16) -> io::Result<Cluster> {
+        Cluster::launch_with(n, Config::default())
+    }
+
+    /// Boots `n` servers with an explicit protocol configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn launch_with(n: u16, config: Config) -> io::Result<Cluster> {
+        assert!(n > 0, "a cluster needs at least one server");
+        // Reserve ephemeral ports first so every server knows the full map.
+        let mut addrs = Vec::with_capacity(usize::from(n));
+        {
+            let mut holders = Vec::new();
+            for _ in 0..n {
+                let holder = TcpListener::bind("127.0.0.1:0")?;
+                addrs.push(holder.local_addr()?);
+                holders.push(holder);
+            }
+            // Holders drop here; the brief race with other processes is
+            // acceptable for tests/examples.
+        }
+        let mut servers = Vec::with_capacity(usize::from(n));
+        for i in 0..n {
+            servers.push(Some(Server::spawn(ServerConfig {
+                id: ServerId(i),
+                addrs: addrs.clone(),
+                config: config.clone(),
+            })?));
+        }
+        Ok(Cluster {
+            servers,
+            addrs,
+        })
+    }
+
+    /// The servers' addresses, indexed by [`ServerId`].
+    pub fn addrs(&self) -> Vec<SocketAddr> {
+        self.addrs.clone()
+    }
+
+    /// Crashes one server (stops it for good).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range or already crashed.
+    pub fn crash(&mut self, s: ServerId) {
+        self.servers[s.index()]
+            .take()
+            .expect("server alive")
+            .shutdown();
+    }
+
+    /// Number of servers still running.
+    pub fn alive(&self) -> usize {
+        self.servers.iter().flatten().count()
+    }
+
+    /// Stops every remaining server.
+    pub fn shutdown(mut self) {
+        for server in self.servers.iter_mut() {
+            if let Some(s) = server.take() {
+                s.shutdown();
+            }
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Length-prefixed message framing over TCP.
+
+use std::io::{self, Read, Write};
+
+use bytes::BytesMut;
+use hts_types::{codec, Message};
+
+/// Upper bound on a frame body (64 MiB): guards against corrupt length
+/// prefixes allocating unbounded memory.
+pub const MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
+
+/// Writes one message: `u32` big-endian length, then the codec bytes.
+///
+/// # Errors
+///
+/// Propagates socket errors; the caller treats any error as a dead peer.
+pub fn write_message<W: Write>(writer: &mut W, msg: &Message) -> io::Result<()> {
+    let mut buf = BytesMut::with_capacity(4 + codec::wire_size(msg));
+    buf.extend_from_slice(&(codec::wire_size(msg) as u32).to_be_bytes());
+    codec::encode_into(msg, &mut buf);
+    writer.write_all(&buf)?;
+    writer.flush()
+}
+
+/// Reads one message framed by [`write_message`].
+///
+/// # Errors
+///
+/// `UnexpectedEof` on clean peer shutdown, `InvalidData` on oversized or
+/// undecodable frames, otherwise the underlying socket error.
+pub fn read_message<R: Read>(reader: &mut R) -> io::Result<Message> {
+    let mut len_bytes = [0u8; 4];
+    reader.read_exact(&mut len_bytes)?;
+    let len = u32::from_be_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    codec::decode(&body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hts_types::{ObjectId, RequestId, Value};
+
+    #[test]
+    fn roundtrip_over_a_buffer() {
+        let msg = Message::WriteReq {
+            object: ObjectId(1),
+            request: RequestId(2),
+            value: Value::filled(7, 10_000),
+        };
+        let mut buf = Vec::new();
+        write_message(&mut buf, &msg).unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(read_message(&mut cursor).unwrap(), msg);
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        buf.extend_from_slice(&[0; 16]);
+        let mut cursor = &buf[..];
+        let err = read_message(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncation_reports_eof() {
+        let msg = Message::ReadReq {
+            object: ObjectId(0),
+            request: RequestId(1),
+        };
+        let mut buf = Vec::new();
+        write_message(&mut buf, &msg).unwrap();
+        buf.truncate(buf.len() - 1);
+        let mut cursor = &buf[..];
+        let err = read_message(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+}

@@ -1,0 +1,48 @@
+//! Real TCP runtime for the `hts` atomic storage.
+//!
+//! The same sans-io cores (`hts-core`) that drive the simulator run here
+//! over real sockets, one OS thread per connection, on one machine or a
+//! LAN:
+//!
+//! * each server listens on one address; clients and the ring predecessor
+//!   connect to it (a 3-byte [`Hello`](hts_types::codec::Hello) handshake
+//!   declares who is calling);
+//! * each server keeps a single long-lived TCP connection to its ring
+//!   successor, exactly as §2 prescribes; a broken connection **is** the
+//!   perfect failure detector — the predecessor splices the ring and
+//!   retransmits, the successor-side adopter completes orphaned writes;
+//! * ring frames are pulled from the core one at a time as the previous
+//!   frame drains into the socket, which is where the fairness rule runs
+//!   (the kernel's send buffer plays the role of the NIC TX queue).
+//!
+//! Performance experiments live on the simulator (`hts-bench`), where
+//! bandwidth is controlled; this runtime demonstrates the protocol
+//! end-to-end — see `examples/quickstart.rs` and the crash-recovery
+//! integration tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use hts_net::{Client, Cluster};
+//! use hts_types::Value;
+//!
+//! let cluster = Cluster::launch(3)?;
+//! let mut client = Client::connect(1, cluster.addrs())?;
+//! client.write(Value::from_u64(42))?;
+//! assert_eq!(client.read()?, Value::from_u64(42));
+//! cluster.shutdown();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod cluster;
+mod framing;
+mod server;
+
+pub use client::Client;
+pub use cluster::Cluster;
+pub use framing::{read_message, write_message, MAX_FRAME_BYTES};
+pub use server::{Server, ServerConfig};

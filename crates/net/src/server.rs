@@ -1,0 +1,367 @@
+//! The threaded TCP server runtime.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use hts_core::{Action, Config, MultiObjectServer};
+use hts_types::{codec::Hello, ClientId, Message, RingFrame, ServerId};
+
+use crate::framing::{read_message, write_message};
+
+/// Static deployment description handed to every [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// This server's id.
+    pub id: ServerId,
+    /// Listen addresses of **all** servers, indexed by [`ServerId`].
+    pub addrs: Vec<SocketAddr>,
+    /// Protocol options.
+    pub config: Config,
+}
+
+enum Event {
+    /// A message arrived from a client connection.
+    FromClient(ClientId, Message),
+    /// A ring frame arrived from the predecessor side.
+    FromRing(RingFrame),
+    /// A client connected; replies go into its sender.
+    ClientUp(ClientId, Sender<Message>),
+    /// A client connection died.
+    ClientDown(ClientId),
+    /// An inbound ring connection (from server `s`) died: `s` crashed.
+    RingInDown(ServerId),
+    /// The outbound ring connection (to server `s`) died: `s` crashed.
+    RingOutDown(ServerId),
+    /// The ring writer drained a frame: pull the next one.
+    TxDone,
+    /// Stop the event loop.
+    Shutdown,
+}
+
+/// A running storage server (event loop + connection threads).
+///
+/// See the [crate docs](crate) for the runtime's shape; create whole local
+/// clusters with [`Cluster`](crate::Cluster).
+pub struct Server {
+    events: Sender<Event>,
+    handle: Option<JoinHandle<()>>,
+    accept_alive: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl Server {
+    /// Binds `config.addrs[config.id]` and spawns the server.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the listen address is unavailable.
+    pub fn spawn(config: ServerConfig) -> io::Result<Server> {
+        let addr = config.addrs[config.id.index()];
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let (events_tx, events_rx) = unbounded::<Event>();
+        let accept_alive = Arc::new(AtomicBool::new(true));
+
+        // Accept loop.
+        {
+            let events = events_tx.clone();
+            let alive = Arc::clone(&accept_alive);
+            thread::spawn(move || accept_loop(listener, events, alive));
+        }
+
+        // Event loop.
+        let handle = {
+            let events = events_tx.clone();
+            let rx = events_rx;
+            thread::spawn(move || event_loop(config, rx, events))
+        };
+
+        Ok(Server {
+            events: events_tx,
+            handle: Some(handle),
+            accept_alive,
+            addr,
+        })
+    }
+
+    /// The bound listen address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the server (crashing it, from the cluster's point of view).
+    pub fn shutdown(mut self) {
+        self.accept_alive.store(false, Ordering::SeqCst);
+        let _ = self.events.send(Event::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.accept_alive.store(false, Ordering::SeqCst);
+        let _ = self.events.send(Event::Shutdown);
+        // Threads exit on their own; not joined in drop (C-DTOR-BLOCK).
+    }
+}
+
+fn accept_loop(listener: TcpListener, events: Sender<Event>, alive: Arc<AtomicBool>) {
+    while alive.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let events = events.clone();
+                thread::spawn(move || {
+                    let _ = handle_connection(stream, events);
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Reads the handshake, then pumps messages into the event loop.
+fn handle_connection(mut stream: TcpStream, events: Sender<Event>) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut hello = [0u8; 5];
+    stream.read_exact(&mut hello[..1])?;
+    let peer = match hello[0] {
+        0x01 => {
+            stream.read_exact(&mut hello[1..3])?;
+            Hello::decode(&hello[..3])
+        }
+        0x02 => {
+            stream.read_exact(&mut hello[1..5])?;
+            Hello::decode(&hello[..5])
+        }
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown hello role {other:#x}"),
+            ))
+        }
+    }
+    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+
+    match peer {
+        Hello::Server(s) => {
+            // Inbound ring connection: read frames until it dies.
+            let mut reader = stream;
+            loop {
+                match read_message(&mut reader) {
+                    Ok(Message::Ring(frame)) => {
+                        if events.send(Event::FromRing(frame)).is_err() {
+                            return Ok(());
+                        }
+                    }
+                    Ok(_) => {} // only ring traffic is expected here
+                    Err(_) => {
+                        let _ = events.send(Event::RingInDown(s));
+                        return Ok(());
+                    }
+                }
+            }
+        }
+        Hello::Client(c) => {
+            let (reply_tx, reply_rx) = unbounded::<Message>();
+            if events.send(Event::ClientUp(c, reply_tx)).is_err() {
+                return Ok(());
+            }
+            // Writer half.
+            let mut writer = stream.try_clone()?;
+            thread::spawn(move || {
+                for msg in reply_rx {
+                    if write_message(&mut writer, &msg).is_err() {
+                        return;
+                    }
+                }
+            });
+            // Reader half.
+            let mut reader = stream;
+            loop {
+                match read_message(&mut reader) {
+                    Ok(msg) => {
+                        if events.send(Event::FromClient(c, msg)).is_err() {
+                            return Ok(());
+                        }
+                    }
+                    Err(_) => {
+                        let _ = events.send(Event::ClientDown(c));
+                        return Ok(());
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The outbound ring connection: a bounded(1) channel + writer thread, so
+/// `TxDone` events pace `next_frame` pulls exactly like the simulator's
+/// TX-idle callback.
+struct RingOut {
+    to: ServerId,
+    frames: Sender<RingFrame>,
+}
+
+fn connect_ring_out(
+    me: ServerId,
+    to: ServerId,
+    addr: SocketAddr,
+    events: Sender<Event>,
+) -> io::Result<RingOut> {
+    let mut stream = connect_with_retry(addr, 40)?;
+    stream.set_nodelay(true).ok();
+    stream.write_all(&Hello::Server(me).encode())?;
+    let (tx, rx): (Sender<RingFrame>, Receiver<RingFrame>) = bounded(1);
+    thread::spawn(move || {
+        for frame in rx {
+            if write_message(&mut stream, &Message::Ring(frame)).is_err() {
+                let _ = events.send(Event::RingOutDown(to));
+                return;
+            }
+            if events.send(Event::TxDone).is_err() {
+                return;
+            }
+        }
+    });
+    Ok(RingOut { to, frames: tx })
+}
+
+fn connect_with_retry(addr: SocketAddr, attempts: u32) -> io::Result<TcpStream> {
+    let mut last = None;
+    for _ in 0..attempts {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                last = Some(e);
+                thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+    Err(last.unwrap_or_else(|| io::Error::other("no attempts made")))
+}
+
+fn event_loop(config: ServerConfig, events: Receiver<Event>, events_tx: Sender<Event>) {
+    let n = config.addrs.len() as u16;
+    let mut core = MultiObjectServer::new(config.id, n, config.config.clone());
+    let mut clients: HashMap<ClientId, Sender<Message>> = HashMap::new();
+    let mut ring_out: Option<RingOut> = None;
+    // Frames handed to the writer but possibly still in its channel.
+    let mut in_channel = 0u32;
+
+    let ensure_ring_out = |core: &MultiObjectServer,
+                               ring_out: &mut Option<RingOut>,
+                               in_channel: &mut u32| {
+        let successor = core.successor();
+        let connected_to = ring_out.as_ref().map(|r| r.to);
+        if connected_to != successor {
+            *ring_out = None;
+            *in_channel = 0;
+            if let Some(next) = successor {
+                match connect_ring_out(
+                    config.id,
+                    next,
+                    config.addrs[next.index()],
+                    events_tx.clone(),
+                ) {
+                    Ok(out) => *ring_out = Some(out),
+                    Err(_) => {
+                        // The successor is unreachable: report it crashed.
+                        let _ = events_tx.send(Event::RingOutDown(next));
+                    }
+                }
+            }
+        }
+    };
+
+    let flush = |clients: &HashMap<ClientId, Sender<Message>>, actions: Vec<Action>| {
+        for action in actions {
+            let (client, msg) = match action {
+                Action::WriteAck {
+                    object,
+                    client,
+                    request,
+                } => (client, Message::WriteAck { object, request }),
+                Action::ReadReply {
+                    object,
+                    client,
+                    request,
+                    value,
+                    ..
+                } => (
+                    client,
+                    Message::ReadAck {
+                        object,
+                        request,
+                        value,
+                    },
+                ),
+            };
+            if let Some(tx) = clients.get(&client) {
+                let _ = tx.send(msg);
+            }
+        }
+    };
+
+    for event in &events {
+        match event {
+            Event::Shutdown => return,
+            Event::ClientUp(c, tx) => {
+                clients.insert(c, tx);
+            }
+            Event::ClientDown(c) => {
+                clients.remove(&c);
+            }
+            Event::FromClient(c, msg) => {
+                let actions = match msg {
+                    Message::WriteReq {
+                        object,
+                        request,
+                        value,
+                    } => core.on_client_write(object, c, request, value),
+                    Message::ReadReq { object, request } => {
+                        core.on_client_read(object, c, request)
+                    }
+                    _ => Vec::new(),
+                };
+                flush(&clients, actions);
+            }
+            Event::FromRing(frame) => {
+                let actions = core.on_frame(frame);
+                flush(&clients, actions);
+            }
+            Event::RingInDown(s) | Event::RingOutDown(s) => {
+                let actions = core.on_server_crashed(s);
+                flush(&clients, actions);
+            }
+            Event::TxDone => {
+                in_channel = in_channel.saturating_sub(1);
+            }
+        }
+        // Pump the ring: keep at most one frame queued at the writer.
+        ensure_ring_out(&core, &mut ring_out, &mut in_channel);
+        while in_channel < 1 {
+            let Some(out) = ring_out.as_ref() else { break };
+            match core.next_frame() {
+                Some(frame) => {
+                    if out.frames.send(frame).is_err() {
+                        break; // writer died; RingOutDown will arrive
+                    }
+                    in_channel += 1;
+                }
+                None => break,
+            }
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Virtual time and link-rate arithmetic.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in (or span of) virtual time, in nanoseconds.
+///
+/// The simulator's clock is a `u64` nanosecond counter — wide enough for
+/// ~584 years of virtual time, so overflow is not handled.
+///
+/// # Examples
+///
+/// ```
+/// use hts_sim::Nanos;
+/// let t = Nanos::from_millis(2) + Nanos::from_micros(500);
+/// assert_eq!(t.as_nanos(), 2_500_000);
+/// assert_eq!(t.as_secs_f64(), 0.0025);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Nanos(pub u64);
+
+impl Nanos {
+    /// Zero time.
+    pub const ZERO: Nanos = Nanos(0);
+
+    /// Creates a span from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        Nanos(s * 1_000_000_000)
+    }
+
+    /// Creates a span from milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        Nanos(ms * 1_000_000)
+    }
+
+    /// Creates a span from microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        Nanos(us * 1_000)
+    }
+
+    /// The raw nanosecond count.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This span in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// This span in (fractional) milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Nanos {
+    fn add_assign(&mut self, rhs: Nanos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}µs", ns as f64 / 1e3)
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+/// A link rate in bits per second.
+///
+/// # Examples
+///
+/// ```
+/// use hts_sim::Bandwidth;
+/// let fe = Bandwidth::mbps(100);
+/// // 1250 bytes at 100 Mbit/s serialize in 100 µs.
+/// assert_eq!(fe.transmission_time(1250).as_nanos(), 100_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bandwidth(pub u64);
+
+impl Bandwidth {
+    /// A rate in megabits per second.
+    pub fn mbps(m: u64) -> Self {
+        Bandwidth(m * 1_000_000)
+    }
+
+    /// A rate in gigabits per second.
+    pub fn gbps(g: u64) -> Self {
+        Bandwidth(g * 1_000_000_000)
+    }
+
+    /// The raw bits-per-second value.
+    pub fn bits_per_sec(self) -> u64 {
+        self.0
+    }
+
+    /// Time to serialize `bytes` onto a link of this rate (rounded up).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is zero.
+    pub fn transmission_time(self, bytes: usize) -> Nanos {
+        assert!(self.0 > 0, "zero bandwidth");
+        let bits = bytes as u128 * 8;
+        let ns = (bits * 1_000_000_000).div_ceil(self.0 as u128);
+        Nanos(ns as u64)
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.1}Gbit/s", self.0 as f64 / 1e9)
+        } else {
+            write!(f, "{:.1}Mbit/s", self.0 as f64 / 1e6)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Nanos::from_secs(1).as_nanos(), 1_000_000_000);
+        assert_eq!(Nanos::from_millis(1).as_nanos(), 1_000_000);
+        assert_eq!(Nanos::from_micros(1).as_nanos(), 1_000);
+        assert_eq!(Nanos::from_secs(2).as_secs_f64(), 2.0);
+        assert_eq!(Nanos::from_millis(5).as_millis_f64(), 5.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Nanos(100) + Nanos(50);
+        assert_eq!(a, Nanos(150));
+        assert_eq!(a - Nanos(150), Nanos::ZERO);
+        assert_eq!(Nanos(10).saturating_sub(Nanos(20)), Nanos::ZERO);
+        let mut b = Nanos(1);
+        b += Nanos(2);
+        assert_eq!(b, Nanos(3));
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(Nanos(5).to_string(), "5ns");
+        assert_eq!(Nanos(5_000).to_string(), "5.000µs");
+        assert_eq!(Nanos(5_000_000).to_string(), "5.000ms");
+        assert_eq!(Nanos(5_000_000_000).to_string(), "5.000s");
+        assert_eq!(Bandwidth::mbps(100).to_string(), "100.0Mbit/s");
+        assert_eq!(Bandwidth::gbps(10).to_string(), "10.0Gbit/s");
+    }
+
+    #[test]
+    fn transmission_times() {
+        // 100 Mbit/s = 12.5 bytes/µs.
+        let fe = Bandwidth::mbps(100);
+        assert_eq!(fe.transmission_time(0), Nanos::ZERO);
+        assert_eq!(fe.transmission_time(1), Nanos(80));
+        assert_eq!(fe.transmission_time(1538), Nanos(123_040));
+        // Rounds up.
+        assert_eq!(Bandwidth(3).transmission_time(1).as_nanos(), 2_666_666_667);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bandwidth")]
+    fn zero_bandwidth_panics() {
+        let _ = Bandwidth(0).transmission_time(1);
+    }
+}

@@ -1,0 +1,35 @@
+//! A sharded key-value store built from `hts` atomic registers.
+//!
+//! The paper's introduction motivates the register as the building block
+//! of distributed storage systems, which "combine multiple of these
+//! read/write objects, each storing its share of data". This crate is that
+//! combination: keys hash onto a fixed set of register objects
+//! ([`KeyMapper`]), all hosted by one server ring
+//! ([`hts_core::MultiObjectServer`]), giving a linearizable-per-key
+//! get/put store.
+//!
+//! [`ShardedStore`] is a synchronous facade over a simulated cluster —
+//! each call steps the deterministic simulator until the operation
+//! completes — used by `examples/kv_store.rs` and the store benches. For a
+//! store over real sockets, combine the same [`KeyMapper`] with
+//! `hts-net`'s client.
+//!
+//! # Examples
+//!
+//! ```
+//! use hts_store::ShardedStore;
+//!
+//! let mut store = ShardedStore::builder().servers(3).shards(8).build();
+//! store.put(b"user:42", b"alice".to_vec());
+//! assert_eq!(store.get(b"user:42"), Some(b"alice".to_vec()));
+//! assert_eq!(store.get(b"user:43"), None);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod mapper;
+mod store;
+
+pub use mapper::KeyMapper;
+pub use store::{ShardedStore, ShardedStoreBuilder, StoreStats};

@@ -1,0 +1,89 @@
+//! Key → register-object placement.
+
+use hts_types::ObjectId;
+
+/// Maps keys onto a fixed number of register objects by FNV-1a hashing.
+///
+/// Every client and server must agree on the shard count; the mapping is
+/// stable (no rebalancing — the ring itself is the replication domain, so
+/// shards never move between servers).
+///
+/// # Examples
+///
+/// ```
+/// use hts_store::KeyMapper;
+///
+/// let mapper = KeyMapper::new(16);
+/// let a = mapper.object_for(b"alpha");
+/// assert_eq!(a, mapper.object_for(b"alpha")); // deterministic
+/// assert!(a.0 < 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyMapper {
+    shards: u32,
+}
+
+impl KeyMapper {
+    /// Creates a mapper over `shards` register objects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: u32) -> Self {
+        assert!(shards > 0, "a store needs at least one shard");
+        KeyMapper { shards }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// The register object storing `key`.
+    pub fn object_for(&self, key: &[u8]) -> ObjectId {
+        ObjectId(self.hash(key) % self.shards)
+    }
+
+    fn hash(&self, key: &[u8]) -> u32 {
+        // FNV-1a, 32-bit.
+        let mut h: u32 = 0x811c_9dc5;
+        for &b in key {
+            h ^= u32::from(b);
+            h = h.wrapping_mul(0x0100_0193);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let m = KeyMapper::new(7);
+        for key in [&b"a"[..], b"bb", b"ccc", b"\x00\xff", b""] {
+            let o1 = m.object_for(key);
+            let o2 = m.object_for(key);
+            assert_eq!(o1, o2);
+            assert!(o1.0 < 7);
+        }
+    }
+
+    #[test]
+    fn spreads_keys_over_shards() {
+        let m = KeyMapper::new(8);
+        let mut hit = [false; 8];
+        for i in 0..256u32 {
+            let key = i.to_be_bytes();
+            hit[m.object_for(&key).0 as usize] = true;
+        }
+        assert!(hit.iter().all(|h| *h), "every shard receives keys: {hit:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = KeyMapper::new(0);
+    }
+}

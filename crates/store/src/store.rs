@@ -1,0 +1,341 @@
+//! The synchronous sharded store facade.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use hts_core::{ClientCore, Config, SimServer};
+use hts_sim::packet::{Ctx, NetworkConfig, PacketSim, Process, TimerId};
+use hts_sim::Nanos;
+use hts_types::{ClientId, Message, NodeId, ObjectId, ServerId, Value};
+
+use crate::KeyMapper;
+
+/// Cumulative facade counters.
+#[derive(Debug, Clone, Default)]
+pub struct StoreStats {
+    /// Completed puts (incl. deletes).
+    pub puts: u64,
+    /// Completed gets.
+    pub gets: u64,
+    /// Request retries (timeouts / server crashes survived).
+    pub retries: u64,
+}
+
+#[derive(Debug)]
+enum PendingOp {
+    Put(ObjectId, Value),
+    Get(ObjectId),
+}
+
+#[derive(Default)]
+struct CourierState {
+    outbox: Option<PendingOp>,
+    result: Option<Option<Value>>,
+    retries: u64,
+}
+
+/// The in-sim client that executes one operation at a time on behalf of
+/// the synchronous facade.
+struct Courier {
+    core: ClientCore,
+    state: Rc<RefCell<CourierState>>,
+    client_net: hts_sim::NetworkId,
+    timeout: Nanos,
+    timer: Option<(TimerId, hts_types::RequestId)>,
+}
+
+impl Process<Message> for Courier {
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, Message>, _from: NodeId, msg: Message) {
+        if let Some(done) = self.core.on_reply(&msg) {
+            self.timer = None;
+            self.state.borrow_mut().result = Some(done.value);
+        }
+    }
+
+    fn on_poke(&mut self, ctx: &mut Ctx<'_, Message>) {
+        let op = self.state.borrow_mut().outbox.take();
+        let Some(op) = op else { return };
+        let (request, server, message) = match op {
+            PendingOp::Put(object, value) => self.core.begin_write_to(object, value),
+            PendingOp::Get(object) => self.core.begin_read_from(object),
+        };
+        ctx.send(self.client_net, NodeId::Server(server), message);
+        self.timer = Some((ctx.set_timer(self.timeout), request));
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Message>, timer: TimerId) {
+        if let Some((armed, request)) = self.timer {
+            if armed == timer {
+                if let Some((server, message)) = self.core.on_timeout(request) {
+                    self.state.borrow_mut().retries += 1;
+                    ctx.send(self.client_net, NodeId::Server(server), message);
+                    self.timer = Some((ctx.set_timer(self.timeout), request));
+                }
+            }
+        }
+    }
+
+    fn on_crashed(&mut self, ctx: &mut Ctx<'_, Message>, node: NodeId) {
+        if let Some(s) = node.as_server() {
+            if let Some((server, message)) = self.core.on_server_down(s) {
+                self.state.borrow_mut().retries += 1;
+                ctx.send(self.client_net, NodeId::Server(server), message);
+                if let Some((_, request)) = self.timer {
+                    self.timer = Some((ctx.set_timer(self.timeout), request));
+                }
+            }
+        }
+    }
+}
+
+/// Builder for [`ShardedStore`].
+#[derive(Debug, Clone)]
+pub struct ShardedStoreBuilder {
+    servers: u16,
+    shards: u32,
+    seed: u64,
+    config: Config,
+}
+
+impl ShardedStoreBuilder {
+    /// Ring size (default 3).
+    pub fn servers(mut self, n: u16) -> Self {
+        self.servers = n;
+        self
+    }
+
+    /// Hash buckets for key placement (default `u32::MAX`; two keys in one
+    /// bucket evict each other, so keep this large unless testing).
+    pub fn shards(mut self, shards: u32) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Determinism seed (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Protocol configuration (default [`Config::paper`]).
+    pub fn config(mut self, config: Config) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Boots the simulated cluster and returns the store.
+    pub fn build(&self) -> ShardedStore {
+        let mut sim = PacketSim::new(self.seed);
+        let ring_net = sim.add_network(NetworkConfig::fast_ethernet());
+        let client_net = sim.add_network(NetworkConfig::fast_ethernet());
+        for i in 0..self.servers {
+            let id = NodeId::Server(ServerId(i));
+            sim.add_node(
+                id,
+                Box::new(SimServer::new(
+                    ServerId(i),
+                    self.servers,
+                    self.config.clone(),
+                    ring_net,
+                    client_net,
+                )),
+            );
+            sim.attach(id, ring_net);
+            sim.attach(id, client_net);
+        }
+        let state = Rc::new(RefCell::new(CourierState::default()));
+        let courier_id = NodeId::Client(ClientId(0));
+        let courier = Courier {
+            core: ClientCore::new(ClientId(0), ObjectId::SINGLE, self.servers, ServerId(0)),
+            state: Rc::clone(&state),
+            client_net,
+            timeout: Nanos::from_millis(50),
+            timer: None,
+        };
+        sim.add_node(courier_id, Box::new(courier));
+        sim.attach(courier_id, client_net);
+        ShardedStore {
+            sim,
+            mapper: KeyMapper::new(self.shards),
+            state,
+            courier: courier_id,
+            stats: StoreStats::default(),
+        }
+    }
+}
+
+/// A linearizable-per-key KV store over a simulated `hts` ring.
+///
+/// Each key lives in its own register object (chosen by hashing); the
+/// stored register value embeds the key, so a hash collision behaves like
+/// an eviction rather than a wrong-value read. Calls are synchronous: each
+/// steps the deterministic simulator until the ring answers.
+///
+/// See the [crate docs](crate) for an example.
+pub struct ShardedStore {
+    sim: PacketSim<Message>,
+    mapper: KeyMapper,
+    state: Rc<RefCell<CourierState>>,
+    courier: NodeId,
+    stats: StoreStats,
+}
+
+impl ShardedStore {
+    /// Starts building a store.
+    pub fn builder() -> ShardedStoreBuilder {
+        ShardedStoreBuilder {
+            servers: 3,
+            shards: u32::MAX,
+            seed: 0,
+            config: Config::default(),
+        }
+    }
+
+    /// Stores `value` under `key`.
+    pub fn put(&mut self, key: &[u8], value: Vec<u8>) {
+        let object = self.mapper.object_for(key);
+        let encoded = encode_entry(key, Some(&value));
+        self.execute(PendingOp::Put(object, encoded));
+        self.stats.puts += 1;
+    }
+
+    /// Removes `key` (a tombstone write).
+    pub fn delete(&mut self, key: &[u8]) {
+        let object = self.mapper.object_for(key);
+        let encoded = encode_entry(key, None);
+        self.execute(PendingOp::Put(object, encoded));
+        self.stats.puts += 1;
+    }
+
+    /// Fetches `key`, or `None` if absent (never written, deleted, or
+    /// evicted by a colliding key).
+    pub fn get(&mut self, key: &[u8]) -> Option<Vec<u8>> {
+        let object = self.mapper.object_for(key);
+        let raw = self.execute(PendingOp::Get(object));
+        self.stats.gets += 1;
+        decode_entry(raw?.as_bytes(), key)
+    }
+
+    /// Crashes server `s` under the store (operations keep working while
+    /// any server survives).
+    pub fn crash_server(&mut self, s: ServerId) {
+        self.sim.crash_at(NodeId::Server(s), self.sim.now());
+    }
+
+    /// Facade counters (retries reveal survived crashes).
+    pub fn stats(&self) -> StoreStats {
+        let mut stats = self.stats.clone();
+        stats.retries = self.state.borrow().retries;
+        stats
+    }
+
+    /// Virtual time consumed so far.
+    pub fn elapsed(&self) -> Nanos {
+        self.sim.now()
+    }
+
+    fn execute(&mut self, op: PendingOp) -> Option<Value> {
+        self.state.borrow_mut().outbox = Some(op);
+        self.sim.poke(self.courier);
+        loop {
+            let done = self.state.borrow_mut().result.take();
+            if let Some(result) = done {
+                return result;
+            }
+            assert!(self.sim.step(), "cluster quiesced without a reply");
+        }
+    }
+}
+
+fn encode_entry(key: &[u8], value: Option<&[u8]>) -> Value {
+    let mut bytes = Vec::with_capacity(2 + key.len() + 1 + value.map_or(0, <[u8]>::len));
+    let key_len = u16::try_from(key.len()).expect("key longer than 64 KiB");
+    bytes.extend_from_slice(&key_len.to_be_bytes());
+    bytes.extend_from_slice(key);
+    match value {
+        Some(v) => {
+            bytes.push(1);
+            bytes.extend_from_slice(v);
+        }
+        None => bytes.push(0),
+    }
+    Value::from(bytes)
+}
+
+fn decode_entry(raw: &[u8], want_key: &[u8]) -> Option<Vec<u8>> {
+    if raw.is_empty() {
+        return None; // ⊥: never written
+    }
+    let key_len = usize::from(u16::from_be_bytes([raw[0], raw[1]]));
+    let key = &raw[2..2 + key_len];
+    if key != want_key {
+        return None; // collision eviction
+    }
+    let present = raw[2 + key_len];
+    (present == 1).then(|| raw[2 + key_len + 1..].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_delete_roundtrip() {
+        let mut store = ShardedStore::builder().seed(3).build();
+        assert_eq!(store.get(b"k"), None);
+        store.put(b"k", b"v1".to_vec());
+        assert_eq!(store.get(b"k"), Some(b"v1".to_vec()));
+        store.put(b"k", b"v2".to_vec());
+        assert_eq!(store.get(b"k"), Some(b"v2".to_vec()));
+        store.delete(b"k");
+        assert_eq!(store.get(b"k"), None);
+        let stats = store.stats();
+        assert_eq!(stats.puts, 3);
+    }
+
+    #[test]
+    fn many_keys_are_independent() {
+        let mut store = ShardedStore::builder().servers(4).seed(5).build();
+        for i in 0..40u32 {
+            store.put(format!("key-{i}").as_bytes(), i.to_be_bytes().to_vec());
+        }
+        for i in 0..40u32 {
+            assert_eq!(
+                store.get(format!("key-{i}").as_bytes()),
+                Some(i.to_be_bytes().to_vec()),
+                "key-{i}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_values_are_distinguishable_from_absence() {
+        let mut store = ShardedStore::builder().seed(7).build();
+        store.put(b"empty", Vec::new());
+        assert_eq!(store.get(b"empty"), Some(Vec::new()));
+        store.delete(b"empty");
+        assert_eq!(store.get(b"empty"), None);
+    }
+
+    #[test]
+    fn survives_server_crashes() {
+        let mut store = ShardedStore::builder().servers(3).seed(9).build();
+        store.put(b"durable", b"before".to_vec());
+        store.crash_server(ServerId(0));
+        assert_eq!(store.get(b"durable"), Some(b"before".to_vec()));
+        store.put(b"durable", b"after".to_vec());
+        store.crash_server(ServerId(1));
+        assert_eq!(store.get(b"durable"), Some(b"after".to_vec()));
+        assert!(store.stats().puts >= 2);
+    }
+
+    #[test]
+    fn colliding_bucket_evicts_previous_key() {
+        // Force collisions with a single bucket.
+        let mut store = ShardedStore::builder().shards(1).seed(11).build();
+        store.put(b"a", b"1".to_vec());
+        store.put(b"b", b"2".to_vec());
+        assert_eq!(store.get(b"b"), Some(b"2".to_vec()));
+        assert_eq!(store.get(b"a"), None, "evicted by the colliding key");
+    }
+}

@@ -1,0 +1,501 @@
+//! Compact binary wire codec for [`Message`].
+//!
+//! The format is a hand-rolled, length-prefixed binary encoding: one
+//! discriminant byte followed by fixed-width big-endian fields; values are
+//! `u32`-length-prefixed byte strings; options are a one-byte presence flag.
+//! It is deliberately trivial — the point is that [`wire_size`] computes the
+//! exact on-wire size without allocating, which the simulator uses for
+//! byte-accurate bandwidth accounting, and that the same bytes flow over the
+//! real TCP transport in `hts-net`.
+//!
+//! # Examples
+//!
+//! ```
+//! use hts_types::{codec, Message, ObjectId, RequestId};
+//!
+//! let msg = Message::ReadReq { object: ObjectId(1), request: RequestId(2) };
+//! let bytes = codec::encode(&msg);
+//! assert_eq!(codec::decode(&bytes)?, msg);
+//! assert_eq!(bytes.len(), codec::wire_size(&msg));
+//! # Ok::<(), hts_types::DecodeError>(())
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::{
+    ClientId, DecodeError, Message, ObjectId, PreWrite, RequestId, RingFrame, ServerId, Tag,
+    Value, WriteNotice,
+};
+
+const D_WRITE_REQ: u8 = 0x01;
+const D_READ_REQ: u8 = 0x02;
+const D_WRITE_ACK: u8 = 0x03;
+const D_READ_ACK: u8 = 0x04;
+const D_RING: u8 = 0x05;
+
+const TAG_SIZE: usize = 8 + 2; // ts + origin
+const OBJECT_SIZE: usize = 4;
+const REQUEST_SIZE: usize = 8;
+const LEN_PREFIX: usize = 4;
+const FLAG_SIZE: usize = 1;
+
+/// Encodes a message into a freshly allocated buffer.
+///
+/// # Panics
+///
+/// Panics if a contained value is longer than `u32::MAX` bytes (the length
+/// prefix is 32-bit).
+pub fn encode(msg: &Message) -> Bytes {
+    let mut buf = BytesMut::with_capacity(wire_size(msg));
+    encode_into(msg, &mut buf);
+    buf.freeze()
+}
+
+/// Encodes a message by appending to `buf`.
+///
+/// # Panics
+///
+/// Panics if a contained value is longer than `u32::MAX` bytes.
+pub fn encode_into(msg: &Message, buf: &mut BytesMut) {
+    match msg {
+        Message::WriteReq {
+            object,
+            request,
+            value,
+        } => {
+            buf.put_u8(D_WRITE_REQ);
+            put_object(buf, *object);
+            put_request(buf, *request);
+            put_value(buf, value);
+        }
+        Message::ReadReq { object, request } => {
+            buf.put_u8(D_READ_REQ);
+            put_object(buf, *object);
+            put_request(buf, *request);
+        }
+        Message::WriteAck { object, request } => {
+            buf.put_u8(D_WRITE_ACK);
+            put_object(buf, *object);
+            put_request(buf, *request);
+        }
+        Message::ReadAck {
+            object,
+            request,
+            value,
+        } => {
+            buf.put_u8(D_READ_ACK);
+            put_object(buf, *object);
+            put_request(buf, *request);
+            put_value(buf, value);
+        }
+        Message::Ring(frame) => {
+            buf.put_u8(D_RING);
+            put_object(buf, frame.object);
+            match &frame.pre_write {
+                None => buf.put_u8(0),
+                Some(pw) => {
+                    buf.put_u8(1);
+                    put_tag(buf, pw.tag);
+                    buf.put_u8(u8::from(pw.recovery));
+                    put_value(buf, &pw.value);
+                }
+            }
+            match &frame.write {
+                None => buf.put_u8(0),
+                Some(w) => {
+                    buf.put_u8(1);
+                    put_tag(buf, w.tag);
+                    match &w.value {
+                        None => buf.put_u8(0),
+                        Some(v) => {
+                            buf.put_u8(1);
+                            put_value(buf, v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The exact encoded size of `msg` in bytes, without encoding it.
+///
+/// Guaranteed equal to `encode(msg).len()` (tested exhaustively and by
+/// property tests).
+pub fn wire_size(msg: &Message) -> usize {
+    1 + match msg {
+        Message::WriteReq { value, .. } => {
+            OBJECT_SIZE + REQUEST_SIZE + LEN_PREFIX + value.len()
+        }
+        Message::ReadReq { .. } => OBJECT_SIZE + REQUEST_SIZE,
+        Message::WriteAck { .. } => OBJECT_SIZE + REQUEST_SIZE,
+        Message::ReadAck { value, .. } => {
+            OBJECT_SIZE + REQUEST_SIZE + LEN_PREFIX + value.len()
+        }
+        Message::Ring(frame) => {
+            let pw = match &frame.pre_write {
+                None => 0,
+                Some(pw) => TAG_SIZE + FLAG_SIZE + LEN_PREFIX + pw.value.len(),
+            };
+            let w = match &frame.write {
+                None => 0,
+                Some(wn) => {
+                    TAG_SIZE
+                        + FLAG_SIZE
+                        + wn.value.as_ref().map_or(0, |v| LEN_PREFIX + v.len())
+                }
+            };
+            OBJECT_SIZE + FLAG_SIZE + pw + FLAG_SIZE + w
+        }
+    }
+}
+
+/// Decodes a message from a complete buffer.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the buffer is truncated, carries an unknown
+/// discriminant, or contains trailing bytes after the message.
+pub fn decode(mut buf: &[u8]) -> Result<Message, DecodeError> {
+    let msg = decode_partial(&mut buf)?;
+    if !buf.is_empty() {
+        return Err(DecodeError::TrailingBytes {
+            remaining: buf.len(),
+        });
+    }
+    Ok(msg)
+}
+
+/// Decodes one message from the front of `buf`, advancing it past the
+/// consumed bytes. Useful for transports that batch several messages into
+/// one segment.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the buffer does not start with a complete,
+/// well-formed message.
+pub fn decode_partial(buf: &mut &[u8]) -> Result<Message, DecodeError> {
+    let disc = get_u8(buf)?;
+    match disc {
+        D_WRITE_REQ => Ok(Message::WriteReq {
+            object: get_object(buf)?,
+            request: get_request(buf)?,
+            value: get_value(buf)?,
+        }),
+        D_READ_REQ => Ok(Message::ReadReq {
+            object: get_object(buf)?,
+            request: get_request(buf)?,
+        }),
+        D_WRITE_ACK => Ok(Message::WriteAck {
+            object: get_object(buf)?,
+            request: get_request(buf)?,
+        }),
+        D_READ_ACK => Ok(Message::ReadAck {
+            object: get_object(buf)?,
+            request: get_request(buf)?,
+            value: get_value(buf)?,
+        }),
+        D_RING => {
+            let object = get_object(buf)?;
+            let pre_write = if get_flag(buf)? {
+                let tag = get_tag(buf)?;
+                let recovery = get_flag(buf)?;
+                let value = get_value(buf)?;
+                Some(PreWrite {
+                    tag,
+                    value,
+                    recovery,
+                })
+            } else {
+                None
+            };
+            let write = if get_flag(buf)? {
+                let tag = get_tag(buf)?;
+                let value = if get_flag(buf)? {
+                    Some(get_value(buf)?)
+                } else {
+                    None
+                };
+                Some(WriteNotice { tag, value })
+            } else {
+                None
+            };
+            Ok(Message::Ring(RingFrame {
+                object,
+                pre_write,
+                write,
+            }))
+        }
+        other => Err(DecodeError::UnknownDiscriminant(other)),
+    }
+}
+
+fn put_object(buf: &mut BytesMut, object: ObjectId) {
+    buf.put_u32(object.0);
+}
+
+fn put_request(buf: &mut BytesMut, request: RequestId) {
+    buf.put_u64(request.0);
+}
+
+fn put_tag(buf: &mut BytesMut, tag: Tag) {
+    buf.put_u64(tag.ts);
+    buf.put_u16(tag.origin.0);
+}
+
+fn put_value(buf: &mut BytesMut, value: &Value) {
+    let len = u32::try_from(value.len()).expect("value length exceeds u32::MAX");
+    buf.put_u32(len);
+    buf.put_slice(value.as_bytes());
+}
+
+fn need(buf: &[u8], n: usize) -> Result<(), DecodeError> {
+    if buf.len() < n {
+        Err(DecodeError::UnexpectedEof {
+            needed: n,
+            remaining: buf.len(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+fn get_u8(buf: &mut &[u8]) -> Result<u8, DecodeError> {
+    need(buf, 1)?;
+    Ok(buf.get_u8())
+}
+
+fn get_flag(buf: &mut &[u8]) -> Result<bool, DecodeError> {
+    match get_u8(buf)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(DecodeError::BadOptionFlag(other)),
+    }
+}
+
+fn get_object(buf: &mut &[u8]) -> Result<ObjectId, DecodeError> {
+    need(buf, 4)?;
+    Ok(ObjectId(buf.get_u32()))
+}
+
+fn get_request(buf: &mut &[u8]) -> Result<RequestId, DecodeError> {
+    need(buf, 8)?;
+    Ok(RequestId(buf.get_u64()))
+}
+
+fn get_tag(buf: &mut &[u8]) -> Result<Tag, DecodeError> {
+    need(buf, TAG_SIZE)?;
+    let ts = buf.get_u64();
+    let origin = ServerId(buf.get_u16());
+    Ok(Tag { ts, origin })
+}
+
+fn get_value(buf: &mut &[u8]) -> Result<Value, DecodeError> {
+    need(buf, 4)?;
+    let len = buf.get_u32() as usize;
+    need(buf, len)?;
+    let value = Value::from(&buf[..len]);
+    buf.advance(len);
+    Ok(value)
+}
+
+/// Identifies the sender on a freshly accepted `hts-net` connection; see
+/// that crate's handshake. Kept here so both ends agree on the encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Hello {
+    /// The peer is ring server `ServerId`.
+    Server(ServerId),
+    /// The peer is client `ClientId`.
+    Client(ClientId),
+}
+
+impl Hello {
+    /// Encodes the handshake (3 or 5 bytes).
+    pub fn encode(self) -> Vec<u8> {
+        match self {
+            Hello::Server(s) => {
+                let mut v = vec![0x01];
+                v.extend_from_slice(&s.0.to_be_bytes());
+                v
+            }
+            Hello::Client(c) => {
+                let mut v = vec![0x02];
+                v.extend_from_slice(&c.0.to_be_bytes());
+                v
+            }
+        }
+    }
+
+    /// Decodes a handshake produced by [`Hello::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncation or an unknown role byte.
+    pub fn decode(mut buf: &[u8]) -> Result<Hello, DecodeError> {
+        let b = &mut buf;
+        match get_u8(b)? {
+            0x01 => {
+                need(b, 2)?;
+                Ok(Hello::Server(ServerId(b.get_u16())))
+            }
+            0x02 => {
+                need(b, 4)?;
+                Ok(Hello::Client(ClientId(b.get_u32())))
+            }
+            other => Err(DecodeError::UnknownDiscriminant(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_messages() -> Vec<Message> {
+        let tag = Tag::new(5, ServerId(2));
+        vec![
+            Message::WriteReq {
+                object: ObjectId(0),
+                request: RequestId(1),
+                value: Value::from_u64(77),
+            },
+            Message::WriteReq {
+                object: ObjectId(9),
+                request: RequestId(u64::MAX),
+                value: Value::bottom(),
+            },
+            Message::ReadReq {
+                object: ObjectId(3),
+                request: RequestId(2),
+            },
+            Message::WriteAck {
+                object: ObjectId(3),
+                request: RequestId(2),
+            },
+            Message::ReadAck {
+                object: ObjectId(3),
+                request: RequestId(2),
+                value: Value::filled(0xAB, 100),
+            },
+            Message::Ring(RingFrame {
+                object: ObjectId(1),
+                pre_write: None,
+                write: None,
+            }),
+            Message::Ring(RingFrame::pre_write(
+                ObjectId(1),
+                tag,
+                Value::filled(1, 33),
+            )),
+            Message::Ring(RingFrame::write(ObjectId(1), tag)),
+            Message::Ring(RingFrame::write_with_value(
+                ObjectId(1),
+                tag,
+                Value::filled(2, 65_536),
+            )),
+            Message::Ring(RingFrame {
+                object: ObjectId(2),
+                pre_write: Some(PreWrite {
+                    tag,
+                    value: Value::from_u64(1),
+                    recovery: true,
+                }),
+                write: Some(WriteNotice {
+                    tag: Tag::new(4, ServerId(0)),
+                    value: None,
+                }),
+            }),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        for msg in sample_messages() {
+            let bytes = encode(&msg);
+            assert_eq!(bytes.len(), wire_size(&msg), "wire_size mismatch: {msg}");
+            let back = decode(&bytes).expect("decode");
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_length() {
+        for msg in sample_messages() {
+            let bytes = encode(&msg);
+            for cut in 0..bytes.len() {
+                let err = decode(&bytes[..cut]).expect_err("truncated decode must fail");
+                assert!(
+                    matches!(err, DecodeError::UnexpectedEof { .. }),
+                    "cut={cut} gave {err:?} for {msg}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let msg = Message::ReadReq {
+            object: ObjectId(0),
+            request: RequestId(1),
+        };
+        let mut bytes = encode(&msg).to_vec();
+        bytes.push(0);
+        assert_eq!(
+            decode(&bytes),
+            Err(DecodeError::TrailingBytes { remaining: 1 })
+        );
+    }
+
+    #[test]
+    fn unknown_discriminant_rejected() {
+        assert_eq!(decode(&[0x7F]), Err(DecodeError::UnknownDiscriminant(0x7F)));
+    }
+
+    #[test]
+    fn bad_option_flag_rejected() {
+        // Ring frame with pre_write flag = 2.
+        let mut bytes = vec![D_RING];
+        bytes.extend_from_slice(&0u32.to_be_bytes());
+        bytes.push(2);
+        assert_eq!(decode(&bytes), Err(DecodeError::BadOptionFlag(2)));
+    }
+
+    #[test]
+    fn decode_partial_consumes_exactly_one_message() {
+        let a = Message::ReadReq {
+            object: ObjectId(1),
+            request: RequestId(2),
+        };
+        let b = Message::WriteAck {
+            object: ObjectId(3),
+            request: RequestId(4),
+        };
+        let mut bytes = encode(&a).to_vec();
+        bytes.extend_from_slice(&encode(&b));
+        let mut cursor = &bytes[..];
+        assert_eq!(decode_partial(&mut cursor).unwrap(), a);
+        assert_eq!(decode_partial(&mut cursor).unwrap(), b);
+        assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn tag_only_write_is_small() {
+        // The whole point of the piggyback optimization: a committed-write
+        // notice must be tiny compared to the value it commits.
+        let size = wire_size(&Message::Ring(RingFrame::write(
+            ObjectId(0),
+            Tag::new(1, ServerId(0)),
+        )));
+        assert!(size <= 32, "tag-only write frame is {size} bytes");
+    }
+
+    #[test]
+    fn hello_roundtrip() {
+        for hello in [Hello::Server(ServerId(3)), Hello::Client(ClientId(900))] {
+            let bytes = hello.encode();
+            assert_eq!(Hello::decode(&bytes).unwrap(), hello);
+        }
+        assert!(Hello::decode(&[0x09]).is_err());
+        assert!(Hello::decode(&[0x01, 0x00]).is_err());
+    }
+}

@@ -1,0 +1,90 @@
+//! Error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Failure to decode a [`Message`](crate::Message) from bytes.
+///
+/// Returned by [`codec::decode`](crate::codec::decode). All variants are
+/// terminal: a buffer that fails to decode was corrupted or truncated by the
+/// transport, never partially usable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before a field could be read in full.
+    UnexpectedEof {
+        /// Bytes the field still needed.
+        needed: usize,
+        /// Bytes that remained in the buffer.
+        remaining: usize,
+    },
+    /// The leading message-kind byte is not a known discriminant.
+    UnknownDiscriminant(u8),
+    /// An `Option` presence flag held a byte other than 0 or 1.
+    BadOptionFlag(u8),
+    /// Decoding finished with unconsumed bytes left over.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof { needed, remaining } => write!(
+                f,
+                "unexpected end of buffer: field needs {needed} bytes, {remaining} remain"
+            ),
+            DecodeError::UnknownDiscriminant(d) => {
+                write!(f, "unknown message discriminant {d:#04x}")
+            }
+            DecodeError::BadOptionFlag(b) => {
+                write!(f, "option presence flag must be 0 or 1, found {b}")
+            }
+            DecodeError::TrailingBytes { remaining } => {
+                write!(f, "decoded message leaves {remaining} trailing bytes")
+            }
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let samples: Vec<(DecodeError, &str)> = vec![
+            (
+                DecodeError::UnexpectedEof {
+                    needed: 8,
+                    remaining: 3,
+                },
+                "unexpected end of buffer: field needs 8 bytes, 3 remain",
+            ),
+            (
+                DecodeError::UnknownDiscriminant(0xFF),
+                "unknown message discriminant 0xff",
+            ),
+            (
+                DecodeError::BadOptionFlag(9),
+                "option presence flag must be 0 or 1, found 9",
+            ),
+            (
+                DecodeError::TrailingBytes { remaining: 2 },
+                "decoded message leaves 2 trailing bytes",
+            ),
+        ];
+        for (err, want) in samples {
+            assert_eq!(err.to_string(), want);
+        }
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<DecodeError>();
+    }
+}

@@ -1,0 +1,243 @@
+//! Identifier newtypes.
+//!
+//! Every participant and request in the system is named by a small, `Copy`
+//! integer newtype (per C-NEWTYPE): this keeps simulator bookkeeping cheap
+//! and makes it impossible to confuse, say, a server index with a client
+//! handle at compile time.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a storage **server** (the paper's process `p_i`).
+///
+/// Servers are numbered densely `0..n` in ring order: the successor of
+/// server `i` in a healthy ring of `n` servers is `(i + 1) % n`.
+///
+/// # Examples
+///
+/// ```
+/// use hts_types::ServerId;
+/// let s = ServerId(2);
+/// assert_eq!(s.index(), 2);
+/// assert_eq!(format!("{s}"), "s2");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ServerId(pub u16);
+
+impl ServerId {
+    /// Returns the server's ring index as a `usize`.
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl From<u16> for ServerId {
+    fn from(raw: u16) -> Self {
+        ServerId(raw)
+    }
+}
+
+/// Identifier of a **client** process (reader or writer).
+///
+/// The algorithm supports an unbounded number of clients; ids only need to
+/// be unique within one deployment or simulation.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ClientId(pub u32);
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl From<u32> for ClientId {
+    fn from(raw: u32) -> Self {
+        ClientId(raw)
+    }
+}
+
+/// Identifier of a register **object** hosted by the ring.
+///
+/// A deployment multiplexes many independent atomic registers ("objects")
+/// over one server ring; single-register uses pass [`ObjectId::SINGLE`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ObjectId(pub u32);
+
+impl ObjectId {
+    /// The conventional object id used by single-register deployments.
+    pub const SINGLE: ObjectId = ObjectId(0);
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj{}", self.0)
+    }
+}
+
+impl From<u32> for ObjectId {
+    fn from(raw: u32) -> Self {
+        ObjectId(raw)
+    }
+}
+
+/// Client-chosen identifier correlating a request with its reply.
+///
+/// Request ids must be unique per client connection; the bundled client
+/// state machines allocate them from a monotone counter.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct RequestId(pub u64);
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<u64> for RequestId {
+    fn from(raw: u64) -> Self {
+        RequestId(raw)
+    }
+}
+
+/// The role a process plays in a deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProcessRole {
+    /// A storage server participating in the ring.
+    Server,
+    /// A client issuing read/write requests.
+    Client,
+}
+
+impl fmt::Display for ProcessRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProcessRole::Server => f.write_str("server"),
+            ProcessRole::Client => f.write_str("client"),
+        }
+    }
+}
+
+/// A process address in a concrete deployment (simulator or TCP cluster):
+/// either a ring server or a client.
+///
+/// Transport layers route on `NodeId`; the protocol state machines only
+/// ever reason about [`ServerId`] / [`ClientId`].
+///
+/// # Examples
+///
+/// ```
+/// use hts_types::{ClientId, NodeId, ServerId};
+/// let a = NodeId::Server(ServerId(0));
+/// let b = NodeId::Client(ClientId(7));
+/// assert!(a.is_server() && !b.is_server());
+/// assert_eq!(format!("{a}/{b}"), "s0/c7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum NodeId {
+    /// A ring server.
+    Server(ServerId),
+    /// A client.
+    Client(ClientId),
+}
+
+impl NodeId {
+    /// Returns `true` if this node is a ring server.
+    pub fn is_server(self) -> bool {
+        matches!(self, NodeId::Server(_))
+    }
+
+    /// Returns the server id, if this node is a server.
+    pub fn as_server(self) -> Option<ServerId> {
+        match self {
+            NodeId::Server(s) => Some(s),
+            NodeId::Client(_) => None,
+        }
+    }
+
+    /// Returns the client id, if this node is a client.
+    pub fn as_client(self) -> Option<ClientId> {
+        match self {
+            NodeId::Client(c) => Some(c),
+            NodeId::Server(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeId::Server(s) => s.fmt(f),
+            NodeId::Client(c) => c.fmt(f),
+        }
+    }
+}
+
+impl From<ServerId> for NodeId {
+    fn from(id: ServerId) -> Self {
+        NodeId::Server(id)
+    }
+}
+
+impl From<ClientId> for NodeId {
+    fn from(id: ClientId) -> Self {
+        NodeId::Client(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ServerId(3).to_string(), "s3");
+        assert_eq!(ClientId(11).to_string(), "c11");
+        assert_eq!(ObjectId(5).to_string(), "obj5");
+        assert_eq!(RequestId(9).to_string(), "r9");
+        assert_eq!(NodeId::Server(ServerId(1)).to_string(), "s1");
+        assert_eq!(NodeId::Client(ClientId(2)).to_string(), "c2");
+    }
+
+    #[test]
+    fn node_id_accessors() {
+        let s = NodeId::from(ServerId(4));
+        let c = NodeId::from(ClientId(4));
+        assert_eq!(s.as_server(), Some(ServerId(4)));
+        assert_eq!(s.as_client(), None);
+        assert_eq!(c.as_client(), Some(ClientId(4)));
+        assert_eq!(c.as_server(), None);
+        assert!(s.is_server());
+        assert!(!c.is_server());
+    }
+
+    #[test]
+    fn server_ordering_is_by_index() {
+        let mut v = vec![ServerId(2), ServerId(0), ServerId(1)];
+        v.sort();
+        assert_eq!(v, vec![ServerId(0), ServerId(1), ServerId(2)]);
+    }
+
+    #[test]
+    fn conversion_roundtrips() {
+        assert_eq!(ServerId::from(7u16), ServerId(7));
+        assert_eq!(ClientId::from(8u32), ClientId(8));
+        assert_eq!(ObjectId::from(9u32), ObjectId(9));
+        assert_eq!(RequestId::from(10u64), RequestId(10));
+        assert_eq!(ServerId(3).index(), 3);
+    }
+}

@@ -1,0 +1,125 @@
+//! Write tags: Lamport-style logical timestamps with origin tie-breaking.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ServerId;
+
+/// A write tag `[ts, id]` — the logical timestamp ordering all writes.
+///
+/// Tags compare **lexicographically**: first by logical timestamp `ts`,
+/// then by the originating server id (`>lex` in the paper's pseudo-code).
+/// Because each originating server increments `ts` past every timestamp it
+/// has seen before issuing a new write, tags from one origin are strictly
+/// monotone, and the origin component makes concurrent tags from different
+/// origins comparable, yielding a total order on all writes ever issued.
+///
+/// [`Tag::ZERO`] is the tag of the initial value `⊥`; it is smaller than
+/// every tag a real write can carry.
+///
+/// # Examples
+///
+/// ```
+/// use hts_types::{ServerId, Tag};
+///
+/// let initial = Tag::ZERO;
+/// let a = Tag::new(1, ServerId(0));
+/// let b = Tag::new(1, ServerId(1)); // concurrent with `a`, loses the tie
+/// let c = a.successor(ServerId(1)); // a later write that observed `a`
+///
+/// assert!(initial < a && a < b && b < c);
+/// assert_eq!(c, Tag::new(2, ServerId(1)));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Tag {
+    /// Logical timestamp (compared first).
+    pub ts: u64,
+    /// Originating server (breaks timestamp ties).
+    pub origin: ServerId,
+}
+
+impl Tag {
+    /// The tag of the initial register value `⊥` (timestamp 0).
+    pub const ZERO: Tag = Tag {
+        ts: 0,
+        origin: ServerId(0),
+    };
+
+    /// Creates a tag from a timestamp and an originating server.
+    pub fn new(ts: u64, origin: ServerId) -> Self {
+        Tag { ts, origin }
+    }
+
+    /// The smallest tag strictly greater than `self` that server `origin`
+    /// may issue: `[ts + 1, origin]`.
+    ///
+    /// This is the paper's line 23,
+    /// `tag ← [max(highest.ts, ts) + 1, i]`, applied to a single
+    /// already-maximized timestamp.
+    pub fn successor(self, origin: ServerId) -> Self {
+        Tag {
+            ts: self.ts + 1,
+            origin,
+        }
+    }
+
+    /// Returns `true` for the initial-value tag.
+    pub fn is_zero(self) -> bool {
+        self.ts == 0
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{},{}]", self.ts, self.origin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexicographic_order() {
+        // ts dominates.
+        assert!(Tag::new(1, ServerId(9)) < Tag::new(2, ServerId(0)));
+        // origin breaks ties.
+        assert!(Tag::new(2, ServerId(0)) < Tag::new(2, ServerId(1)));
+        // equality requires both.
+        assert_eq!(Tag::new(2, ServerId(1)), Tag::new(2, ServerId(1)));
+    }
+
+    #[test]
+    fn zero_is_minimal() {
+        assert!(Tag::ZERO.is_zero());
+        assert!(Tag::ZERO < Tag::new(1, ServerId(0)));
+        // A zero-timestamp tag from any origin is still "zero"; the
+        // protocol never issues one (successor starts at ts = 1).
+        assert!(Tag::new(0, ServerId(5)).is_zero());
+    }
+
+    #[test]
+    fn successor_is_strictly_greater() {
+        let t = Tag::new(7, ServerId(3));
+        let s = t.successor(ServerId(0));
+        assert!(s > t);
+        assert_eq!(s.ts, 8);
+        assert_eq!(s.origin, ServerId(0));
+    }
+
+    #[test]
+    fn display_form() {
+        assert_eq!(Tag::new(4, ServerId(2)).to_string(), "[4,s2]");
+    }
+
+    #[test]
+    fn max_picks_lexicographic_winner() {
+        let a = Tag::new(3, ServerId(2));
+        let b = Tag::new(3, ServerId(1));
+        assert_eq!(a.max(b), a);
+        assert_eq!(b.max(a), a);
+    }
+}

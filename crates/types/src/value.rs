@@ -1,0 +1,187 @@
+//! Register values.
+
+use std::fmt;
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// An opaque register value: an immutable, cheaply-cloneable byte string.
+///
+/// `Value` wraps [`bytes::Bytes`], so cloning is a reference-count bump —
+/// important in the simulator, where one 64 KiB payload is otherwise copied
+/// once per ring hop. The empty value doubles as the initial register
+/// content `⊥` (paired with [`Tag::ZERO`](crate::Tag::ZERO)).
+///
+/// # Examples
+///
+/// ```
+/// use hts_types::Value;
+///
+/// let v = Value::from_static(b"payload");
+/// assert_eq!(v.len(), 7);
+/// assert_eq!(v.as_bytes(), b"payload");
+///
+/// let filler = Value::filled(0xAB, 1024); // benchmark payloads
+/// assert_eq!(filler.len(), 1024);
+///
+/// let bottom = Value::bottom();
+/// assert!(bottom.is_bottom());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Value(Bytes);
+
+impl Value {
+    /// The initial register content `⊥` (the empty byte string).
+    pub fn bottom() -> Self {
+        Value(Bytes::new())
+    }
+
+    /// Creates a value borrowing from static data (no allocation).
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Value(Bytes::from_static(data))
+    }
+
+    /// Creates a value of `len` bytes, each equal to `byte`.
+    ///
+    /// Benchmarks use this to fabricate payloads of a given size.
+    pub fn filled(byte: u8, len: usize) -> Self {
+        Value(Bytes::from(vec![byte; len]))
+    }
+
+    /// Encodes a `u64` as an 8-byte big-endian value. Convenient in tests
+    /// where values must be distinct and assertable.
+    pub fn from_u64(n: u64) -> Self {
+        Value(Bytes::copy_from_slice(&n.to_be_bytes()))
+    }
+
+    /// Decodes a value created by [`Value::from_u64`]. Returns `None` if the
+    /// value is not exactly 8 bytes.
+    pub fn as_u64(&self) -> Option<u64> {
+        let arr: [u8; 8] = self.0.as_ref().try_into().ok()?;
+        Some(u64::from_be_bytes(arr))
+    }
+
+    /// The value's length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` if the value is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Returns `true` if this is the initial content `⊥` (empty).
+    pub fn is_bottom(&self) -> bool {
+        self.is_empty()
+    }
+
+    /// Borrows the underlying bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Extracts the underlying [`Bytes`] (free).
+    pub fn into_bytes(self) -> Bytes {
+        self.0
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_bottom() {
+            return f.write_str("Value(⊥)");
+        }
+        if let Some(n) = self.as_u64() {
+            return write!(f, "Value(u64:{n})");
+        }
+        if self.len() <= 16 {
+            write!(f, "Value({:02x?})", self.as_bytes())
+        } else {
+            write!(
+                f,
+                "Value({} bytes, {:02x?}…)",
+                self.len(),
+                &self.as_bytes()[..8]
+            )
+        }
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Self {
+        Value(Bytes::from(v))
+    }
+}
+
+impl From<Bytes> for Value {
+    fn from(b: Bytes) -> Self {
+        Value(b)
+    }
+}
+
+impl From<&[u8]> for Value {
+    fn from(s: &[u8]) -> Self {
+        Value(Bytes::copy_from_slice(s))
+    }
+}
+
+impl AsRef<[u8]> for Value {
+    fn as_ref(&self) -> &[u8] {
+        self.as_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bottom_is_empty() {
+        let b = Value::bottom();
+        assert!(b.is_bottom());
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+        assert_eq!(b, Value::default());
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        let v = Value::from_u64(0xDEAD_BEEF_0000_0001);
+        assert_eq!(v.as_u64(), Some(0xDEAD_BEEF_0000_0001));
+        assert_eq!(v.len(), 8);
+        assert_eq!(Value::from_static(b"xyz").as_u64(), None);
+    }
+
+    #[test]
+    fn filled_has_requested_size() {
+        let v = Value::filled(7, 1000);
+        assert_eq!(v.len(), 1000);
+        assert!(v.as_bytes().iter().all(|&b| b == 7));
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let v = Value::filled(1, 1 << 20);
+        let w = v.clone();
+        // Bytes clones share the same backing allocation.
+        assert_eq!(v.as_bytes().as_ptr(), w.as_bytes().as_ptr());
+    }
+
+    #[test]
+    fn conversions() {
+        let v: Value = vec![1u8, 2, 3].into();
+        assert_eq!(v.as_bytes(), &[1, 2, 3]);
+        let w: Value = (&[4u8, 5][..]).into();
+        assert_eq!(w.as_ref(), &[4, 5]);
+        let b = w.clone().into_bytes();
+        assert_eq!(&b[..], &[4, 5]);
+    }
+
+    #[test]
+    fn debug_forms_are_nonempty() {
+        assert_eq!(format!("{:?}", Value::bottom()), "Value(⊥)");
+        assert!(format!("{:?}", Value::from_u64(3)).contains("u64:3"));
+        assert!(!format!("{:?}", Value::filled(0, 64)).is_empty());
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the wire codec and tag ordering laws.
+
+use hts_types::{
+    codec, Message, ObjectId, PreWrite, RequestId, RingFrame, ServerId, Tag, Value, WriteNotice,
+};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop::collection::vec(any::<u8>(), 0..2048).prop_map(Value::from)
+}
+
+fn arb_tag() -> impl Strategy<Value = Tag> {
+    (any::<u64>(), any::<u16>()).prop_map(|(ts, origin)| Tag::new(ts, ServerId(origin)))
+}
+
+fn arb_frame() -> impl Strategy<Value = RingFrame> {
+    (
+        any::<u32>(),
+        prop::option::of((arb_tag(), arb_value(), any::<bool>())),
+        prop::option::of((arb_tag(), prop::option::of(arb_value()))),
+    )
+        .prop_map(|(object, pw, w)| RingFrame {
+            object: ObjectId(object),
+            pre_write: pw.map(|(tag, value, recovery)| PreWrite {
+                tag,
+                value,
+                recovery,
+            }),
+            write: w.map(|(tag, value)| WriteNotice { tag, value }),
+        })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (any::<u32>(), any::<u64>(), arb_value()).prop_map(|(o, r, value)| Message::WriteReq {
+            object: ObjectId(o),
+            request: RequestId(r),
+            value,
+        }),
+        (any::<u32>(), any::<u64>()).prop_map(|(o, r)| Message::ReadReq {
+            object: ObjectId(o),
+            request: RequestId(r),
+        }),
+        (any::<u32>(), any::<u64>()).prop_map(|(o, r)| Message::WriteAck {
+            object: ObjectId(o),
+            request: RequestId(r),
+        }),
+        (any::<u32>(), any::<u64>(), arb_value()).prop_map(|(o, r, value)| Message::ReadAck {
+            object: ObjectId(o),
+            request: RequestId(r),
+            value,
+        }),
+        arb_frame().prop_map(Message::Ring),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn codec_roundtrip(msg in arb_message()) {
+        let bytes = codec::encode(&msg);
+        prop_assert_eq!(bytes.len(), codec::wire_size(&msg));
+        let back = codec::decode(&bytes).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn decode_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        // Any outcome is fine as long as it does not panic.
+        let _ = codec::decode(&bytes);
+    }
+
+    #[test]
+    fn decode_partial_stream(msgs in prop::collection::vec(arb_message(), 1..8)) {
+        let mut buf = Vec::new();
+        for m in &msgs {
+            buf.extend_from_slice(&codec::encode(m));
+        }
+        let mut cursor = &buf[..];
+        for m in &msgs {
+            let got = codec::decode_partial(&mut cursor).unwrap();
+            prop_assert_eq!(&got, m);
+        }
+        prop_assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn tag_order_is_total_and_lexicographic(a in arb_tag(), b in arb_tag()) {
+        use std::cmp::Ordering;
+        let expected = match a.ts.cmp(&b.ts) {
+            Ordering::Equal => a.origin.cmp(&b.origin),
+            other => other,
+        };
+        prop_assert_eq!(a.cmp(&b), expected);
+        // Antisymmetry.
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+    }
+
+    #[test]
+    fn tag_successor_dominates(a in arb_tag(), origin in any::<u16>()) {
+        prop_assume!(a.ts < u64::MAX);
+        let s = a.successor(ServerId(origin));
+        prop_assert!(s > a);
+    }
+}
