@@ -180,11 +180,9 @@ impl TobServer {
             }
             *seen = tag.ts;
         }
-        if let Some(value) = self.announced.remove(&tag) {
-            if let Some(v) = value {
-                if tag > self.stored.0 {
-                    self.stored = (tag, v);
-                }
+        if let Some(Some(v)) = self.announced.remove(&tag) {
+            if tag > self.stored.0 {
+                self.stored = (tag, v);
             }
         }
         if mine {

@@ -138,7 +138,7 @@ impl ForwardScheduler {
         let mut best: Option<(u64, ServerId)> = None;
         let mut consider = |sched: &Self, origin: ServerId| {
             let count = sched.nb_msg.get(&origin).copied().unwrap_or(0);
-            if best.map_or(true, |(c, o)| (count, origin) < (c, o)) {
+            if best.is_none_or(|(c, o)| (count, origin) < (c, o)) {
                 best = Some((count, origin));
             }
         };

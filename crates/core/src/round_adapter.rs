@@ -73,11 +73,9 @@ impl RoundServer {
 impl RoundProcess<Message> for RoundServer {
     fn on_round(&mut self, ctx: &mut RoundCtx<'_, Message>, _round: u64) {
         // Receive (≤1 per NIC, per the model).
-        if let Some((_, msg)) = ctx.take_incoming(self.ring_net) {
-            if let Message::Ring(frame) = msg {
-                let actions = self.core.on_frame(frame);
-                self.queue_actions(actions);
-            }
+        if let Some((_, Message::Ring(frame))) = ctx.take_incoming(self.ring_net) {
+            let actions = self.core.on_frame(frame);
+            self.queue_actions(actions);
         }
         if let Some((from, msg)) = ctx.take_incoming(self.client_net) {
             if let Some(client) = from.as_client() {

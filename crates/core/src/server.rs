@@ -341,9 +341,7 @@ impl ServerCore {
     /// fairness rule. Returns `None` when nothing needs the slot (or this
     /// server is alone).
     pub fn next_frame(&mut self) -> Option<RingFrame> {
-        if self.ring.successor().is_none() {
-            return None;
-        }
+        self.ring.successor()?;
         loop {
             let want_local = !self.write_queue.is_empty();
             let me = self.me();

@@ -196,7 +196,7 @@ pub fn check_conditions(history: &History) -> Vec<Violation> {
         for &(r_inv, idx) in &reads_by_inv {
             while wi < completed_writes.len() && completed_writes[wi].0 < r_inv {
                 let (_, inv, id) = completed_writes[wi];
-                if best.map_or(true, |(b, _)| inv > b) {
+                if best.is_none_or(|(b, _)| inv > b) {
                     best = Some((inv, id));
                 }
                 wi += 1;
@@ -234,7 +234,7 @@ pub fn check_conditions(history: &History) -> Vec<Violation> {
             while ri < reads_by_ret.len() && reads_by_ret[ri].0 < r2_inv {
                 let idx1 = reads_by_ret[ri].1;
                 let (w1_inv, _) = write_interval(reads[idx1].1);
-                if best.map_or(true, |(b, _)| w1_inv > b) {
+                if best.is_none_or(|(b, _)| w1_inv > b) {
                     best = Some((w1_inv, idx1));
                 }
                 ri += 1;

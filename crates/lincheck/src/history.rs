@@ -267,7 +267,7 @@ mod tests {
         h.complete_read(r, Value::from_u64(1), 3);
         h.prune_pending_reads();
         assert_eq!(h.len(), 2); // pending write + completed read
-        assert!(h.records()[0].op.is_read() == false);
+        assert!(!h.records()[0].op.is_read());
     }
 
     #[test]

@@ -130,7 +130,7 @@ pub fn check_witnessed(history: &History) -> Outcome {
                 ));
             }
         }
-        if max_inv_so_far.map_or(true, |(m, _)| op.inv > m) {
+        if max_inv_so_far.is_none_or(|(m, _)| op.inv > m) {
             max_inv_so_far = Some((op.inv, op.id));
         }
     }

@@ -328,6 +328,9 @@ pub struct TraceEntry {
     pub what: String,
 }
 
+/// Shape of the per-event callbacks `dispatch` runs against a process.
+type ProcessHook<'a, M> = dyn FnMut(&mut dyn Process<M>, &mut Ctx<'_, M>) + 'a;
+
 /// The packet-level simulator. See the [module docs](self).
 pub struct PacketSim<M> {
     networks: Vec<NetworkConfig>,
@@ -671,12 +674,7 @@ impl<M: Wire + fmt::Debug> PacketSim<M> {
     /// Runs `f` against node `idx`'s process with a fresh [`Ctx`], then
     /// applies the buffered commands. Unless the callback itself was
     /// `on_tx_idle`, NICs left idle afterwards get one `on_tx_idle` pull.
-    fn dispatch(
-        &mut self,
-        idx: usize,
-        is_tx_idle_cb: bool,
-        f: &mut dyn FnMut(&mut dyn Process<M>, &mut Ctx<'_, M>),
-    ) {
+    fn dispatch(&mut self, idx: usize, is_tx_idle_cb: bool, f: &mut ProcessHook<'_, M>) {
         let mut proc = self.nodes[idx].proc.take().expect("re-entrant dispatch");
         let node = self.nodes[idx].id;
         let idle: Vec<(NetworkId, bool)> = self.nodes[idx]

@@ -1,0 +1,132 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! Supports the `criterion_group!`/`criterion_main!` + benchmark-group
+//! shape used by `hts-bench`'s `figures` bench. Each benchmark runs a
+//! handful of timed iterations and prints the mean wall-clock time — no
+//! statistical analysis, warm-up calibration or reports.
+
+use std::time::Instant;
+
+/// Entry point handed to every benchmark function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 10,
+        }
+    }
+
+    /// Registers a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, 10, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    let mut bencher = Bencher {
+        iters: sample_size.max(1) as u64,
+        elapsed_ns: 0,
+        done: 0,
+    };
+    f(&mut bencher);
+    match bencher.elapsed_ns.checked_div(bencher.done) {
+        Some(mean_ns) => println!("  {id}: {} iters, mean {mean_ns} ns/iter", bencher.done),
+        None => println!("  {id}: routine never called iter()"),
+    }
+}
+
+/// Times the closure passed to [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u64,
+    done: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` for the configured number of iterations, timing
+    /// each; results are kept alive so the optimizer cannot delete the
+    /// work (callers additionally use `std::hint::black_box`).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            let out = routine();
+            self.elapsed_ns += u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            drop(out);
+            self.done += 1;
+        }
+    }
+}
+
+/// Declares a function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_function("b", |b| b.iter(|| calls += 1));
+            g.finish();
+        }
+        assert_eq!(calls, 3);
+    }
+}

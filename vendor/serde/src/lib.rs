@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde` (see `vendor/README.md`).
+//!
+//! Provides the `Serialize`/`Deserialize` names in both the type and
+//! macro namespaces so `use serde::{Deserialize, Serialize}` plus
+//! `#[derive(Serialize, Deserialize)]` compile. The derives are no-ops:
+//! nothing in this workspace serializes through serde (the wire format
+//! is `hts_types::codec`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`. Never implemented by the
+/// no-op derive; present only so bounds and imports resolve.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`. Never implemented by the
+/// no-op derive; present only so bounds and imports resolve.
+pub trait Deserialize<'de> {}

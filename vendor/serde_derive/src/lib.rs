@@ -1,0 +1,19 @@
+//! No-op stand-ins for serde's derive macros (offline vendor stub).
+//!
+//! The `hts` workspace hand-rolls its wire format (`hts_types::codec`);
+//! the serde derives on its types exist for downstream interop when the
+//! real serde is swapped in. Here they expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts anything `#[derive(Serialize)]` accepts.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts anything `#[derive(Deserialize)]` accepts.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
