@@ -251,8 +251,7 @@ impl AbdClient {
             self.broadcast(ctx, &AbdMsg::Query { request });
         } else {
             self.value_seq += 1;
-            let value =
-                hts_core::unique_value(self.id, self.value_seq, self.workload.value_size);
+            let value = hts_core::unique_value(self.id, self.value_seq, self.workload.value_size);
             let op_id = self.history.as_ref().map(|h| {
                 h.borrow_mut()
                     .invoke_write(self.id, value.clone(), now.as_nanos())
@@ -495,10 +494,13 @@ mod tests {
 
     #[test]
     fn wire_sizes_match_shape() {
-        assert!(AbdMsg::Query {
-            request: RequestId(1)
-        }
-        .wire_size() < 16);
+        assert!(
+            AbdMsg::Query {
+                request: RequestId(1)
+            }
+            .wire_size()
+                < 16
+        );
         let update = AbdMsg::Update {
             request: RequestId(1),
             tag: Tag::new(1, ServerId(0)),

@@ -271,7 +271,10 @@ mod tests {
         let history = Rc::new(RefCell::new(History::new()));
         for i in 0..n {
             let id = NodeId::Server(ServerId(i));
-            sim.add_node(id, Box::new(ChainServer::new(ServerId(i), n, server_net, client_net)));
+            sim.add_node(
+                id,
+                Box::new(ChainServer::new(ServerId(i), n, server_net, client_net)),
+            );
             sim.attach(id, server_net);
             sim.attach(id, client_net);
         }
@@ -285,8 +288,13 @@ mod tests {
                 start_delay: Nanos::ZERO,
                 timeout: Nanos::from_millis(500),
             };
-            let (client, s) =
-                ChainClient::new(ClientId(c), n, workload, client_net, Some(Rc::clone(&history)));
+            let (client, s) = ChainClient::new(
+                ClientId(c),
+                n,
+                workload,
+                client_net,
+                Some(Rc::clone(&history)),
+            );
             sim.add_node(id, Box::new(client));
             sim.attach(id, client_net);
             stats.push(s);

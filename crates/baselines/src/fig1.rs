@@ -238,12 +238,8 @@ pub fn run_fig1(quorum: bool, n: u16, clients_per_server: u32, rounds: u64) -> (
     let mut stats = Vec::new();
     for c in 0..(u32::from(n) * clients_per_server) {
         let id = NodeId::Client(ClientId(c));
-        let (client, s) = Fig1Client::new(
-            ClientId(c),
-            ServerId((c % u32::from(n)) as u16),
-            None,
-            net,
-        );
+        let (client, s) =
+            Fig1Client::new(ClientId(c), ServerId((c % u32::from(n)) as u16), None, net);
         sim.add_node(id, Box::new(client));
         sim.attach(id, net);
         stats.push(s);

@@ -82,10 +82,9 @@ impl Wire for TobMsg {
             TobMsg::ReadReq { .. } | TobMsg::WriteAck { .. } => 1 + 8,
             TobMsg::ReadAck { value, .. } => 1 + 8 + 4 + value.len(),
             TobMsg::Ring(frame) => {
-                let a = frame
-                    .announce
-                    .as_ref()
-                    .map_or(0, |op| 10 + 1 + op.value.as_ref().map_or(0, |v| 4 + v.len()));
+                let a = frame.announce.as_ref().map_or(0, |op| {
+                    10 + 1 + op.value.as_ref().map_or(0, |v| 4 + v.len())
+                });
                 let c = frame.commit.map_or(0, |_| 10);
                 1 + 1 + a + 1 + c
             }
@@ -335,7 +334,10 @@ mod tests {
         let history = Rc::new(RefCell::new(History::new()));
         for i in 0..n {
             let id = NodeId::Server(ServerId(i));
-            sim.add_node(id, Box::new(TobServer::new(ServerId(i), n, ring_net, client_net)));
+            sim.add_node(
+                id,
+                Box::new(TobServer::new(ServerId(i), n, ring_net, client_net)),
+            );
             sim.attach(id, ring_net);
             sim.attach(id, client_net);
         }

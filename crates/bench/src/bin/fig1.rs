@@ -3,8 +3,16 @@
 //! (Algorithm B) in the paper's synchronous round model. Both are tuned to
 //! the same isolated latency (4 rounds); their steady-state throughputs
 //! differ threefold.
+//!
+//! Also emits `BENCH_fig1.json`: the round-model numbers plus a
+//! packet-model baseline of the real ring protocol (read/write payload
+//! throughput and p50/p99 latencies), so the performance trajectory of
+//! future changes can be diffed mechanically.
 
 use hts_baselines::fig1::run_fig1;
+use hts_bench::report::{json_f64, latency_object, write_report};
+use hts_bench::{run_ring_detailed, Params};
+use hts_sim::Nanos;
 
 fn main() {
     println!("# Figure 1 — quorum (A) vs local-read (B), round model, 3 servers");
@@ -21,16 +29,72 @@ fn main() {
     let (done_a, _) = run_fig1(true, 3, 4, rounds);
     let (done_b, _) = run_fig1(false, 3, 4, rounds);
 
-    println!(
-        "| A (majority quorum) | {lat_a:.0} | {:.2} |",
-        done_a as f64 / rounds as f64
-    );
-    println!(
-        "| B (local read)      | {lat_b:.0} | {:.2} |",
-        done_b as f64 / rounds as f64
-    );
+    let tput_a = done_a as f64 / rounds as f64;
+    let tput_b = done_b as f64 / rounds as f64;
+    println!("| A (majority quorum) | {lat_a:.0} | {tput_a:.2} |");
+    println!("| B (local read)      | {lat_b:.0} | {tput_b:.2} |");
+    println!();
+    println!("paper: A and B share the 4-round latency; A sustains 1 read/round, B sustains 3.");
+
+    // Packet-model baseline of the real ring: the reference numbers the
+    // perf trajectory diffs against.
+    let params = Params {
+        n: 4,
+        readers_per_server: 2,
+        writers_per_server: 1,
+        value_size: 64 * 1024,
+        warmup: Nanos::from_millis(300),
+        measure: Nanos::from_secs(1),
+        ..Params::default()
+    };
+    let (m, mut read_lat, mut write_lat) = run_ring_detailed(&params);
     println!();
     println!(
-        "paper: A and B share the 4-round latency; A sustains 1 read/round, B sustains 3."
+        "ring baseline (packet model, n={}, 64 KiB): reads {:.1} Mbit/s, writes {:.1} Mbit/s",
+        params.n, m.read_mbps, m.write_mbps
     );
+
+    let body = format!(
+        r#"{{
+  "figure": "fig1",
+  "round_model": {{
+    "servers": 3,
+    "algorithm_a": {{"latency_rounds": {}, "throughput_reads_per_round": {}}},
+    "algorithm_b": {{"latency_rounds": {}, "throughput_reads_per_round": {}}}
+  }},
+  "ring_packet_model": {{
+    "n": {},
+    "value_size_bytes": {},
+    "readers_per_server": {},
+    "writers_per_server": {},
+    "measure_seconds": {},
+    "read_throughput_mbps": {},
+    "write_throughput_mbps": {},
+    "reads_completed": {},
+    "writes_completed": {},
+    "read_latency": {},
+    "write_latency": {}
+  }}
+}}
+"#,
+        json_f64(lat_a),
+        json_f64(tput_a),
+        json_f64(lat_b),
+        json_f64(tput_b),
+        params.n,
+        params.value_size,
+        params.readers_per_server,
+        params.writers_per_server,
+        json_f64(params.measure.as_secs_f64()),
+        json_f64(m.read_mbps),
+        json_f64(m.write_mbps),
+        m.reads,
+        m.writes,
+        latency_object(&mut read_lat),
+        latency_object(&mut write_lat),
+    );
+    match write_report("fig1", &body) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_fig1.json: {e}"),
+    }
 }

@@ -1,45 +1,75 @@
-//! Failure-handling timeline (no figure in the paper, §3's mechanism):
-//! run a mixed workload, crash servers mid-run, and report per-interval
-//! throughput plus the invariant checks — every client operation still
-//! completes, and the history stays atomic.
+//! Failure-handling timelines (no figure in the paper; §3's mechanism
+//! plus this repo's crash-**recovery** extension):
+//!
+//! 1. **Crash-stop** — the paper's model: run a mixed workload, crash
+//!    servers mid-run for good, report per-interval throughput and check
+//!    the history stays atomic.
+//! 2. **Crash-restart** — the `hts-wal` extension: a durable server is
+//!    killed and rebooted from its log; a probe client pinned to it
+//!    measures the end-to-end recovery time (replay + ring rejoin +
+//!    resync) as the latency of the first read served by the restarted
+//!    server.
+//! 3. **Fsync ablation** — write throughput under `Durability::Volatile`
+//!    vs `Buffered` (OS page cache) vs `SyncAlways` (ack-after-fsync on
+//!    a modeled NVMe disk).
+//!
+//! Emits `BENCH_recovery.json` with all three result sets.
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use hts_core::{ClientStats, Config, OpMix, SimClient, SimServer, WorkloadConfig};
+use hts_bench::report::{json_f64, json_string_array, latency_object, write_report};
+use hts_bench::{run_ring, Params};
+use hts_core::{ClientStats, Config, Durability, OpMix, SimClient, SimServer, WorkloadConfig};
 use hts_lincheck::{check_conditions, History};
 use hts_sim::packet::{NetworkConfig, PacketSim};
-use hts_sim::Nanos;
-use hts_types::{ClientId, NodeId, ServerId};
+use hts_sim::{DiskConfig, Nanos};
+use hts_types::{ClientId, Message, NodeId, ServerId};
 
-fn main() {
-    let n: u16 = 4;
-    let value_size = 16 * 1024;
-    let mut sim = PacketSim::new(21);
+const VALUE_SIZE: usize = 16 * 1024;
+
+struct Timeline {
+    /// (window start s, window end s, ops completed, retries so far).
+    windows: Vec<(f64, f64, u64, u64)>,
+    atomic: bool,
+    /// Rendered atomicity violations (empty when atomic).
+    violations: Vec<String>,
+    recorded_ops: usize,
+    read_latencies: Vec<u64>,
+    write_latencies: Vec<u64>,
+    /// Crash-restart only: seconds from restart to the first read served
+    /// by the restarted server.
+    recovery_seconds: Option<f64>,
+}
+
+struct Cluster {
+    sim: PacketSim<Message>,
+    history: Rc<RefCell<History>>,
+    stats: Vec<Rc<RefCell<ClientStats>>>,
+    client_net: hts_sim::NetworkId,
+}
+
+fn build(n: u16, seed: u64, config: Config, disk: Option<DiskConfig>) -> Cluster {
+    let mut sim = PacketSim::new(seed);
     let ring_net = sim.add_network(NetworkConfig::fast_ethernet());
     let client_net = sim.add_network(NetworkConfig::fast_ethernet());
     for i in 0..n {
         let id = NodeId::Server(ServerId(i));
-        sim.add_node(
-            id,
-            Box::new(SimServer::new(
-                ServerId(i),
-                n,
-                Config::default(),
-                ring_net,
-                client_net,
-            )),
-        );
+        let mut server = SimServer::new(ServerId(i), n, config.clone(), ring_net, client_net);
+        if let Some(disk) = disk {
+            server = server.with_disk(disk);
+        }
+        sim.add_node(id, Box::new(server));
         sim.attach(id, ring_net);
         sim.attach(id, client_net);
     }
     let history = Rc::new(RefCell::new(History::new()));
-    let mut stats: Vec<Rc<RefCell<ClientStats>>> = Vec::new();
+    let mut stats = Vec::new();
     for c in 0..u32::from(n) * 2 {
         let id = ClientId(c);
         let workload = WorkloadConfig {
             mix: OpMix::Mixed { read_percent: 50 },
-            value_size,
+            value_size: VALUE_SIZE,
             op_limit: None,
             start_delay: Nanos::ZERO,
             timeout: Nanos::from_millis(120),
@@ -56,52 +86,314 @@ fn main() {
         sim.attach(NodeId::Client(id), client_net);
         stats.push(s);
     }
+    Cluster {
+        sim,
+        history,
+        stats,
+        client_net,
+    }
+}
 
-    // Crash s1 at 1.0s and s3 at 2.0s: the 4-ring shrinks to 2.
-    sim.crash_at(NodeId::Server(ServerId(1)), Nanos::from_secs(1));
-    sim.crash_at(NodeId::Server(ServerId(3)), Nanos::from_secs(2));
+fn total_ops(stats: &[Rc<RefCell<ClientStats>>]) -> u64 {
+    stats
+        .iter()
+        .map(|s| {
+            let s = s.borrow();
+            s.writes_done + s.reads_done
+        })
+        .sum()
+}
 
-    println!("# Recovery timeline — 4 servers, crash s1@1.0s and s3@2.0s");
+fn total_retries(stats: &[Rc<RefCell<ClientStats>>]) -> u64 {
+    stats.iter().map(|s| s.borrow().retries).sum()
+}
+
+fn collect_timeline(
+    mut cluster: Cluster,
+    total_windows: u64,
+    // (probe stats, restart instant, probe start instant)
+    recovery_probe: Option<(Rc<RefCell<ClientStats>>, Nanos, Nanos)>,
+) -> Timeline {
+    let bin = Nanos::from_millis(250);
+    let mut windows = Vec::new();
+    let mut last_total = 0u64;
+    for w in 0..total_windows {
+        cluster.sim.run_until(Nanos(bin.as_nanos() * (w + 1)));
+        let total = total_ops(&cluster.stats);
+        windows.push((
+            w as f64 * 0.25,
+            (w + 1) as f64 * 0.25,
+            total - last_total,
+            total_retries(&cluster.stats),
+        ));
+        last_total = total;
+    }
+    // Recovery time = (probe start − restart) + the probe read's own
+    // latency: the read is issued to the restarted server right after the
+    // reboot and queues there until replay + rejoin + resync complete.
+    let recovery_seconds = recovery_probe.map(|(probe_stats, restarted_at, probe_start)| {
+        let deadline = cluster.sim.now() + Nanos::from_secs(5);
+        while probe_stats.borrow().reads_done == 0 && cluster.sim.now() < deadline {
+            let next = cluster.sim.now() + Nanos::from_millis(1);
+            cluster.sim.run_until(next);
+        }
+        let stats = probe_stats.borrow();
+        match stats.read_latencies.first() {
+            Some(&latency) => {
+                (probe_start.saturating_sub(restarted_at) + Nanos(latency)).as_secs_f64()
+            }
+            None => f64::NAN,
+        }
+    });
+
+    let history = cluster.history.borrow();
+    let violations: Vec<String> = check_conditions(&history)
+        .into_iter()
+        .map(|v| format!("{v:?}"))
+        .collect();
+    let mut read_latencies = Vec::new();
+    let mut write_latencies = Vec::new();
+    for s in &cluster.stats {
+        let s = s.borrow();
+        read_latencies.extend_from_slice(&s.read_latencies);
+        write_latencies.extend_from_slice(&s.write_latencies);
+    }
+    Timeline {
+        windows,
+        atomic: violations.is_empty(),
+        violations,
+        recorded_ops: history.len(),
+        read_latencies,
+        write_latencies,
+        recovery_seconds,
+    }
+}
+
+fn print_timeline(title: &str, timeline: &Timeline) {
+    println!("## {title}");
     println!();
     println!("| window (s) | ops completed | ops/s | retries so far |");
     println!("|---|---|---|---|");
-    let bin = Nanos::from_millis(250);
-    let total_windows = 12;
-    let mut last_total = 0u64;
-    for w in 0..total_windows {
-        sim.run_until(Nanos(bin.as_nanos() * (w + 1)));
-        let total: u64 = stats
-            .iter()
-            .map(|s| {
-                let s = s.borrow();
-                s.writes_done + s.reads_done
-            })
-            .sum();
-        let retries: u64 = stats.iter().map(|s| s.borrow().retries).sum();
-        let done = total - last_total;
-        last_total = total;
+    for (start, end, ops, retries) in &timeline.windows {
         println!(
-            "| {:.2}–{:.2} | {done} | {:.0} | {retries} |",
-            w as f64 * 0.25,
-            (w + 1) as f64 * 0.25,
-            done as f64 / 0.25
+            "| {start:.2}–{end:.2} | {ops} | {:.0} | {retries} |",
+            *ops as f64 / 0.25
         );
     }
-
-    let h = history.borrow();
-    let violations = check_conditions(&h);
     println!();
     println!(
         "atomicity check over {} recorded operations: {}",
-        h.len(),
-        if violations.is_empty() {
+        timeline.recorded_ops,
+        if timeline.atomic {
             "no violations".to_string()
         } else {
-            format!("VIOLATIONS: {violations:?}")
+            format!("VIOLATIONS: {:?}", timeline.violations)
         }
     );
-    println!("expected: each crash costs a brief stall (detection + client retries,");
-    println!("visible in the retry counter) inside one window; throughput then");
-    println!("recovers — and rises, because a shorter ring commits writes in fewer");
-    println!("hops. The history must stay linearizable throughout.");
+    println!();
+}
+
+fn windows_json(timeline: &Timeline) -> String {
+    let rows: Vec<String> = timeline
+        .windows
+        .iter()
+        .map(|(start, end, ops, retries)| {
+            format!(
+                r#"{{"start_s": {}, "end_s": {}, "ops": {ops}, "ops_per_s": {}, "retries_cum": {retries}}}"#,
+                json_f64(*start),
+                json_f64(*end),
+                json_f64(*ops as f64 / 0.25),
+            )
+        })
+        .collect();
+    format!("[{}]", rows.join(", "))
+}
+
+/// Scenario 1 — the paper's crash-stop: 4 servers, s1 dies at 1.0 s and
+/// s3 at 2.0 s, both forever.
+fn crash_stop() -> Timeline {
+    let mut cluster = build(4, 21, Config::default(), None);
+    cluster
+        .sim
+        .crash_at(NodeId::Server(ServerId(1)), Nanos::from_secs(1));
+    cluster
+        .sim
+        .crash_at(NodeId::Server(ServerId(3)), Nanos::from_secs(2));
+    collect_timeline(cluster, 12, None)
+}
+
+/// Scenario 2 — crash-restart: 3 durable servers, s1 dies at 1.0 s and
+/// reboots from its modeled WAL at 2.0 s. A probe client pinned to s1
+/// starts reading right after the reboot; its first completed read marks
+/// the end of replay + rejoin + resync.
+fn crash_restart() -> Timeline {
+    let config = Config {
+        durability: Durability::SyncAlways,
+        ..Config::default()
+    };
+    let mut cluster = build(3, 23, config, Some(DiskConfig::nvme_ssd()));
+    let crash_at = Nanos::from_secs(1);
+    let restart_at = Nanos::from_secs(2);
+    cluster.sim.crash_at(NodeId::Server(ServerId(1)), crash_at);
+    cluster
+        .sim
+        .restart_at(NodeId::Server(ServerId(1)), restart_at);
+
+    // The probe: read-only, pinned to s1, starts just after the reboot,
+    // with a timeout long enough that it never rotates to another server.
+    let probe_id = ClientId(9_000);
+    let probe_start = restart_at + Nanos::from_millis(1);
+    let probe_workload = WorkloadConfig {
+        mix: OpMix::ReadOnly,
+        value_size: VALUE_SIZE,
+        op_limit: Some(1),
+        start_delay: probe_start,
+        timeout: Nanos::from_secs(30),
+    };
+    let client_net = cluster.client_net;
+    let (probe, probe_stats) = SimClient::new(
+        probe_id,
+        3,
+        ServerId(1),
+        probe_workload,
+        client_net,
+        Some(Rc::clone(&cluster.history)),
+    );
+    cluster
+        .sim
+        .add_node(NodeId::Client(probe_id), Box::new(probe));
+    cluster.sim.attach(NodeId::Client(probe_id), client_net);
+
+    collect_timeline(cluster, 12, Some((probe_stats, restart_at, probe_start)))
+}
+
+/// Scenario 3 — fsync ablation: saturated writers under each durability
+/// setting. Returns (volatile, buffered, sync_always) write Mbit/s.
+fn fsync_ablation() -> (f64, f64, f64) {
+    let run = |durability: Durability| -> f64 {
+        let params = Params {
+            n: 3,
+            readers_per_server: 0,
+            writers_per_server: 2,
+            value_size: VALUE_SIZE,
+            warmup: Nanos::from_millis(300),
+            measure: Nanos::from_secs(1),
+            config: Config {
+                durability,
+                ..Config::default()
+            },
+            ..Params::default()
+        };
+        run_ring(&params).write_mbps
+    };
+    (
+        run(Durability::Volatile),
+        run(Durability::Buffered),
+        run(Durability::SyncAlways),
+    )
+}
+
+fn main() {
+    println!("# Recovery timelines — crash-stop vs crash-restart");
+    println!();
+
+    let stop = crash_stop();
+    print_timeline(
+        "Crash-stop (paper model): 4 servers, s1 dies @1.0s, s3 dies @2.0s",
+        &stop,
+    );
+    println!("expected: each crash costs a brief stall (detection + client retries)");
+    println!("inside one window; throughput then recovers — and rises, because a");
+    println!("shorter ring commits writes in fewer hops.");
+    println!();
+
+    let restart = crash_restart();
+    print_timeline(
+        "Crash-restart (hts-wal): 3 durable servers, s1 dies @1.0s, reboots @2.0s",
+        &restart,
+    );
+    if let Some(rec) = restart.recovery_seconds {
+        println!("recovery time (restart → first read served by the rebooted server): {rec:.4} s");
+    }
+    println!("expected: the bounce costs two stalls (crash, rejoin-resync); after");
+    println!("resync the ring is back to 3 servers and full read capacity.");
+    println!();
+
+    let (volatile, buffered, always) = fsync_ablation();
+    let overhead = |x: f64| (1.0 - x / volatile) * 100.0;
+    println!("## Fsync ablation — saturated 16 KiB writes, 3 servers, NVMe-class disk");
+    println!();
+    println!("| durability | write Mbit/s | overhead vs volatile |");
+    println!("|---|---|---|");
+    println!("| Volatile (crash-stop) | {volatile:.1} | — |");
+    println!(
+        "| Buffered (page cache) | {buffered:.1} | {:.1}% |",
+        overhead(buffered)
+    );
+    println!(
+        "| SyncAlways (ack-after-fsync) | {always:.1} | {:.1}% |",
+        overhead(always)
+    );
+
+    let mut stop_reads = stop.read_latencies.clone();
+    let mut stop_writes = stop.write_latencies.clone();
+    let mut restart_reads = restart.read_latencies.clone();
+    let mut restart_writes = restart.write_latencies.clone();
+    let body = format!(
+        r#"{{
+  "figure": "recovery",
+  "value_size_bytes": {VALUE_SIZE},
+  "crash_stop": {{
+    "servers": 4,
+    "crashes_s": [1.0, 2.0],
+    "atomic": {},
+    "violations": {},
+    "recorded_ops": {},
+    "read_latency": {},
+    "write_latency": {},
+    "windows": {}
+  }},
+  "crash_restart": {{
+    "servers": 3,
+    "durability": "SyncAlways",
+    "crash_s": 1.0,
+    "restart_s": 2.0,
+    "recovery_seconds": {},
+    "atomic": {},
+    "violations": {},
+    "recorded_ops": {},
+    "read_latency": {},
+    "write_latency": {},
+    "windows": {}
+  }},
+  "fsync_ablation": {{
+    "volatile_write_mbps": {},
+    "buffered_write_mbps": {},
+    "sync_always_write_mbps": {},
+    "sync_always_overhead_pct": {}
+  }}
+}}
+"#,
+        stop.atomic,
+        json_string_array(&stop.violations),
+        stop.recorded_ops,
+        latency_object(&mut stop_reads),
+        latency_object(&mut stop_writes),
+        windows_json(&stop),
+        json_f64(restart.recovery_seconds.unwrap_or(f64::NAN)),
+        restart.atomic,
+        json_string_array(&restart.violations),
+        restart.recorded_ops,
+        latency_object(&mut restart_reads),
+        latency_object(&mut restart_writes),
+        windows_json(&restart),
+        json_f64(volatile),
+        json_f64(buffered),
+        json_f64(always),
+        json_f64(overhead(always)),
+    );
+    match write_report("recovery", &body) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_recovery.json: {e}"),
+    }
 }

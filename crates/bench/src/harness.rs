@@ -9,7 +9,7 @@ use hts_baselines::chain::{ChainClient, ChainServer};
 use hts_baselines::tob::{TobClient, TobServer};
 use hts_core::{ClientStats, Config, OpMix, SimClient, SimServer, WorkloadConfig};
 use hts_sim::packet::{NetworkConfig, PacketSim};
-use hts_sim::{Nanos, Wire};
+use hts_sim::{DiskConfig, Nanos, Wire};
 use hts_types::{ClientId, NodeId, ServerId};
 
 /// Which protocol a run exercises.
@@ -212,7 +212,32 @@ const PRELOADER: ClientId = ClientId(u32::MAX);
 
 /// Runs the paper's algorithm under `params` and returns the windowed
 /// measurement. This is the engine behind Figure 3 (all four charts).
+/// A persistent [`Config::durability`](hts_core::Config) attaches an
+/// NVMe-class modeled disk to every server (durability ablations).
 pub fn run_ring(params: &Params) -> Measurement {
+    let (mut sim, stats) = build_ring(params);
+    run_window(&mut sim, &stats, params.n, params.warmup, params.measure)
+}
+
+/// [`run_ring`] plus the raw per-operation latencies of the measurement
+/// window, for percentile reporting.
+pub fn run_ring_detailed(params: &Params) -> (Measurement, Vec<u64>, Vec<u64>) {
+    let (mut sim, stats) = build_ring(params);
+    sim.run_until(params.warmup);
+    let start = snap(&stats);
+    sim.run_until(params.warmup + params.measure);
+    let measurement = window_measurement(params.n, &stats, &start, params.measure);
+    let mut read_latencies = Vec::new();
+    let mut write_latencies = Vec::new();
+    for (s, s0) in stats.iter().zip(&start) {
+        let s = s.borrow();
+        read_latencies.extend_from_slice(&s.read_latencies[s0.read_lat_len..]);
+        write_latencies.extend_from_slice(&s.write_latencies[s0.write_lat_len..]);
+    }
+    (measurement, read_latencies, write_latencies)
+}
+
+fn build_ring(params: &Params) -> (PacketSim<hts_types::Message>, Vec<Rc<RefCell<ClientStats>>>) {
     let mut sim = PacketSim::new(params.seed);
     let ring_net = sim.add_network(NetworkConfig::fast_ethernet());
     let client_net = if params.shared_network {
@@ -222,16 +247,17 @@ pub fn run_ring(params: &Params) -> Measurement {
     };
     for i in 0..params.n {
         let id = NodeId::Server(ServerId(i));
-        sim.add_node(
-            id,
-            Box::new(SimServer::new(
-                ServerId(i),
-                params.n,
-                params.config.clone(),
-                ring_net,
-                client_net,
-            )),
+        let mut server = SimServer::new(
+            ServerId(i),
+            params.n,
+            params.config.clone(),
+            ring_net,
+            client_net,
         );
+        if params.config.durability.is_persistent() {
+            server = server.with_disk(DiskConfig::nvme_ssd());
+        }
+        sim.add_node(id, Box::new(server));
         sim.attach(id, ring_net);
         if !params.shared_network {
             sim.attach(id, client_net);
@@ -281,7 +307,7 @@ pub fn run_ring(params: &Params) -> Measurement {
             stats.push(s);
         }
     }
-    run_window(&mut sim, &stats, params.n, params.warmup, params.measure)
+    (sim, stats)
 }
 
 /// Isolated (unloaded) mean latencies for Figure 4: one reader and one
@@ -357,7 +383,8 @@ pub fn run_abd(params: &Params) -> Measurement {
         sim.attach(id, net);
     }
     let mut stats = Vec::new();
-    let (pre, _pre_stats) = AbdClient::new(PRELOADER, params.n, preload_workload(params), net, None);
+    let (pre, _pre_stats) =
+        AbdClient::new(PRELOADER, params.n, preload_workload(params), net, None);
     sim.add_node(NodeId::Client(PRELOADER), Box::new(pre));
     sim.attach(NodeId::Client(PRELOADER), net);
     let total_clients =
@@ -391,7 +418,12 @@ pub fn run_chain(params: &Params) -> Measurement {
         let id = NodeId::Server(ServerId(i));
         sim.add_node(
             id,
-            Box::new(ChainServer::new(ServerId(i), params.n, server_net, client_net)),
+            Box::new(ChainServer::new(
+                ServerId(i),
+                params.n,
+                server_net,
+                client_net,
+            )),
         );
         sim.attach(id, server_net);
         if !params.shared_network {
@@ -399,8 +431,13 @@ pub fn run_chain(params: &Params) -> Measurement {
         }
     }
     let mut stats = Vec::new();
-    let (pre, _pre_stats) =
-        ChainClient::new(PRELOADER, params.n, preload_workload(params), client_net, None);
+    let (pre, _pre_stats) = ChainClient::new(
+        PRELOADER,
+        params.n,
+        preload_workload(params),
+        client_net,
+        None,
+    );
     sim.add_node(NodeId::Client(PRELOADER), Box::new(pre));
     sim.attach(NodeId::Client(PRELOADER), client_net);
     let readers = u32::from(params.n) * params.readers_per_server;

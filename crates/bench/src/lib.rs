@@ -26,7 +26,12 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod report;
 
 pub use harness::{
-    latency_ring, run_abd, run_chain, run_ring, run_tob, Measurement, Params, Protocol,
+    latency_ring, run_abd, run_chain, run_ring, run_ring_detailed, run_tob, Measurement, Params,
+    Protocol,
+};
+pub use report::{
+    json_f64, json_string, json_string_array, latency_object, percentile_ms, write_report,
 };

@@ -1,0 +1,116 @@
+//! Machine-readable benchmark artifacts (`BENCH_<name>.json`).
+//!
+//! Every figure binary prints a human table to stdout **and** drops a
+//! JSON file next to the working directory, so successive PRs can diff
+//! performance numbers mechanically. The build environment is offline
+//! (no serde_json), so emission is a few formatting helpers — the
+//! schemas are flat on purpose.
+
+use std::io;
+use std::path::PathBuf;
+
+/// Formats an `f64` for JSON: finite numbers with enough precision to
+/// diff, non-finite as `null`.
+pub fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A JSON string literal with the characters that matter escaped.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A JSON array of string literals.
+pub fn json_string_array(items: &[String]) -> String {
+    let rendered: Vec<String> = items.iter().map(|s| json_string(s)).collect();
+    format!("[{}]", rendered.join(", "))
+}
+
+/// The `p`-th percentile (0–100) of a latency sample in nanoseconds,
+/// returned in milliseconds. Sorts in place; `NaN` for an empty sample.
+pub fn percentile_ms(latencies: &mut [u64], p: f64) -> f64 {
+    if latencies.is_empty() {
+        return f64::NAN;
+    }
+    latencies.sort_unstable();
+    let rank = ((p / 100.0) * (latencies.len() - 1) as f64).round() as usize;
+    latencies[rank.min(latencies.len() - 1)] as f64 / 1e6
+}
+
+/// A JSON object for one latency sample: count, mean, p50, p99 (ms).
+pub fn latency_object(latencies: &mut [u64]) -> String {
+    let count = latencies.len();
+    let mean = if count == 0 {
+        f64::NAN
+    } else {
+        latencies.iter().map(|&l| l as f64).sum::<f64>() / count as f64 / 1e6
+    };
+    format!(
+        r#"{{"count": {count}, "mean_ms": {}, "p50_ms": {}, "p99_ms": {}}}"#,
+        json_f64(mean),
+        json_f64(percentile_ms(latencies, 50.0)),
+        json_f64(percentile_ms(latencies, 99.0)),
+    )
+}
+
+/// Writes `BENCH_<name>.json` into the current directory and returns the
+/// path.
+///
+/// # Errors
+///
+/// Propagates the file-write failure.
+pub fn write_report(name: &str, body: &str) -> io::Result<PathBuf> {
+    let path = PathBuf::from(format!("BENCH_{name}.json"));
+    std::fs::write(&path, body)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_pick_expected_ranks() {
+        let mut sample: Vec<u64> = (1..=100).map(|i| i * 1_000_000).collect();
+        assert!((percentile_ms(&mut sample, 50.0) - 50.0).abs() <= 1.0);
+        assert!((percentile_ms(&mut sample, 99.0) - 99.0).abs() <= 1.0);
+        assert!(percentile_ms(&mut [], 50.0).is_nan());
+    }
+
+    #[test]
+    fn strings_escape_cleanly() {
+        assert_eq!(json_string("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(
+            json_string_array(&["x".to_string(), "y".to_string()]),
+            r#"["x", "y"]"#
+        );
+        assert_eq!(json_string_array(&[]), "[]");
+    }
+
+    #[test]
+    fn latency_object_is_valid_flat_json() {
+        let mut sample = vec![1_000_000, 2_000_000, 3_000_000];
+        let obj = latency_object(&mut sample);
+        assert!(obj.starts_with('{') && obj.ends_with('}'));
+        assert!(obj.contains("\"p99_ms\""));
+        // Empty samples render null, not NaN (NaN is invalid JSON).
+        assert!(latency_object(&mut []).contains("null"));
+    }
+}

@@ -21,6 +21,39 @@ pub enum FairnessMode {
     ForwardFirst,
 }
 
+/// What a server persists, and when it reaches stable storage.
+///
+/// The paper's model is crash-**stop**: server state lives in RAM and a
+/// crash is forever. Any persistent setting upgrades the system to
+/// crash-**recovery** — committed `(tag, value)` pairs are exposed
+/// through [`MultiObjectServer::drain_commits`] for the runtime to log
+/// (`hts-net` appends them to an `hts-wal` log, the simulator to its
+/// modeled disk), and a restarted server rebuilds from that log and
+/// rejoins the ring.
+///
+/// [`MultiObjectServer::drain_commits`]: crate::MultiObjectServer::drain_commits
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// No persistence — the paper's crash-stop model (default).
+    #[default]
+    Volatile,
+    /// Log committed writes; leave flushing to the OS page cache.
+    /// Survives process crashes, not power loss.
+    Buffered,
+    /// Log committed writes; fsync once every `n` appends (bounded loss
+    /// window of `n − 1` acknowledged writes).
+    SyncEveryN(u32),
+    /// Log committed writes; fsync before the client sees the ack.
+    SyncAlways,
+}
+
+impl Durability {
+    /// Whether committed writes are logged at all.
+    pub fn is_persistent(self) -> bool {
+        !matches!(self, Durability::Volatile)
+    }
+}
+
 /// Protocol options. [`Config::default`] is the paper-faithful,
 /// full-performance configuration; every deviation is an explicitly
 /// documented ablation (see DESIGN.md §4).
@@ -51,6 +84,8 @@ pub struct Config {
     /// How long a client waits for a reply before re-issuing the request
     /// to the next server.
     pub client_timeout: Nanos,
+    /// Persistence of committed writes (crash-stop vs crash-recovery).
+    pub durability: Durability,
 }
 
 impl Default for Config {
@@ -62,6 +97,7 @@ impl Default for Config {
             unblock_replies_message_value: false,
             adopt_orphans: true,
             client_timeout: Nanos::from_millis(250),
+            durability: Durability::Volatile,
         }
     }
 }
@@ -85,6 +121,15 @@ mod tests {
         assert_eq!(c.fairness, FairnessMode::Fair);
         assert!(!c.unblock_replies_message_value);
         assert!(c.adopt_orphans);
+        assert_eq!(c.durability, Durability::Volatile);
+        assert!(!c.durability.is_persistent());
         assert_eq!(c, Config::paper());
+    }
+
+    #[test]
+    fn persistent_settings_are_persistent() {
+        assert!(Durability::Buffered.is_persistent());
+        assert!(Durability::SyncEveryN(32).is_persistent());
+        assert!(Durability::SyncAlways.is_persistent());
     }
 }

@@ -16,7 +16,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use hts_types::{PreWrite, ServerId};
+use hts_types::{PreWrite, ServerId, Value};
 
 use crate::FairnessMode;
 
@@ -74,6 +74,38 @@ impl ForwardScheduler {
         self.queues.values().any(|q| !q.is_empty())
     }
 
+    /// Whether any queued pre-write is a recovery re-circulation — the
+    /// resync backlog a rejoin announcement must stay behind (FIFO links
+    /// make the announcement's arrival prove the backlog arrived first).
+    pub fn has_recovery_queued(&self) -> bool {
+        self.queues.values().flatten().any(|(_, pw)| pw.recovery)
+    }
+
+    /// Whether a recovery copy of exactly `tag` still waits to be
+    /// forwarded. While it does, the successor (a resyncing rejoiner)
+    /// has not seen the value yet, so a commit notice for the tag must
+    /// carry the value explicitly instead of being tag-only — fairness
+    /// across origins can otherwise let the notice overtake the copy.
+    pub fn has_recovery_for(&self, tag: hts_types::Tag) -> bool {
+        self.queues
+            .get(&tag.origin)
+            .is_some_and(|q| q.iter().any(|(_, pw)| pw.recovery && pw.tag == tag))
+    }
+
+    /// The value of a queued-but-not-yet-forwarded pre-write for `tag`,
+    /// if any. The pending cache is only filled at *forward* time (paper
+    /// line 71), but after a splice-and-rejoin a commit notice can reach
+    /// a server while the matching pre-write still waits in its forward
+    /// queue (the commit's recovery circulation bypassed it): the value
+    /// is resolvable from here.
+    pub fn queued_value(&self, tag: hts_types::Tag) -> Option<&Value> {
+        self.queues
+            .get(&tag.origin)?
+            .iter()
+            .find(|(_, pw)| pw.tag == tag)
+            .map(|(_, pw)| &pw.value)
+    }
+
     /// Total queued pre-writes.
     pub fn queued_len(&self) -> usize {
         self.queues.values().map(|q| q.len()).sum()
@@ -113,14 +145,13 @@ impl ForwardScheduler {
                     self.pop_oldest().map(Selection::Forward)
                 }
             }
-            FairnessMode::ForwardFirst => self
-                .pop_oldest()
-                .map(Selection::Forward)
-                .or(if want_local {
+            FairnessMode::ForwardFirst => {
+                self.pop_oldest().map(Selection::Forward).or(if want_local {
                     Some(Selection::InitiateLocal)
                 } else {
                     None
-                }),
+                })
+            }
         }
     }
 

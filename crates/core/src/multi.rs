@@ -7,9 +7,9 @@
 //! across objects that have work (each object's own fairness rule governs
 //! *within* the object).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
-use hts_types::{ClientId, ObjectId, RequestId, RingFrame, ServerId, Value};
+use hts_types::{ClientId, ObjectId, Rejoin, RequestId, RingFrame, ServerId, Tag, Value};
 
 use crate::{Action, Config, ServerCore};
 
@@ -35,6 +35,15 @@ pub struct MultiObjectServer {
     /// Round-robin cursor over objects for ring slots.
     cursor: Option<ObjectId>,
     crashed: Vec<ServerId>,
+    /// Rejoin announcements awaiting a ring slot (ours at restart,
+    /// others' when forwarding). At most one rides per frame, and none
+    /// leaves while recovery retransmissions are still queued — FIFO
+    /// links then make an announcement's arrival prove the recovery
+    /// stream arrived first.
+    announce: VecDeque<Rejoin>,
+    /// Restart resync in progress: every core queues reads and holds
+    /// local writes until our own announcement completes its circuit.
+    syncing: bool,
 }
 
 impl MultiObjectServer {
@@ -48,6 +57,8 @@ impl MultiObjectServer {
             objects: BTreeMap::new(),
             cursor: None,
             crashed: Vec::new(),
+            announce: VecDeque::new(),
+            syncing: false,
         }
     }
 
@@ -72,7 +83,8 @@ impl MultiObjectServer {
         match self.objects.values().next() {
             Some(core) => core.successor(),
             None => {
-                let mut core = ServerCore::new(self.me, self.n, ObjectId::SINGLE, self.config.clone());
+                let mut core =
+                    ServerCore::new(self.me, self.n, ObjectId::SINGLE, self.config.clone());
                 for s in &self.crashed {
                     let _ = core.on_server_crashed(*s);
                 }
@@ -86,11 +98,17 @@ impl MultiObjectServer {
         let n = self.n;
         let config = self.config.clone();
         let crashed = self.crashed.clone();
+        let syncing = self.syncing;
         self.objects.entry(object).or_insert_with(|| {
             let mut core = ServerCore::new(me, n, object, config);
             // Late-created objects must share the ring view.
             for s in crashed {
                 let _ = core.on_server_crashed(s);
+            }
+            // ...and the resync gate: an object this server has never
+            // seen may still have history elsewhere in the ring.
+            if syncing {
+                core.begin_sync();
             }
             core
         })
@@ -104,7 +122,8 @@ impl MultiObjectServer {
         request: RequestId,
         value: Value,
     ) -> Vec<Action> {
-        self.core_mut(object).on_client_write(client, request, value)
+        self.core_mut(object)
+            .on_client_write(client, request, value)
     }
 
     /// Routes a client read to its object.
@@ -117,9 +136,22 @@ impl MultiObjectServer {
         self.core_mut(object).on_client_read(client, request)
     }
 
-    /// Routes a ring frame to its object.
+    /// Routes a ring frame to its object and handles any piggybacked
+    /// rejoin announcement.
     pub fn on_frame(&mut self, frame: RingFrame) -> Vec<Action> {
-        self.core_mut(frame.object).on_frame(frame)
+        let rejoin = frame.rejoin;
+        // Route the protocol phases first: when an announcement rides on
+        // the frame that carries the tail of a recovery stream, the
+        // state must land before the sync-complete marker is acted on.
+        let mut actions = if frame.pre_write.is_some() || frame.write.is_some() {
+            self.core_mut(frame.object).on_frame(frame)
+        } else {
+            Vec::new()
+        };
+        if let Some(r) = rejoin {
+            actions.extend(self.on_rejoin_announcement(r));
+        }
+        actions
     }
 
     /// Fans a crash report to every object.
@@ -131,16 +163,133 @@ impl MultiObjectServer {
         for core in self.objects.values_mut() {
             actions.extend(core.on_server_crashed(s));
         }
+        // A queued or circulating announcement for the crashed server is
+        // now a lie: forwarding it would resurrect a dead server in
+        // every peer's ring view.
+        self.announce.retain(|r| r.server != s);
+        if self.syncing {
+            if self.alive_count() <= 1 {
+                // Lone survivor mid-resync: nobody to sync from *now*,
+                // and our restored log may miss acknowledged writes that
+                // live in the crashed peers' logs. Stay gated (reads and
+                // writes keep queueing) until a peer rejoins — its log
+                // holds everything committed while we were down, so the
+                // resync then completes linearizably. Announcements are
+                // pointless without a successor.
+                self.announce.clear();
+            } else if !self.announce.iter().any(|r| r.server == self.me) {
+                // Our in-flight announcement may have died with the
+                // crashed server; re-announce over the spliced ring.
+                self.announce.push_back(Rejoin::announce(self.me));
+            }
+        }
         actions
     }
 
-    /// Whether any object has ring work queued.
-    pub fn has_ring_work(&self) -> bool {
-        self.objects.values().any(|c| c.has_ring_work())
+    /// Enters restart-resync mode: restore state first (see
+    /// [`restore_state`](Self::restore_state)), then call this. Reads
+    /// queue and local writes are withheld until our rejoin announcement
+    /// — queued behind the predecessor's recovery stream at every hop —
+    /// makes it all the way around the ring and back, proving the
+    /// restored state has caught up with everything committed while this
+    /// server was down. A single-server ring has nobody to sync from and
+    /// skips straight to serving.
+    pub fn begin_rejoin(&mut self) {
+        if self.n <= 1 {
+            return;
+        }
+        self.syncing = true;
+        for core in self.objects.values_mut() {
+            core.begin_sync();
+        }
+        self.announce.push_back(Rejoin::announce(self.me));
     }
 
-    /// Pulls the next ring frame, rotating fairly across objects.
+    /// Whether this server is still resyncing after a restart.
+    pub fn is_syncing(&self) -> bool {
+        self.syncing
+    }
+
+    /// Convenience wrapper for runtimes with an out-of-band rejoin
+    /// detector: equivalent to receiving a fresh announcement for `s`.
+    pub fn on_server_rejoined(&mut self, s: ServerId) -> Vec<Action> {
+        self.on_rejoin_announcement(Rejoin::announce(s))
+    }
+
+    /// Handles a rejoin announcement (usually piggybacked on a ring
+    /// frame). Our own announcement returning certifies the resync —
+    /// unless the flags say the predecessor that vouched for the
+    /// recovery stream was itself still syncing, in which case we
+    /// re-announce and wait for it to catch up (see [`Rejoin`]). Anyone
+    /// else's announcement is applied to every core (the new
+    /// predecessor re-sends its state) and forwarded with the flags
+    /// updated.
+    pub fn on_rejoin_announcement(&mut self, r: Rejoin) -> Vec<Action> {
+        if r.server == self.me {
+            if !self.syncing {
+                return Vec::new(); // duplicate announcement return
+            }
+            if r.stale_source && !r.all_syncing {
+                // The predecessor's stream may miss writes committed
+                // during our overlapping downtimes, and somewhere in the
+                // ring a non-syncing server holds the truth. Go again:
+                // by the time the retry circulates, the predecessor has
+                // had its own stream FIFO-ahead of our announcement.
+                self.announce.push_back(Rejoin::announce(self.me));
+                return Vec::new();
+            }
+            // Clean certificate — or a whole-cluster cold start, where
+            // the recovery logs are collectively all there is.
+            self.syncing = false;
+            let mut actions = Vec::new();
+            for core in self.objects.values_mut() {
+                actions.extend(core.finish_sync());
+            }
+            return actions;
+        }
+        self.crashed.retain(|c| *c != r.server);
+        for core in self.objects.values_mut() {
+            core.on_server_rejoined(r.server);
+        }
+        if self.syncing && !self.announce.iter().any(|a| a.server == self.me) {
+            // A peer coming back ends a lone-survivor wait (and generally
+            // gives our own announcement a ring to circulate on): make
+            // sure one is in flight so our resync can complete.
+            self.announce.push_back(Rejoin::announce(self.me));
+        }
+        let serving = self.successor() == Some(r.server);
+        self.announce.push_back(Rejoin {
+            server: r.server,
+            // We are the hop the certificate vouches for: flag our own
+            // resync state so the rejoiner knows whether to trust it.
+            stale_source: r.stale_source || (serving && self.syncing),
+            all_syncing: r.all_syncing && self.syncing,
+        });
+        Vec::new()
+    }
+
+    /// Whether any object has ring work queued (or an announcement
+    /// waits for a slot).
+    pub fn has_ring_work(&self) -> bool {
+        !self.announce.is_empty() || self.objects.values().any(|c| c.has_ring_work())
+    }
+
+    /// Pulls the next ring frame, rotating fairly across objects. A
+    /// pending rejoin announcement piggybacks on the frame (or rides
+    /// alone) once no core still queues recovery retransmissions.
     pub fn next_frame(&mut self) -> Option<RingFrame> {
+        let mut frame = self.next_object_frame();
+        if !self.announce.is_empty() && self.objects.values().all(|c| !c.has_recovery_backlog()) {
+            let r = self.announce.pop_front();
+            match &mut frame {
+                Some(f) => f.rejoin = r,
+                None => frame = r.map(RingFrame::announce_rejoin),
+            }
+        }
+        frame
+    }
+
+    fn next_object_frame(&mut self) -> Option<RingFrame> {
         if self.objects.is_empty() {
             return None;
         }
@@ -158,6 +307,52 @@ impl MultiObjectServer {
             }
         }
         None
+    }
+
+    fn alive_count(&self) -> usize {
+        match self.objects.values().next() {
+            Some(core) => core.ring().alive_count(),
+            None => usize::from(self.n) - self.crashed.len(),
+        }
+    }
+
+    /// Exports every object's committed `(tag, value)` pair — the state
+    /// a snapshot persists. Objects still at the initial `⊥` are
+    /// skipped (recovery recreates them on demand).
+    pub fn export_state(&self) -> Vec<(ObjectId, Tag, Value)> {
+        self.objects
+            .iter()
+            .filter_map(|(object, core)| {
+                let (tag, value) = core.stored();
+                (tag != Tag::ZERO).then(|| (*object, tag, value.clone()))
+            })
+            .collect()
+    }
+
+    /// Restores objects from recovered log state (boot-time only; pair
+    /// with [`begin_rejoin`](Self::begin_rejoin) when other servers may
+    /// have moved on during the downtime).
+    pub fn restore_state(&mut self, state: impl IntoIterator<Item = (ObjectId, Tag, Value)>) {
+        for (object, tag, value) in state {
+            self.core_mut(object).restore(tag, value);
+        }
+    }
+
+    /// Takes the `(object, tag, value)` commits applied since the last
+    /// drain (empty unless [`Config::durability`] is persistent). The
+    /// runtime logs them before flushing client acks.
+    ///
+    /// [`Config::durability`]: crate::Config
+    pub fn drain_commits(&mut self) -> Vec<(ObjectId, Tag, Value)> {
+        let mut commits = Vec::new();
+        for (object, core) in self.objects.iter_mut() {
+            commits.extend(
+                core.drain_commits()
+                    .into_iter()
+                    .map(|(tag, value)| (*object, tag, value)),
+            );
+        }
+        commits
     }
 }
 

@@ -74,6 +74,17 @@ impl RingView {
         std::mem::replace(&mut self.alive[s.index()], false)
     }
 
+    /// Marks `s` alive again (crash-**recovery** rejoin: a restarted
+    /// server announced itself back). Returns `true` if `s` was
+    /// previously marked crashed. Rejoining oneself or an out-of-range
+    /// id is a no-op.
+    pub fn mark_rejoined(&mut self, s: ServerId) -> bool {
+        if s == self.me || s.index() >= self.alive.len() {
+            return false;
+        }
+        !std::mem::replace(&mut self.alive[s.index()], true)
+    }
+
     /// The next alive server after `me` in ring order, or `None` when this
     /// server is the only survivor.
     pub fn successor(&self) -> Option<ServerId> {
@@ -139,6 +150,20 @@ mod tests {
         r.mark_crashed(ServerId(3));
         assert_eq!(r.successor(), None);
         assert_eq!(r.alive_count(), 1);
+    }
+
+    #[test]
+    fn rejoin_splices_back_in() {
+        let mut r = RingView::new(ServerId(0), 3);
+        r.mark_crashed(ServerId(1));
+        assert_eq!(r.successor(), Some(ServerId(2)));
+        assert!(r.mark_rejoined(ServerId(1)));
+        assert!(!r.mark_rejoined(ServerId(1))); // second report is stale
+        assert_eq!(r.successor(), Some(ServerId(1)));
+        assert_eq!(r.alive_count(), 3);
+        // Self and out-of-range rejoins are no-ops.
+        assert!(!r.mark_rejoined(ServerId(0)));
+        assert!(!r.mark_rejoined(ServerId(9)));
     }
 
     #[test]

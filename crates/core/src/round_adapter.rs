@@ -27,7 +27,13 @@ pub struct RoundServer {
 
 impl RoundServer {
     /// Creates round-model server `me` of `n` on the given networks.
-    pub fn new(me: ServerId, n: u16, config: Config, ring_net: NetworkId, client_net: NetworkId) -> Self {
+    pub fn new(
+        me: ServerId,
+        n: u16,
+        config: Config,
+        ring_net: NetworkId,
+        client_net: NetworkId,
+    ) -> Self {
         RoundServer {
             core: ServerCore::new(me, n, ObjectId::SINGLE, config),
             ring_net,
@@ -80,9 +86,9 @@ impl RoundProcess<Message> for RoundServer {
         if let Some((from, msg)) = ctx.take_incoming(self.client_net) {
             if let Some(client) = from.as_client() {
                 let actions = match msg {
-                    Message::WriteReq {
-                        request, value, ..
-                    } => self.core.on_client_write(client, request, value),
+                    Message::WriteReq { request, value, .. } => {
+                        self.core.on_client_write(client, request, value)
+                    }
                     Message::ReadReq { request, .. } => self.core.on_client_read(client, request),
                     _ => Vec::new(),
                 };

@@ -76,6 +76,9 @@ pub struct ServerStats {
     pub recoveries: u64,
     /// Orphaned writes adopted from crashed origins.
     pub adoptions: u64,
+    /// Rejoins served as the restarted server's new predecessor (each
+    /// re-sends the stored value and pending set, like a splice).
+    pub rejoins_served: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,6 +122,18 @@ pub struct ServerCore {
     prewrite_seen: HashMap<ServerId, u64>,
     /// Highest write timestamp seen per origin.
     write_seen: HashMap<ServerId, u64>,
+    /// Restart resync: while set, reads queue (the restored state may be
+    /// behind writes committed during the downtime) and no local writes
+    /// are initiated (their tags could be assigned "into the past").
+    /// Cleared when the rejoin announcement completes its circulation —
+    /// FIFO links guarantee the predecessor's recovery stream arrived
+    /// before it — or when this server becomes the lone survivor.
+    syncing: bool,
+    /// Reads received while syncing, answered at sync completion.
+    sync_reads: Vec<(ClientId, RequestId)>,
+    /// Commits applied since the last [`drain_commits`](Self::drain_commits)
+    /// (populated only under a persistent [`Durability`](crate::Durability)).
+    commit_log: Vec<(Tag, Value)>,
     stats: ServerStats,
 }
 
@@ -145,6 +160,9 @@ impl ServerCore {
             waiting_reads: Vec::new(),
             prewrite_seen: HashMap::new(),
             write_seen: HashMap::new(),
+            syncing: false,
+            sync_reads: Vec::new(),
+            commit_log: Vec::new(),
             stats: ServerStats::default(),
         }
     }
@@ -195,6 +213,98 @@ impl ServerCore {
         !self.write_queue.is_empty() || self.sched.has_queued() || !self.notice_queue.is_empty()
     }
 
+    /// Whether this core is resyncing after a restart (reads queued,
+    /// local writes withheld).
+    pub fn is_syncing(&self) -> bool {
+        self.syncing
+    }
+
+    /// Enters resync mode after a restart-from-log (no-op when this
+    /// server is the only one alive — there is nobody to sync from).
+    pub fn begin_sync(&mut self) {
+        if self.ring.alive_count() > 1 {
+            self.syncing = true;
+        }
+    }
+
+    /// Leaves resync mode and answers the reads queued during it
+    /// (re-routed through the normal read path, so they still block on
+    /// any pending pre-write learned during the sync).
+    pub fn finish_sync(&mut self) -> Vec<Action> {
+        self.syncing = false;
+        let queued = std::mem::take(&mut self.sync_reads);
+        let mut actions = Vec::new();
+        for (client, request) in queued {
+            actions.extend(self.on_client_read(client, request));
+        }
+        actions
+    }
+
+    /// Restores the stored register from a recovery log (boot-time only:
+    /// never emits ring traffic, never logs the restore as a commit).
+    /// Duplicate-suppression watermarks advance so stale ring traffic at
+    /// or below the restored tag is dropped.
+    pub fn restore(&mut self, tag: Tag, value: Value) {
+        if tag > self.stored_tag {
+            self.stored_tag = tag;
+            self.stored_value = value;
+        }
+        self.note_prewrite_seen(tag);
+        self.note_write_seen(tag);
+    }
+
+    /// Takes the commits applied since the last drain (empty unless
+    /// [`Config::durability`] is persistent). The runtime appends these
+    /// to its log **before** flushing client acks, so `SyncAlways`
+    /// really means ack-after-fsync.
+    ///
+    /// [`Config::durability`]: crate::Config
+    pub fn drain_commits(&mut self) -> Vec<(Tag, Value)> {
+        std::mem::take(&mut self.commit_log)
+    }
+
+    /// Whether recovery retransmissions (value-carrying notices or
+    /// recovery pre-writes) still wait in the outbound queues. A rejoin
+    /// announcement must not leave before them: its arrival at the
+    /// rejoiner certifies, via FIFO links, that the recovery stream
+    /// arrived first.
+    pub fn has_recovery_backlog(&self) -> bool {
+        self.notice_queue.iter().any(|n| n.value.is_some()) || self.sched.has_recovery_queued()
+    }
+
+    /// The failure detector (or a rejoin announcement) reports that `s`
+    /// restarted and is back in the ring. If `s` is now this server's
+    /// successor, this server is the one the rejoiner syncs from: it
+    /// re-sends its stored value and every pending pre-write, exactly
+    /// like the splice path — everything committed anywhere is either
+    /// ≤ our stored tag or still in our pending set, so the FIFO stream
+    /// to the rejoiner covers all of it.
+    pub fn on_server_rejoined(&mut self, s: ServerId) {
+        if s == self.me() {
+            return;
+        }
+        self.ring.mark_rejoined(s);
+        if self.ring.successor() == Some(s) {
+            self.stats.rejoins_served += 1;
+            if self.stored_tag != Tag::ZERO {
+                self.notice_queue.push_front(WriteNotice {
+                    tag: self.stored_tag,
+                    value: Some(self.stored_value.clone()),
+                });
+            }
+            let resend: Vec<PreWrite> = self
+                .pending
+                .iter()
+                .map(|(tag, value)| PreWrite {
+                    tag,
+                    value: value.clone(),
+                    recovery: true,
+                })
+                .collect();
+            self.sched.enqueue_front(resend);
+        }
+    }
+
     /// A client asked to write `value` (paper lines 18–20).
     pub fn on_client_write(
         &mut self,
@@ -202,8 +312,12 @@ impl ServerCore {
         request: RequestId,
         value: Value,
     ) -> Vec<Action> {
-        if self.ring.alive_count() == 1 {
-            // Degenerate ring: the full circulation is a no-op.
+        if self.ring.alive_count() == 1 && !self.syncing {
+            // Degenerate ring: the full circulation is a no-op. (A lone
+            // survivor that is still mid-resync must NOT take this
+            // shortcut: its restored tag watermark may be behind tags
+            // already committed cluster-wide, and a tag minted from it
+            // would order this write into the observed past.)
             let tag = self.next_tag();
             self.apply(tag, value);
             self.stats.writes_initiated += 1;
@@ -213,13 +327,22 @@ impl ServerCore {
                 request,
             }];
         }
-        self.write_queue
-            .push_back((Some((client, request)), value));
+        self.write_queue.push_back((Some((client, request)), value));
         Vec::new()
     }
 
     /// A client asked to read (paper lines 76–84).
     pub fn on_client_read(&mut self, client: ClientId, request: RequestId) -> Vec<Action> {
+        if self.syncing {
+            // Restart resync: the restored state may miss writes
+            // committed during the downtime; serving now could travel
+            // back in time. Queue until the rejoin round trip completes
+            // — even as a lone survivor (the missing writes live in the
+            // crashed peers' logs; see `on_server_crashed`).
+            self.stats.reads_blocked += 1;
+            self.sync_reads.push((client, request));
+            return Vec::new();
+        }
         let highest_pending = self.pending.max_tag();
         let immediate = match highest_pending {
             None => true,
@@ -273,6 +396,16 @@ impl ServerCore {
         let mut actions = Vec::new();
 
         if self.ring.alive_count() == 1 {
+            if self.syncing {
+                // A lone survivor that is itself mid-resync must NOT
+                // serve: its restored log may miss writes acknowledged
+                // while it was down, and those writes still exist in the
+                // crashed peers' logs. Linearizability over availability:
+                // reads and writes stay queued until a peer rejoins and
+                // the resync completes (see the Multi-level rejoin
+                // handling), rather than time-traveling clients.
+                return actions;
+            }
             self.complete_everything_alone(&mut actions);
             return actions;
         }
@@ -343,12 +476,16 @@ impl ServerCore {
     pub fn next_frame(&mut self) -> Option<RingFrame> {
         self.ring.successor()?;
         loop {
-            let want_local = !self.write_queue.is_empty();
+            // While resyncing, hold local initiations: a tag minted from
+            // restored (possibly stale) state could order a new write
+            // before already-completed ones.
+            let want_local = !self.syncing && !self.write_queue.is_empty();
             let me = self.me();
             let mut frame = RingFrame {
                 object: self.object,
                 pre_write: None,
                 write: None,
+                rejoin: None,
             };
             match self.sched.select(me, want_local) {
                 Some(Selection::InitiateLocal) => {
@@ -376,9 +513,7 @@ impl ServerCore {
                 }
                 Some(Selection::Forward(pw)) => {
                     // Late guard: the tag may have committed while queued.
-                    if pw.tag <= self.stored_tag
-                        || self.write_seen_ts(pw.tag.origin) >= pw.tag.ts
-                    {
+                    if pw.tag <= self.stored_tag || self.write_seen_ts(pw.tag.origin) >= pw.tag.ts {
                         self.stats.duplicates_dropped += 1;
                         continue;
                     }
@@ -412,6 +547,9 @@ impl ServerCore {
 
     fn apply(&mut self, tag: Tag, value: Value) {
         if tag > self.stored_tag {
+            if self.config.durability.is_persistent() {
+                self.commit_log.push((tag, value.clone()));
+            }
             self.stored_tag = tag;
             self.stored_value = value;
         }
@@ -459,16 +597,41 @@ impl ServerCore {
 
         if tag.origin == self.me() {
             // Own pre-write returned: every server saw it; start the write
-            // phase (paper lines 32–38).
+            // phase (paper lines 32–38). "Every server" has one exception:
+            // a rejoiner whose recovery copy of this pre-write still waits
+            // in our forward queues — then the commit notice must carry
+            // the value or it can overtake the copy (see
+            // `process_write_notice`).
             match self.outstanding.get_mut(&tag) {
                 Some(out) if out.phase == Phase::PreWrite => {
                     out.phase = Phase::Write;
                     self.apply(tag, pw.value.clone());
                     self.pending.remove(tag);
-                    let value = self.config.write_carries_value.then_some(pw.value);
+                    let value = (self.config.write_carries_value
+                        || self.sched.has_recovery_for(tag))
+                    .then_some(pw.value);
                     self.notice_queue.push_back(WriteNotice { tag, value });
                 }
-                _ => self.stats.duplicates_dropped += 1,
+                Some(_) => self.stats.duplicates_dropped += 1,
+                None => {
+                    // Our own pre-write, but no outstanding entry: it was
+                    // issued by a previous incarnation of this server
+                    // (crash-restart lost the bookkeeping, and the restart
+                    // outran failure detection so nobody adopted it).
+                    // It has completed a full circulation — every alive
+                    // server holds it pending — so commit it; dropping it
+                    // would leave the tag pending ring-wide, blocking
+                    // readers until some newer write subsumes it. There is
+                    // no client to ack (it died with the old incarnation
+                    // and has long since retried elsewhere).
+                    self.apply(tag, pw.value.clone());
+                    self.pending.remove(tag);
+                    self.notice_queue.push_back(WriteNotice {
+                        tag,
+                        value: Some(pw.value),
+                    });
+                    self.check_waiting_reads(tag, None, actions);
+                }
             }
             return;
         }
@@ -507,19 +670,31 @@ impl ServerCore {
         }
         self.note_write_seen(tag);
 
-        // Resolve the committed value: carried explicitly, or from the
-        // pending cache filled by the matching pre-write.
+        // Resolve the committed value: carried explicitly, from the
+        // pending cache filled by the matching pre-write, or from a
+        // pre-write still waiting in the forward queues (possible after
+        // a splice-and-rejoin, when the commit's recovery circulation
+        // bypassed this server; the stale queue entry is dropped later
+        // by `next_frame`'s late guard).
         let resolved = notice
             .value
             .clone()
-            .or_else(|| self.pending.get(tag).cloned());
+            .or_else(|| self.pending.get(tag).cloned())
+            .or_else(|| self.sched.queued_value(tag).cloned());
         match &resolved {
             Some(v) => self.apply(tag, v.clone()),
             None => {
                 // Only already-applied tags may lack a cached value.
                 debug_assert!(
                     tag <= self.stored_tag,
-                    "tag-only write {tag} without a cached pre-write"
+                    "tag-only write {tag} without a cached pre-write at {me} \
+                     (stored {stored}, syncing {syncing}, pending {pending:?}, \
+                     write_seen {seen:?})",
+                    me = self.me(),
+                    stored = self.stored_tag,
+                    syncing = self.syncing,
+                    pending = self.pending.iter().map(|(t, _)| t).collect::<Vec<_>>(),
+                    seen = self.write_seen,
                 );
             }
         }
@@ -553,8 +728,14 @@ impl ServerCore {
 
         if !mine {
             // Forward the commit around the ring (tag-only in steady
-            // state; keep the explicit value in recovery/ablation frames).
-            let value = if self.config.write_carries_value {
+            // state; keep the explicit value in recovery/ablation
+            // frames). One extra case must carry the value: while a
+            // recovery copy of this tag still waits in our forward
+            // queues, the successor is a resyncing rejoiner that has
+            // never seen the pre-write — fairness across origins can
+            // let this notice overtake the copy, and a tag-only notice
+            // would then commit a value the rejoiner cannot resolve.
+            let value = if self.config.write_carries_value || self.sched.has_recovery_for(tag) {
                 resolved
             } else {
                 notice.value
@@ -654,6 +835,9 @@ impl ServerCore {
             }
         }
         self.notice_queue.clear();
+        // A lone survivor has nobody to resync from: whatever it has is
+        // the authoritative state now.
+        self.syncing = false;
         // All blocked reads can be answered from the store.
         let waiting = std::mem::take(&mut self.waiting_reads);
         for wr in waiting {
@@ -661,6 +845,16 @@ impl ServerCore {
                 object: self.object,
                 client: wr.client,
                 request: wr.request,
+                value: self.stored_value.clone(),
+                tag: self.stored_tag,
+            });
+        }
+        let sync_reads = std::mem::take(&mut self.sync_reads);
+        for (client, request) in sync_reads {
+            actions.push(Action::ReadReply {
+                object: self.object,
+                client,
+                request,
                 value: self.stored_value.clone(),
                 tag: self.stored_tag,
             });

@@ -13,19 +13,31 @@
 //! next server.
 
 use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
 use hts_lincheck::{History, OpId};
 use hts_sim::packet::{Ctx, NetworkId, Process, TimerId};
-use hts_sim::Nanos;
-use hts_types::{ClientId, Message, NodeId, ObjectId, RequestId, ServerId, Value};
+use hts_sim::{DiskConfig, DiskModel, Nanos};
+use hts_types::{ClientId, Message, NodeId, ObjectId, RequestId, ServerId, Tag, Value};
 
-use crate::{Action, ClientCore, Config, MultiObjectServer};
+use crate::{Action, ClientCore, Config, Durability, MultiObjectServer};
+
+/// On-log framing overhead per record (frame header + fixed fields),
+/// mirroring `hts-wal`'s record layout for byte-accurate disk modeling.
+const RECORD_OVERHEAD: usize = 26;
+
+/// Modeled compaction threshold, mirroring `hts-wal`'s default
+/// `segment_bytes`: past this, the log snapshots and truncates so the
+/// modeled replay time tracks state size, not total history.
+const MODELED_SEGMENT_BYTES: u64 = 8 * 1024 * 1024;
 
 /// A ring storage server as a simulated process.
 pub struct SimServer {
     server: MultiObjectServer,
+    me: ServerId,
+    n: u16,
+    config: Config,
     ring_net: NetworkId,
     client_net: NetworkId,
     /// Outgoing client replies, paced one frame at a time so that on a
@@ -35,6 +47,21 @@ pub struct SimServer {
     replies: VecDeque<(NodeId, Message)>,
     /// Shared-network alternation flag: reply next (vs ring frame).
     prefer_reply: bool,
+    /// Modeled log device (durability experiments only).
+    disk: Option<DiskModel>,
+    /// Modeled persisted state: what `hts-wal` would recover after a
+    /// crash. Survives crash-restart because the process object does.
+    persisted: BTreeMap<ObjectId, (Tag, Value)>,
+    /// Appends since the last modeled fsync (`Durability::SyncEveryN`).
+    appends_since_sync: u32,
+    /// Instant the last queued append (incl. fsync) completes.
+    durable_horizon: Nanos,
+    /// Write acks gated on fsync completion (`Durability::SyncAlways`).
+    deferred_acks: Vec<(Nanos, (NodeId, Message))>,
+    /// Replay-in-progress timer after a restart; pumping waits for it.
+    replaying: Option<TimerId>,
+    /// Crash-restarts survived.
+    restarts: u64,
 }
 
 impl SimServer {
@@ -48,12 +75,30 @@ impl SimServer {
         client_net: NetworkId,
     ) -> Self {
         SimServer {
-            server: MultiObjectServer::new(me, n, config),
+            server: MultiObjectServer::new(me, n, config.clone()),
+            me,
+            n,
+            config,
             ring_net,
             client_net,
             replies: VecDeque::new(),
             prefer_reply: true,
+            disk: None,
+            persisted: BTreeMap::new(),
+            appends_since_sync: 0,
+            durable_horizon: Nanos::ZERO,
+            deferred_acks: Vec::new(),
+            replaying: None,
+            restarts: 0,
         }
+    }
+
+    /// Attaches a modeled log device (meaningful when the config's
+    /// [`Durability`] is persistent: commits charge disk time, and with
+    /// [`Durability::SyncAlways`] write acks wait for the fsync).
+    pub fn with_disk(mut self, disk: DiskConfig) -> Self {
+        self.disk = Some(DiskModel::new(disk));
+        self
     }
 
     /// Access to the hosted multi-object server (tests/inspection).
@@ -61,7 +106,71 @@ impl SimServer {
         &self.server
     }
 
-    fn flush(&mut self, actions: Vec<Action>) {
+    /// Crash-restarts survived so far.
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    /// Drains the core's committed writes into the modeled log, charging
+    /// the disk per the fsync policy.
+    fn persist_commits(&mut self, now: Nanos) {
+        if !self.config.durability.is_persistent() {
+            return;
+        }
+        let commits = self.server.drain_commits();
+        for (object, tag, value) in commits {
+            if let Some(disk) = self.disk.as_mut() {
+                let sync = match self.config.durability {
+                    Durability::SyncAlways => true,
+                    Durability::SyncEveryN(n) => {
+                        self.appends_since_sync += 1;
+                        if self.appends_since_sync >= n.max(1) {
+                            self.appends_since_sync = 0;
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    Durability::Buffered | Durability::Volatile => false,
+                };
+                let done = disk.append(now, RECORD_OVERHEAD + value.len(), sync);
+                self.durable_horizon = self.durable_horizon.max(done);
+            }
+            let entry = self
+                .persisted
+                .entry(object)
+                .or_insert_with(|| (tag, value.clone()));
+            if entry.0 <= tag {
+                *entry = (tag, value);
+            }
+        }
+        // Modeled compaction (the real path: Wal::wants_compaction →
+        // compact): write a snapshot of the live state, then the
+        // replayable tail shrinks to it. Without this, replay time —
+        // and the benchmark's recovery_seconds — would grow with total
+        // history instead of state size.
+        if let Some(disk) = self.disk.as_mut() {
+            if disk.appended_bytes() >= MODELED_SEGMENT_BYTES {
+                let state_bytes: u64 = self
+                    .persisted
+                    .values()
+                    .map(|(_, v)| (RECORD_OVERHEAD + v.len()) as u64)
+                    .sum();
+                let done = disk.append(now, state_bytes as usize, true);
+                self.durable_horizon = self.durable_horizon.max(done);
+                disk.truncate(state_bytes);
+            }
+        }
+    }
+
+    fn flush(&mut self, ctx: &mut Ctx<'_, Message>, actions: Vec<Action>) {
+        // Under ack-after-fsync durability, write acks wait until the
+        // log device reports their commit record stable.
+        let now = ctx.now();
+        let gate = (self.config.durability == Durability::SyncAlways
+            && self.disk.is_some()
+            && self.durable_horizon > now)
+            .then_some(self.durable_horizon);
         for action in actions {
             match action {
                 // Write acks are a couple dozen bytes: real NICs interleave
@@ -71,10 +180,19 @@ impl SimServer {
                     object,
                     client,
                     request,
-                } => self.replies.push_front((
-                    NodeId::Client(client),
-                    Message::WriteAck { object, request },
-                )),
+                } => {
+                    let reply = (
+                        NodeId::Client(client),
+                        Message::WriteAck { object, request },
+                    );
+                    match gate {
+                        Some(at) => {
+                            self.deferred_acks.push((at, reply));
+                            ctx.set_timer(at.saturating_sub(now));
+                        }
+                        None => self.replies.push_front(reply),
+                    }
+                }
                 Action::ReadReply {
                     object,
                     client,
@@ -99,7 +217,11 @@ impl SimServer {
         };
         match self.server.next_frame() {
             Some(frame) => {
-                ctx.send(self.ring_net, NodeId::Server(successor), Message::Ring(frame));
+                ctx.send(
+                    self.ring_net,
+                    NodeId::Server(successor),
+                    Message::Ring(frame),
+                );
                 true
             }
             None => false,
@@ -117,6 +239,9 @@ impl SimServer {
     }
 
     fn pump(&mut self, ctx: &mut Ctx<'_, Message>) {
+        if self.replaying.is_some() {
+            return; // still replaying the log: no traffic yet
+        }
         if self.ring_net == self.client_net {
             // One NIC for everything: alternate replies and ring frames so
             // neither side starves (Figure 3's shared-network setup).
@@ -161,7 +286,8 @@ impl Process<Message> for SimServer {
             // bug in the harness.
             Message::WriteAck { .. } | Message::ReadAck { .. } => Vec::new(),
         };
-        self.flush(actions);
+        self.persist_commits(ctx.now());
+        self.flush(ctx, actions);
         self.pump(ctx);
     }
 
@@ -174,7 +300,55 @@ impl Process<Message> for SimServer {
     fn on_crashed(&mut self, ctx: &mut Ctx<'_, Message>, node: NodeId) {
         if let Some(s) = node.as_server() {
             let actions = self.server.on_server_crashed(s);
-            self.flush(actions);
+            self.persist_commits(ctx.now());
+            self.flush(ctx, actions);
+            self.pump(ctx);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Message>, timer: TimerId) {
+        if self.replaying == Some(timer) {
+            // Log replay finished: the rejoin announcement may now leave.
+            self.replaying = None;
+            self.pump(ctx);
+            return;
+        }
+        let now = ctx.now();
+        let due: Vec<(NodeId, Message)> = {
+            let (ready, waiting): (Vec<_>, Vec<_>) =
+                self.deferred_acks.drain(..).partition(|(at, _)| *at <= now);
+            self.deferred_acks = waiting;
+            ready.into_iter().map(|(_, reply)| reply).collect()
+        };
+        for reply in due {
+            self.replies.push_front(reply);
+        }
+        self.pump(ctx);
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, Message>) {
+        // Reboot: volatile state is gone; rebuild from the modeled log
+        // and rejoin the ring through the announcement protocol.
+        self.restarts += 1;
+        self.replies.clear();
+        self.deferred_acks.clear();
+        self.durable_horizon = ctx.now();
+        self.appends_since_sync = 0;
+        self.server = MultiObjectServer::new(self.me, self.n, self.config.clone());
+        self.server.restore_state(
+            self.persisted
+                .iter()
+                .map(|(object, (tag, value))| (*object, *tag, value.clone())),
+        );
+        self.server.begin_rejoin();
+        let replay = self
+            .disk
+            .as_ref()
+            .map(DiskModel::replay_time)
+            .unwrap_or(Nanos::ZERO);
+        if replay > Nanos::ZERO {
+            self.replaying = Some(ctx.set_timer(replay));
+        } else {
             self.pump(ctx);
         }
     }
@@ -343,10 +517,10 @@ impl SimClient {
         let now = ctx.now();
         let (request, server, message, op_id) = if read {
             let (request, server, message) = self.core.begin_read();
-            let op_id = self.history.as_ref().map(|h| {
-                h.borrow_mut()
-                    .invoke_read(self.core.id(), now.as_nanos())
-            });
+            let op_id = self
+                .history
+                .as_ref()
+                .map(|h| h.borrow_mut().invoke_read(self.core.id(), now.as_nanos()));
             (request, server, message, op_id)
         } else {
             self.value_seq += 1;
@@ -440,10 +614,29 @@ impl Process<Message> for SimClient {
                     let _ = request;
                 }
                 if let Some((request, _, _, _)) = self.current_op {
-                    self.timer =
-                        ArmedTimer::Timeout(ctx.set_timer(self.workload.timeout), request);
+                    self.timer = ArmedTimer::Timeout(ctx.set_timer(self.workload.timeout), request);
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modeled_record_overhead_matches_the_real_wal_layout() {
+        // The modeled disk charges RECORD_OVERHEAD + value bytes per
+        // commit; keep that pinned to what hts-wal actually writes, or
+        // the durability benchmarks silently drift from reality.
+        let record = hts_wal::WalRecord {
+            object: ObjectId(1),
+            tag: Tag::new(1, ServerId(0)),
+            value: Value::bottom(), // empty: the encoding is pure overhead
+        };
+        let mut bytes = Vec::new();
+        hts_wal::record::encode_record(&mut bytes, &record);
+        assert_eq!(bytes.len(), RECORD_OVERHEAD);
     }
 }

@@ -28,7 +28,14 @@ impl Driver {
     fn new(n: u16, config: Config) -> Self {
         Driver {
             cores: (0..n)
-                .map(|i| Some(ServerCore::new(ServerId(i), n, ObjectId::SINGLE, config.clone())))
+                .map(|i| {
+                    Some(ServerCore::new(
+                        ServerId(i),
+                        n,
+                        ObjectId::SINGLE,
+                        config.clone(),
+                    ))
+                })
                 .collect(),
             inflight: VecDeque::new(),
             actions: Vec::new(),
@@ -123,7 +130,9 @@ impl Driver {
         self.actions
             .iter()
             .filter_map(|(s, a)| match a {
-                Action::WriteAck { client, request, .. } => Some((*s, *client, *request)),
+                Action::WriteAck {
+                    client, request, ..
+                } => Some((*s, *client, *request)),
                 _ => None,
             })
             .collect()
@@ -354,7 +363,7 @@ fn successor_crash_mid_prewrite_is_recovered_by_retransmission() {
     d.pump_sends();
     d.deliver_one(); // s1 queues it
     d.pump_sends(); // s1 forwards: frame in flight to s2
-    // s2 dies with the frame in flight: the frame is lost.
+                    // s2 dies with the frame in flight: the frame is lost.
     d.crash(2);
     assert!(d.core(1).stats().recoveries >= 1, "s1 spliced the ring");
     // Recovery: s1 re-sends its pending pre-writes to its new successor
@@ -500,8 +509,8 @@ fn subsumption_acks_overtaken_writes() {
     d.deliver_one();
     d.pump_sends(); // s1 forwards notice -> s2 (in flight)
     d.crash(2); // frame lost
-    // s1 (predecessor of s2) retransmits its stored write (tag (1,s0)!) to
-    // its new successor s0 — s0 recognizes its own tag and acks.
+                // s1 (predecessor of s2) retransmits its stored write (tag (1,s0)!) to
+                // its new successor s0 — s0 recognizes its own tag and acks.
     d.run();
     assert_eq!(d.acks(), vec![(ServerId(0), ClientId(0), RequestId(1))]);
     assert_eq!(d.core(0).stored().1, &val(10));

@@ -24,7 +24,13 @@ fn ring_of(n: u16) -> Net {
         let id = NodeId::Server(ServerId(i));
         sim.add_node(
             id,
-            Box::new(RoundServer::new(ServerId(i), n, Config::default(), ring, client)),
+            Box::new(RoundServer::new(
+                ServerId(i),
+                n,
+                Config::default(),
+                ring,
+                client,
+            )),
         );
         sim.attach(id, ring);
         sim.attach(id, client);
@@ -45,14 +51,8 @@ fn add_client(
     limit: Option<u64>,
 ) -> Rc<RefCell<RoundClientStats>> {
     let cid = ClientId(id);
-    let (client, stats) = RoundClient::new(
-        cid,
-        net.n,
-        ServerId(preferred),
-        reads,
-        limit,
-        net.client,
-    );
+    let (client, stats) =
+        RoundClient::new(cid, net.n, ServerId(preferred), reads, limit, net.client);
     net.sim.add_node(NodeId::Client(cid), Box::new(client));
     net.sim.attach(NodeId::Client(cid), net.client);
     let _ = net.ring;
@@ -94,13 +94,7 @@ fn saturated_write_throughput_is_one_per_round() {
     let mut stats = Vec::new();
     for i in 0..n {
         for k in 0..3u32 {
-            stats.push(add_client(
-                &mut net,
-                u32::from(i) * 10 + k,
-                i,
-                false,
-                None,
-            ));
+            stats.push(add_client(&mut net, u32::from(i) * 10 + k, i, false, None));
         }
     }
     let warm = 100u64;

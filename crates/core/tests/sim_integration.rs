@@ -4,10 +4,10 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use hts_core::{Config, OpMix, SimClient, SimServer, WorkloadConfig};
+use hts_core::{Config, Durability, OpMix, SimClient, SimServer, WorkloadConfig};
 use hts_lincheck::{check_conditions, check_exhaustive_bounded, History, Outcome};
 use hts_sim::packet::{NetworkConfig, PacketSim};
-use hts_sim::Nanos;
+use hts_sim::{DiskConfig, Nanos};
 use hts_types::{ClientId, Message, NodeId, ServerId};
 
 struct Cluster {
@@ -36,16 +36,11 @@ fn cluster(
     let history = Rc::new(RefCell::new(History::new()));
     for i in 0..n {
         let id = NodeId::Server(ServerId(i));
-        sim.add_node(
-            id,
-            Box::new(SimServer::new(
-                ServerId(i),
-                n,
-                config.clone(),
-                ring_net,
-                client_net,
-            )),
-        );
+        let mut server = SimServer::new(ServerId(i), n, config.clone(), ring_net, client_net);
+        if config.durability.is_persistent() {
+            server = server.with_disk(DiskConfig::nvme_ssd());
+        }
+        sim.add_node(id, Box::new(server));
         sim.attach(id, ring_net);
         sim.attach(id, client_net);
     }
@@ -93,7 +88,8 @@ fn assert_linearizable(cluster: &Cluster) {
     if history.len() <= 60 {
         let outcome = check_exhaustive_bounded(&history, 5_000_000);
         assert!(
-            outcome != Outcome::NotLinearizable("".into()) && !matches!(outcome, Outcome::NotLinearizable(_)),
+            outcome != Outcome::NotLinearizable("".into())
+                && !matches!(outcome, Outcome::NotLinearizable(_)),
             "exhaustive checker rejected: {outcome:?}\n{history}"
         );
     }
@@ -192,6 +188,69 @@ fn cascading_crashes_down_to_one_server() {
     c.sim.run_to_quiescence();
     let (w, r) = total_completed(&c);
     assert_eq!(w + r, 3 * 10, "solo survivor still serves everyone");
+    let history = c.history.borrow();
+    let violations = check_conditions(&history);
+    assert!(violations.is_empty(), "{violations:?}\n{history}");
+}
+
+#[test]
+fn crash_restart_mid_run_preserves_atomicity_and_liveness() {
+    let workload = WorkloadConfig {
+        mix: OpMix::Mixed { read_percent: 50 },
+        value_size: 128,
+        op_limit: Some(14),
+        start_delay: Nanos::ZERO,
+        timeout: Nanos::from_millis(5),
+    };
+    let config = Config {
+        durability: Durability::SyncAlways,
+        ..Config::default()
+    };
+    let mut c = cluster(37, 3, 2, workload, config);
+    // s1 dies at 2 ms and reboots from its modeled log at 8 ms: the ring
+    // splices it out, then splices it back in via the rejoin circuit.
+    c.sim
+        .crash_at(NodeId::Server(ServerId(1)), Nanos::from_millis(2));
+    c.sim
+        .restart_at(NodeId::Server(ServerId(1)), Nanos::from_millis(8));
+    c.sim.run_to_quiescence();
+    let (w, r) = total_completed(&c);
+    assert_eq!(w + r, 6 * 14, "clients survived crash and restart");
+    let history = c.history.borrow();
+    let violations = check_conditions(&history);
+    assert!(violations.is_empty(), "{violations:?}\n{history}");
+}
+
+#[test]
+fn repeated_crash_restart_cycles_stay_linearizable() {
+    let workload = WorkloadConfig {
+        mix: OpMix::Mixed { read_percent: 40 },
+        value_size: 128,
+        op_limit: Some(16),
+        start_delay: Nanos::ZERO,
+        timeout: Nanos::from_millis(5),
+    };
+    let config = Config {
+        durability: Durability::Buffered,
+        ..Config::default()
+    };
+    let mut c = cluster(41, 3, 2, workload, config);
+    // The same server bounces twice; a different one bounces in between.
+    c.sim
+        .crash_at(NodeId::Server(ServerId(2)), Nanos::from_millis(2));
+    c.sim
+        .restart_at(NodeId::Server(ServerId(2)), Nanos::from_millis(6));
+    c.sim
+        .crash_at(NodeId::Server(ServerId(0)), Nanos::from_millis(10));
+    c.sim
+        .restart_at(NodeId::Server(ServerId(0)), Nanos::from_millis(14));
+    c.sim
+        .crash_at(NodeId::Server(ServerId(2)), Nanos::from_millis(18));
+    c.sim
+        .restart_at(NodeId::Server(ServerId(2)), Nanos::from_millis(22));
+    c.sim.run_to_quiescence();
+    let (w, r) = total_completed(&c);
+    assert_eq!(w + r, 6 * 16, "clients survived every bounce");
     let history = c.history.borrow();
     let violations = check_conditions(&history);
     assert!(violations.is_empty(), "{violations:?}\n{history}");

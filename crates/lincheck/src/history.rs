@@ -202,8 +202,7 @@ impl History {
     /// other operations. Pending writes are kept (they may have taken
     /// effect).
     pub fn prune_pending_reads(&mut self) {
-        self.records
-            .retain(|r| r.is_complete() || !r.op.is_read());
+        self.records.retain(|r| r.is_complete() || !r.op.is_read());
     }
 }
 
@@ -219,7 +218,11 @@ impl fmt::Display for History {
                 Op::Read(v) if r.is_complete() => format!("read -> {v:?}"),
                 Op::Read(_) => "read -> ?".to_string(),
             };
-            writeln!(f, "#{i:<4} {} [{} .. {}] {}", r.client, r.invoked_at, ret, op)?;
+            writeln!(
+                f,
+                "#{i:<4} {} [{} .. {}] {}",
+                r.client, r.invoked_at, ret, op
+            )?;
         }
         Ok(())
     }

@@ -41,13 +41,13 @@
 
 mod conditions;
 mod history;
-mod witness;
 mod wg;
+mod witness;
 
 pub use conditions::{check_conditions, Violation};
 pub use history::{History, Op, OpId, OpRecord};
-pub use witness::check_witnessed;
 pub use wg::{check_exhaustive, check_exhaustive_bounded};
+pub use witness::check_witnessed;
 
 /// The verdict of a linearizability check.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -57,7 +57,10 @@ pub fn check_witnessed(history: &History) -> Outcome {
                     id.0
                 ));
             }
-            if write_values.insert(tag, rec.op.value().as_bytes()).is_some() {
+            if write_values
+                .insert(tag, rec.op.value().as_bytes())
+                .is_some()
+            {
                 return Outcome::NotLinearizable(format!(
                     "two writes share tag {tag} (op #{})",
                     id.0
@@ -111,9 +114,7 @@ pub fn check_witnessed(history: &History) -> Outcome {
 
     // The candidate linearization: by tag, writes before their reads,
     // then by invocation time.
-    ops.sort_by(|a, b| {
-        (a.tag, a.is_read, a.inv, a.id).cmp(&(b.tag, b.is_read, b.inv, b.id))
-    });
+    ops.sort_by_key(|op| (op.tag, op.is_read, op.inv, op.id));
 
     // Real-time check: no operation may precede (in real time) an operation
     // ordered before it. Scan the candidate order keeping the latest

@@ -11,8 +11,7 @@
 //! * corrupted witnesses are rejected by `check_witnessed`.
 
 use hts_lincheck::{
-    check_conditions, check_exhaustive, check_exhaustive_bounded, check_witnessed, History,
-    Outcome,
+    check_conditions, check_exhaustive, check_exhaustive_bounded, check_witnessed, History, Outcome,
 };
 use hts_types::{ClientId, ServerId, Tag, Value};
 use proptest::prelude::*;

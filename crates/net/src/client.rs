@@ -32,11 +32,30 @@ impl Client {
     /// Currently infallible at connect time (connections are opened on
     /// first use); the signature leaves room for eager validation.
     pub fn connect(id: u32, addrs: Vec<SocketAddr>) -> io::Result<Client> {
+        Client::connect_preferring(id, addrs, ServerId(0))
+    }
+
+    /// Connects lazily, preferring `preferred` as the first server to
+    /// contact (useful for pinning load, and for tests that must observe
+    /// one specific server — e.g. a freshly restarted one).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::connect`].
+    pub fn connect_preferring(
+        id: u32,
+        addrs: Vec<SocketAddr>,
+        preferred: ServerId,
+    ) -> io::Result<Client> {
         assert!(!addrs.is_empty(), "need at least one server address");
+        assert!(
+            preferred.index() < addrs.len(),
+            "{preferred} outside the address map"
+        );
         let n = addrs.len() as u16;
         let id = ClientId(id);
         Ok(Client {
-            core: ClientCore::new(id, ObjectId::SINGLE, n, ServerId(0)),
+            core: ClientCore::new(id, ObjectId::SINGLE, n, preferred),
             addrs,
             connections: (0..n).map(|_| None).collect(),
             id,
@@ -116,9 +135,7 @@ impl Client {
                             server = next_server;
                             msg = next_msg;
                         }
-                        None => {
-                            return Err(io::Error::other("request completed out of band"))
-                        }
+                        None => return Err(io::Error::other("request completed out of band")),
                     }
                 }
             }

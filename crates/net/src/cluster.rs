@@ -2,18 +2,28 @@
 
 use std::io;
 use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
 
-use hts_core::Config;
+use hts_core::{Config, Durability};
 use hts_types::ServerId;
 
 use crate::server::{Server, ServerConfig};
 
 /// A local cluster of `n` servers on ephemeral localhost ports.
 ///
+/// [`launch`](Cluster::launch) gives the paper's crash-**stop** model: a
+/// [`crash`](Cluster::crash)ed server is gone for good.
+/// [`launch_durable`](Cluster::launch_durable) gives crash-**recovery**:
+/// every server logs committed writes to a WAL directory, and
+/// [`restart`](Cluster::restart) boots a crashed server back up from its
+/// log — it rejoins the ring, resyncs and serves again.
+///
 /// See the [crate docs](crate) for an example.
 pub struct Cluster {
     servers: Vec<Option<Server>>,
     addrs: Vec<SocketAddr>,
+    config: Config,
+    wal_base: Option<PathBuf>,
 }
 
 impl Cluster {
@@ -32,6 +42,31 @@ impl Cluster {
     ///
     /// Propagates bind failures.
     pub fn launch_with(n: u16, config: Config) -> io::Result<Cluster> {
+        Cluster::launch_inner(n, config, None)
+    }
+
+    /// Boots `n` durable servers, each logging to
+    /// `<wal_base>/server-<id>`. If the configured durability is not
+    /// persistent it is upgraded to [`Durability::SyncAlways`] (a
+    /// "durable cluster" with no persistence would be a contradiction).
+    /// Pre-existing logs are recovered, so launching over a previous
+    /// cluster's directory restores its data.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind and log-recovery failures.
+    pub fn launch_durable(
+        n: u16,
+        mut config: Config,
+        wal_base: impl Into<PathBuf>,
+    ) -> io::Result<Cluster> {
+        if !config.durability.is_persistent() {
+            config.durability = Durability::SyncAlways;
+        }
+        Cluster::launch_inner(n, config, Some(wal_base.into()))
+    }
+
+    fn launch_inner(n: u16, config: Config, wal_base: Option<PathBuf>) -> io::Result<Cluster> {
         assert!(n > 0, "a cluster needs at least one server");
         // Reserve ephemeral ports first so every server knows the full map.
         let mut addrs = Vec::with_capacity(usize::from(n));
@@ -45,17 +80,24 @@ impl Cluster {
             // Holders drop here; the brief race with other processes is
             // acceptable for tests/examples.
         }
-        let mut servers = Vec::with_capacity(usize::from(n));
-        for i in 0..n {
-            servers.push(Some(Server::spawn(ServerConfig {
-                id: ServerId(i),
-                addrs: addrs.clone(),
-                config: config.clone(),
-            })?));
-        }
-        Ok(Cluster {
-            servers,
+        let mut cluster = Cluster {
+            servers: (0..n).map(|_| None).collect(),
             addrs,
+            config,
+            wal_base,
+        };
+        for i in 0..n {
+            cluster.servers[usize::from(i)] = Some(cluster.spawn_one(ServerId(i))?);
+        }
+        Ok(cluster)
+    }
+
+    fn spawn_one(&self, id: ServerId) -> io::Result<Server> {
+        Server::spawn(ServerConfig {
+            id,
+            addrs: self.addrs.clone(),
+            config: self.config.clone(),
+            wal_dir: self.wal_dir(id),
         })
     }
 
@@ -64,7 +106,15 @@ impl Cluster {
         self.addrs.clone()
     }
 
-    /// Crashes one server (stops it for good).
+    /// The WAL directory of server `s` (durable clusters only).
+    pub fn wal_dir(&self, s: ServerId) -> Option<PathBuf> {
+        self.wal_base
+            .as_ref()
+            .map(|base| base.join(format!("server-{}", s.0)))
+    }
+
+    /// Crashes one server (kills its event loop and every connection;
+    /// its WAL directory, if any, survives for a [`restart`](Cluster::restart)).
     ///
     /// # Panics
     ///
@@ -74,6 +124,30 @@ impl Cluster {
             .take()
             .expect("server alive")
             .shutdown();
+    }
+
+    /// Restarts a crashed server of a durable cluster from its WAL
+    /// directory: it replays snapshot + log tail, rebinds its address,
+    /// announces its rejoin around the ring and resyncs before serving.
+    ///
+    /// # Errors
+    ///
+    /// Propagates rebind and log-recovery failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is still running or the cluster is not durable.
+    pub fn restart(&mut self, s: ServerId) -> io::Result<()> {
+        assert!(
+            self.wal_base.is_some(),
+            "restart requires a durable cluster (launch_durable)"
+        );
+        assert!(
+            self.servers[s.index()].is_none(),
+            "{s} is still running; crash it first"
+        );
+        self.servers[s.index()] = Some(self.spawn_one(s)?);
+        Ok(())
     }
 
     /// Number of servers still running.

@@ -3,14 +3,16 @@
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use hts_core::{Action, Config, MultiObjectServer};
+use hts_core::{Action, Config, Durability, MultiObjectServer};
 use hts_types::{codec::Hello, ClientId, Message, RingFrame, ServerId};
+use hts_wal::{recover, FsyncPolicy, Recovery, Wal, WalOptions, WalRecord};
 
 use crate::framing::{read_message, write_message};
 
@@ -23,6 +25,15 @@ pub struct ServerConfig {
     pub addrs: Vec<SocketAddr>,
     /// Protocol options.
     pub config: Config,
+    /// Write-ahead-log directory. With a persistent
+    /// [`Config::durability`](hts_core::Config), committed writes are
+    /// logged here before client acks go out, and a server whose
+    /// directory already holds a log boots in **restart** mode: it
+    /// restores its registers from snapshot + log tail, announces its
+    /// rejoin around the ring, resyncs from its new predecessor and only
+    /// then serves — converting the paper's crash-stop model into
+    /// crash-recovery.
+    pub wal_dir: Option<PathBuf>,
 }
 
 enum Event {
@@ -38,6 +49,13 @@ enum Event {
     RingInDown(ServerId),
     /// The outbound ring connection (to server `s`) died: `s` crashed.
     RingOutDown(ServerId),
+    /// Writing `frame` to server `s` failed. Not yet a crash verdict: a
+    /// parked connection may simply predate the peer's restart (a
+    /// non-adjacent server never observes the crash of a peer it was not
+    /// connected to, so its parked entry can go stale silently). The
+    /// event loop retries over a fresh connection and only declares the
+    /// peer crashed if that also fails.
+    RingWriteFailed(ServerId, RingFrame),
     /// The ring writer drained a frame: pull the next one.
     TxDone,
     /// Stop the event loop.
@@ -56,12 +74,30 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds `config.addrs[config.id]` and spawns the server.
+    /// Binds `config.addrs[config.id]` and spawns the server. With a
+    /// WAL directory and persistent durability, first recovers any
+    /// existing log — a non-empty directory makes this a **restart**:
+    /// the server rejoins the ring and resyncs before serving.
     ///
     /// # Errors
     ///
-    /// Returns the bind error if the listen address is unavailable.
+    /// Returns the bind error if the listen address is unavailable, or
+    /// the I/O error if log recovery / creation fails.
     pub fn spawn(config: ServerConfig) -> io::Result<Server> {
+        let wal_state = match (&config.wal_dir, wal_fsync_policy(config.config.durability)) {
+            (Some(dir), Some(fsync)) => {
+                let recovery = recover(dir)?;
+                let wal = Wal::open(
+                    dir,
+                    WalOptions {
+                        fsync,
+                        ..WalOptions::default()
+                    },
+                )?;
+                Some((wal, recovery))
+            }
+            _ => None,
+        };
         let addr = config.addrs[config.id.index()];
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
@@ -80,7 +116,7 @@ impl Server {
         let handle = {
             let events = events_tx.clone();
             let rx = events_rx;
-            thread::spawn(move || event_loop(config, rx, events))
+            thread::spawn(move || event_loop(config, rx, events, wal_state))
         };
 
         Ok(Server {
@@ -208,9 +244,10 @@ fn handle_connection(mut stream: TcpStream, events: Sender<Event>) -> io::Result
 
 /// The outbound ring connection: a bounded(1) channel + writer thread, so
 /// `TxDone` events pace `next_frame` pulls exactly like the simulator's
-/// TX-idle callback.
+/// TX-idle callback. Keyed by peer in the event loop; connections to
+/// peers that stop being the successor are parked, not closed (see the
+/// event loop).
 struct RingOut {
-    to: ServerId,
     frames: Sender<RingFrame>,
 }
 
@@ -219,15 +256,16 @@ fn connect_ring_out(
     to: ServerId,
     addr: SocketAddr,
     events: Sender<Event>,
+    attempts: u32,
 ) -> io::Result<RingOut> {
-    let mut stream = connect_with_retry(addr, 40)?;
+    let mut stream = connect_with_retry(addr, attempts)?;
     stream.set_nodelay(true).ok();
     stream.write_all(&Hello::Server(me).encode())?;
     let (tx, rx): (Sender<RingFrame>, Receiver<RingFrame>) = bounded(1);
     thread::spawn(move || {
         for frame in rx {
-            if write_message(&mut stream, &Message::Ring(frame)).is_err() {
-                let _ = events.send(Event::RingOutDown(to));
+            if write_message(&mut stream, &Message::Ring(frame.clone())).is_err() {
+                let _ = events.send(Event::RingWriteFailed(to, frame));
                 return;
             }
             if events.send(Event::TxDone).is_err() {
@@ -235,54 +273,105 @@ fn connect_ring_out(
             }
         }
     });
-    Ok(RingOut { to, frames: tx })
+    Ok(RingOut { frames: tx })
 }
 
 fn connect_with_retry(addr: SocketAddr, attempts: u32) -> io::Result<TcpStream> {
     let mut last = None;
-    for _ in 0..attempts {
+    for attempt in 0..attempts {
         match TcpStream::connect(addr) {
             Ok(s) => return Ok(s),
             Err(e) => {
                 last = Some(e);
-                thread::sleep(Duration::from_millis(50));
+                // No point sleeping after the last attempt — and these
+                // retries run on the event-loop thread, so every sleep
+                // stalls client traffic.
+                if attempt + 1 < attempts {
+                    thread::sleep(Duration::from_millis(50));
+                }
             }
         }
     }
     Err(last.unwrap_or_else(|| io::Error::other("no attempts made")))
 }
 
-fn event_loop(config: ServerConfig, events: Receiver<Event>, events_tx: Sender<Event>) {
+/// How a [`Durability`] setting maps onto the WAL's fsync policy
+/// (`None` = no log at all).
+fn wal_fsync_policy(durability: Durability) -> Option<FsyncPolicy> {
+    match durability {
+        Durability::Volatile => None,
+        Durability::Buffered => Some(FsyncPolicy::OsDefault),
+        Durability::SyncEveryN(n) => Some(FsyncPolicy::EveryN(n)),
+        Durability::SyncAlways => Some(FsyncPolicy::Always),
+    }
+}
+
+fn event_loop(
+    config: ServerConfig,
+    events: Receiver<Event>,
+    events_tx: Sender<Event>,
+    wal_state: Option<(Wal, Recovery)>,
+) {
     let n = config.addrs.len() as u16;
     let mut core = MultiObjectServer::new(config.id, n, config.config.clone());
+    let mut wal = None;
+    if let Some((w, recovery)) = wal_state {
+        // Restart path: restore the registers the log proves committed,
+        // then announce the rejoin — reads queue until the announcement
+        // makes it around the ring and back (the predecessor's recovery
+        // stream is FIFO-ordered ahead of it).
+        let restarting = recovery.had_log;
+        core.restore_state(
+            recovery
+                .state
+                .into_iter()
+                .map(|(object, (tag, value))| (object, tag, value)),
+        );
+        if restarting {
+            core.begin_rejoin();
+        }
+        wal = Some(w);
+    }
     let mut clients: HashMap<ClientId, Sender<Message>> = HashMap::new();
-    let mut ring_out: Option<RingOut> = None;
-    // Frames handed to the writer but possibly still in its channel.
+    // Outbound ring connections by peer. The active one is the current
+    // successor; older ones stay **parked**, not dropped — closing a
+    // connection to a live peer would masquerade as our crash on its
+    // side, and a later splice-back (rejoin) reuses the parked link.
+    let mut ring_outs: HashMap<ServerId, RingOut> = HashMap::new();
+    let mut active_out: Option<ServerId> = None;
+    // Frames handed to the active writer but possibly still in its channel.
     let mut in_channel = 0u32;
 
     let ensure_ring_out = |core: &MultiObjectServer,
-                               ring_out: &mut Option<RingOut>,
-                               in_channel: &mut u32| {
+                           ring_outs: &mut HashMap<ServerId, RingOut>,
+                           active_out: &mut Option<ServerId>,
+                           in_channel: &mut u32| {
         let successor = core.successor();
-        let connected_to = ring_out.as_ref().map(|r| r.to);
-        if connected_to != successor {
-            *ring_out = None;
-            *in_channel = 0;
-            if let Some(next) = successor {
-                match connect_ring_out(
-                    config.id,
-                    next,
-                    config.addrs[next.index()],
-                    events_tx.clone(),
-                ) {
-                    Ok(out) => *ring_out = Some(out),
-                    Err(_) => {
-                        // The successor is unreachable: report it crashed.
-                        let _ = events_tx.send(Event::RingOutDown(next));
-                    }
+        if *active_out == successor {
+            return;
+        }
+        *active_out = None;
+        *in_channel = 0;
+        let Some(next) = successor else { return };
+        if let std::collections::hash_map::Entry::Vacant(slot) = ring_outs.entry(next) {
+            match connect_ring_out(
+                config.id,
+                next,
+                config.addrs[next.index()],
+                events_tx.clone(),
+                40,
+            ) {
+                Ok(out) => {
+                    slot.insert(out);
+                }
+                Err(_) => {
+                    // The successor is unreachable: report it crashed.
+                    let _ = events_tx.send(Event::RingOutDown(next));
+                    return;
                 }
             }
         }
+        *active_out = Some(next);
     };
 
     let flush = |clients: &HashMap<ClientId, Sender<Message>>, actions: Vec<Action>| {
@@ -314,54 +403,122 @@ fn event_loop(config: ServerConfig, events: Receiver<Event>, events_tx: Sender<E
         }
     };
 
-    for event in &events {
-        match event {
-            Event::Shutdown => return,
-            Event::ClientUp(c, tx) => {
-                clients.insert(c, tx);
-            }
-            Event::ClientDown(c) => {
-                clients.remove(&c);
-            }
-            Event::FromClient(c, msg) => {
-                let actions = match msg {
-                    Message::WriteReq {
-                        object,
-                        request,
-                        value,
-                    } => core.on_client_write(object, c, request, value),
-                    Message::ReadReq { object, request } => {
-                        core.on_client_read(object, c, request)
-                    }
-                    _ => Vec::new(),
-                };
-                flush(&clients, actions);
-            }
-            Event::FromRing(frame) => {
-                let actions = core.on_frame(frame);
-                flush(&clients, actions);
-            }
-            Event::RingInDown(s) | Event::RingOutDown(s) => {
-                let actions = core.on_server_crashed(s);
-                flush(&clients, actions);
-            }
-            Event::TxDone => {
-                in_channel = in_channel.saturating_sub(1);
+    // Appends the core's freshly committed writes to the log. Runs
+    // BEFORE actions flush, so under `SyncAlways` a client never sees an
+    // ack whose write is not on stable storage. Returns `false` on an
+    // unrecoverable log failure (the server then stops = crash-stop).
+    let persist = |core: &mut MultiObjectServer, wal: &mut Option<Wal>| -> bool {
+        let Some(wal) = wal.as_mut() else {
+            // Persistent durability without a wal_dir: nothing to log,
+            // but the core still accumulates commits — drain them or
+            // they pile up forever.
+            core.drain_commits();
+            return true;
+        };
+        for (object, tag, value) in core.drain_commits() {
+            if let Err(e) = wal.append(&WalRecord { object, tag, value }) {
+                eprintln!(
+                    "hts-net server {}: wal append failed ({e}); stopping to avoid \
+                     acknowledging non-durable writes",
+                    config.id
+                );
+                return false;
             }
         }
-        // Pump the ring: keep at most one frame queued at the writer.
-        ensure_ring_out(&core, &mut ring_out, &mut in_channel);
-        while in_channel < 1 {
-            let Some(out) = ring_out.as_ref() else { break };
+        if wal.wants_compaction() {
+            let state: Vec<WalRecord> = core
+                .export_state()
+                .into_iter()
+                .map(|(object, tag, value)| WalRecord { object, tag, value })
+                .collect();
+            if let Err(e) = wal.compact(&state) {
+                // Non-fatal: the uncompacted log remains recoverable.
+                eprintln!("hts-net server {}: wal compaction failed ({e})", config.id);
+            }
+        }
+        true
+    };
+
+    let pump = |core: &mut MultiObjectServer,
+                ring_outs: &mut HashMap<ServerId, RingOut>,
+                active_out: &mut Option<ServerId>,
+                in_channel: &mut u32| {
+        // Keep at most one frame queued at the active writer.
+        ensure_ring_out(core, ring_outs, active_out, in_channel);
+        while *in_channel < 1 {
+            let Some(active) = *active_out else { break };
+            let Some(out) = ring_outs.get(&active) else {
+                break;
+            };
             match core.next_frame() {
                 Some(frame) => {
                     if out.frames.send(frame).is_err() {
                         break; // writer died; RingOutDown will arrive
                     }
-                    in_channel += 1;
+                    *in_channel += 1;
                 }
                 None => break,
             }
         }
+    };
+
+    // Prime the ring before the first inbound event: a freshly booted
+    // server eagerly connects to its successor, and a *restarted* one
+    // must push its rejoin announcement without waiting to be spoken to.
+    pump(&mut core, &mut ring_outs, &mut active_out, &mut in_channel);
+
+    for event in &events {
+        let actions = match event {
+            Event::Shutdown => return,
+            Event::ClientUp(c, tx) => {
+                clients.insert(c, tx);
+                Vec::new()
+            }
+            Event::ClientDown(c) => {
+                clients.remove(&c);
+                Vec::new()
+            }
+            Event::FromClient(c, msg) => match msg {
+                Message::WriteReq {
+                    object,
+                    request,
+                    value,
+                } => core.on_client_write(object, c, request, value),
+                Message::ReadReq { object, request } => core.on_client_read(object, c, request),
+                _ => Vec::new(),
+            },
+            Event::FromRing(frame) => core.on_frame(frame),
+            Event::RingInDown(s) | Event::RingOutDown(s) => {
+                // Any connection to the crashed server died with it; a
+                // parked entry must not be reused after a rejoin.
+                ring_outs.remove(&s);
+                core.on_server_crashed(s)
+            }
+            Event::RingWriteFailed(s, frame) => {
+                // The connection may just be stale (the peer restarted
+                // while it sat parked): retry once over a fresh one.
+                ring_outs.remove(&s);
+                match connect_ring_out(config.id, s, config.addrs[s.index()], events_tx.clone(), 3)
+                {
+                    Ok(out) => {
+                        // The peer is alive after all; re-send the frame
+                        // that the dead socket swallowed.
+                        let _ = out.frames.send(frame);
+                        ring_outs.insert(s, out);
+                        Vec::new()
+                    }
+                    Err(_) => core.on_server_crashed(s),
+                }
+            }
+            Event::TxDone => {
+                in_channel = in_channel.saturating_sub(1);
+                Vec::new()
+            }
+        };
+        if !persist(&mut core, &mut wal) {
+            return;
+        }
+        flush(&clients, actions);
+        pump(&mut core, &mut ring_outs, &mut active_out, &mut in_channel);
     }
 }

@@ -43,7 +43,10 @@ fn multiple_objects_are_independent() {
         client.read_from(ObjectId(2)).expect("read obj2"),
         Value::from_u64(22)
     );
-    assert_eq!(client.read_from(ObjectId(9)).expect("read obj9"), Value::bottom());
+    assert_eq!(
+        client.read_from(ObjectId(9)).expect("read obj9"),
+        Value::bottom()
+    );
     cluster.shutdown();
 }
 

@@ -11,8 +11,10 @@
 //!
 //! * [`packet`] — continuous virtual time (nanoseconds), per-NIC TX/RX
 //!   serialization, multiple networks (the paper's separate server/client
-//!   networks, or one shared network), crash injection with a
-//!   perfect-failure-detector callback, deterministic seeded execution.
+//!   networks, or one shared network), crash and crash-**restart**
+//!   injection with a perfect-failure-detector callback, a modeled log
+//!   device ([`disk`]) for durability experiments, deterministic seeded
+//!   execution.
 //! * [`round`] — the synchronous round model of the paper's §2/§4: per round
 //!   a process computes, sends one (possibly multicast) message per network,
 //!   and **receives at most one** message per network (FIFO NIC queue).
@@ -64,10 +66,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod disk;
 pub mod packet;
 pub mod round;
 mod time;
 
+pub use disk::{DiskConfig, DiskModel};
 pub use packet::{Ctx, NetworkId, PacketSim, Process, TimerId};
 pub use time::{Bandwidth, Nanos};
 

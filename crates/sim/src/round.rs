@@ -333,7 +333,12 @@ mod tests {
         let mut sim = RoundSim::new();
         let net = sim.add_network();
         let sink = NodeId::Client(ClientId(9));
-        sim.add_node(sink, Box::new(Sink { log: Rc::clone(&log) }));
+        sim.add_node(
+            sink,
+            Box::new(Sink {
+                log: Rc::clone(&log),
+            }),
+        );
         sim.attach(sink, net);
         for i in 0..3u32 {
             let id = NodeId::Client(ClientId(i));
@@ -352,8 +357,7 @@ mod tests {
         impl RoundProcess<u32> for Caster {
             fn on_round(&mut self, ctx: &mut RoundCtx<'_, u32>, round: u64) {
                 if round == 0 && ctx.node() == NodeId::Client(ClientId(0)) {
-                    let dests: Vec<NodeId> =
-                        (1..4).map(|i| NodeId::Client(ClientId(i))).collect();
+                    let dests: Vec<NodeId> = (1..4).map(|i| NodeId::Client(ClientId(i))).collect();
                     ctx.send(NetworkId(0), &dests, 1);
                 }
             }
@@ -404,8 +408,18 @@ mod tests {
         let net = sim.add_network();
         let a = NodeId::Client(ClientId(0));
         let b = NodeId::Client(ClientId(1));
-        sim.add_node(a, Box::new(Watch { log: Rc::clone(&log) }));
-        sim.add_node(b, Box::new(Watch { log: Rc::clone(&log) }));
+        sim.add_node(
+            a,
+            Box::new(Watch {
+                log: Rc::clone(&log),
+            }),
+        );
+        sim.add_node(
+            b,
+            Box::new(Watch {
+                log: Rc::clone(&log),
+            }),
+        );
         sim.attach(a, net);
         sim.attach(b, net);
         sim.crash_at_round(b, 2);
@@ -443,7 +457,12 @@ mod tests {
         let n0 = sim.add_network();
         let n1 = sim.add_network();
         let sink = NodeId::Client(ClientId(9));
-        sim.add_node(sink, Box::new(DualSink { log: Rc::clone(&log) }));
+        sim.add_node(
+            sink,
+            Box::new(DualSink {
+                log: Rc::clone(&log),
+            }),
+        );
         sim.attach(sink, n0);
         sim.attach(sink, n1);
         let s0 = NodeId::Client(ClientId(0));

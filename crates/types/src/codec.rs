@@ -23,8 +23,8 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::{
-    ClientId, DecodeError, Message, ObjectId, PreWrite, RequestId, RingFrame, ServerId, Tag,
-    Value, WriteNotice,
+    ClientId, DecodeError, Message, ObjectId, PreWrite, Rejoin, RequestId, RingFrame, ServerId,
+    Tag, Value, WriteNotice,
 };
 
 const D_WRITE_REQ: u8 = 0x01;
@@ -114,6 +114,14 @@ pub fn encode_into(msg: &Message, buf: &mut BytesMut) {
                     }
                 }
             }
+            match frame.rejoin {
+                None => buf.put_u8(0),
+                Some(r) => {
+                    buf.put_u8(1);
+                    buf.put_u16(r.server.0);
+                    buf.put_u8(u8::from(r.stale_source) | (u8::from(r.all_syncing) << 1));
+                }
+            }
         }
     }
 }
@@ -124,14 +132,10 @@ pub fn encode_into(msg: &Message, buf: &mut BytesMut) {
 /// property tests).
 pub fn wire_size(msg: &Message) -> usize {
     1 + match msg {
-        Message::WriteReq { value, .. } => {
-            OBJECT_SIZE + REQUEST_SIZE + LEN_PREFIX + value.len()
-        }
+        Message::WriteReq { value, .. } => OBJECT_SIZE + REQUEST_SIZE + LEN_PREFIX + value.len(),
         Message::ReadReq { .. } => OBJECT_SIZE + REQUEST_SIZE,
         Message::WriteAck { .. } => OBJECT_SIZE + REQUEST_SIZE,
-        Message::ReadAck { value, .. } => {
-            OBJECT_SIZE + REQUEST_SIZE + LEN_PREFIX + value.len()
-        }
+        Message::ReadAck { value, .. } => OBJECT_SIZE + REQUEST_SIZE + LEN_PREFIX + value.len(),
         Message::Ring(frame) => {
             let pw = match &frame.pre_write {
                 None => 0,
@@ -140,12 +144,11 @@ pub fn wire_size(msg: &Message) -> usize {
             let w = match &frame.write {
                 None => 0,
                 Some(wn) => {
-                    TAG_SIZE
-                        + FLAG_SIZE
-                        + wn.value.as_ref().map_or(0, |v| LEN_PREFIX + v.len())
+                    TAG_SIZE + FLAG_SIZE + wn.value.as_ref().map_or(0, |v| LEN_PREFIX + v.len())
                 }
             };
-            OBJECT_SIZE + FLAG_SIZE + pw + FLAG_SIZE + w
+            let rejoin = frame.rejoin.map_or(0, |_| 2 + FLAG_SIZE);
+            OBJECT_SIZE + FLAG_SIZE + pw + FLAG_SIZE + w + FLAG_SIZE + rejoin
         }
     }
 }
@@ -220,10 +223,26 @@ pub fn decode_partial(buf: &mut &[u8]) -> Result<Message, DecodeError> {
             } else {
                 None
             };
+            let rejoin = if get_flag(buf)? {
+                need(buf, 3)?;
+                let server = ServerId(buf.get_u16());
+                let flags = buf.get_u8();
+                if flags > 0b11 {
+                    return Err(DecodeError::BadOptionFlag(flags));
+                }
+                Some(Rejoin {
+                    server,
+                    stale_source: flags & 0b01 != 0,
+                    all_syncing: flags & 0b10 != 0,
+                })
+            } else {
+                None
+            };
             Ok(Message::Ring(RingFrame {
                 object,
                 pre_write,
                 write,
+                rejoin,
             }))
         }
         other => Err(DecodeError::UnknownDiscriminant(other)),
@@ -381,12 +400,10 @@ mod tests {
                 object: ObjectId(1),
                 pre_write: None,
                 write: None,
+                rejoin: None,
             }),
-            Message::Ring(RingFrame::pre_write(
-                ObjectId(1),
-                tag,
-                Value::filled(1, 33),
-            )),
+            Message::Ring(RingFrame::announce_rejoin(Rejoin::announce(ServerId(5)))),
+            Message::Ring(RingFrame::pre_write(ObjectId(1), tag, Value::filled(1, 33))),
             Message::Ring(RingFrame::write(ObjectId(1), tag)),
             Message::Ring(RingFrame::write_with_value(
                 ObjectId(1),
@@ -403,6 +420,11 @@ mod tests {
                 write: Some(WriteNotice {
                     tag: Tag::new(4, ServerId(0)),
                     value: None,
+                }),
+                rejoin: Some(Rejoin {
+                    server: ServerId(3),
+                    stale_source: true,
+                    all_syncing: true,
                 }),
             }),
         ]

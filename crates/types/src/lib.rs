@@ -47,6 +47,6 @@ mod value;
 
 pub use error::DecodeError;
 pub use id::{ClientId, NodeId, ObjectId, ProcessRole, RequestId, ServerId};
-pub use message::{Message, PreWrite, RingFrame, WriteNotice};
+pub use message::{Message, PreWrite, Rejoin, RingFrame, WriteNotice};
 pub use tag::Tag;
 pub use value::Value;

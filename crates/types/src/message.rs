@@ -19,7 +19,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::{ObjectId, RequestId, Tag, Value};
+use crate::{ObjectId, RequestId, ServerId, Tag, Value};
 
 /// The first phase of a write: announces `value` under `tag` to every
 /// server as the frame circulates the ring (paper lines 25, 29–40).
@@ -65,6 +65,7 @@ pub struct WriteNotice {
 ///         recovery: false,
 ///     }),
 ///     write: Some(WriteNotice { tag: Tag::new(1, ServerId(2)), value: None }),
+///     rejoin: None,
 /// };
 /// assert!(!frame.is_empty());
 /// ```
@@ -76,6 +77,51 @@ pub struct RingFrame {
     pub pre_write: Option<PreWrite>,
     /// Optional second-phase message.
     pub write: Option<WriteNotice>,
+    /// Optional crash-**recovery** announcement: "server `s` restarted
+    /// and is back in the ring". Initiated by the restarted server
+    /// itself and forwarded hop by hop until it returns to `s`; each
+    /// receiver marks `s` alive, and the server whose successor becomes
+    /// `s` re-sends its state first (FIFO links), so the announcement's
+    /// return doubles as the rejoiner's sync-complete marker (see
+    /// [`Rejoin`] for the flags guarding overlapping restarts).
+    pub rejoin: Option<Rejoin>,
+}
+
+/// A crash-recovery rejoin announcement (see [`RingFrame::rejoin`]).
+///
+/// The two flags make the announcement's return a *trustworthy*
+/// sync-complete certificate even when restarts overlap:
+///
+/// * `stale_source` — set by the hop that becomes the rejoiner's
+///   predecessor (the one whose recovery stream the certificate vouches
+///   for) when that hop is **itself still resyncing**: its stream may
+///   miss writes committed during their overlapping downtime, so the
+///   rejoiner must not finish on this circuit and re-announces instead.
+/// * `all_syncing` — ANDed with "this hop is resyncing" at every
+///   forwarder. When it survives as `true`, *every* alive server is
+///   restarting (a cold start of the whole cluster): the recovery logs
+///   are collectively authoritative, there is no fresher state to wait
+///   for, and the rejoiner may finish despite a `stale_source` — this
+///   is what keeps overlapping cold restarts from livelocking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rejoin {
+    /// The restarted server.
+    pub server: ServerId,
+    /// The new predecessor was itself mid-resync when it forwarded.
+    pub stale_source: bool,
+    /// Every hop so far (including the rejoiner) was mid-resync.
+    pub all_syncing: bool,
+}
+
+impl Rejoin {
+    /// A fresh announcement as the restarted `server` itself issues it.
+    pub fn announce(server: ServerId) -> Self {
+        Rejoin {
+            server,
+            stale_source: false,
+            all_syncing: true,
+        }
+    }
 }
 
 impl RingFrame {
@@ -89,6 +135,7 @@ impl RingFrame {
                 recovery: false,
             }),
             write: None,
+            rejoin: None,
         }
     }
 
@@ -98,6 +145,7 @@ impl RingFrame {
             object,
             pre_write: None,
             write: Some(WriteNotice { tag, value: None }),
+            rejoin: None,
         }
     }
 
@@ -111,12 +159,25 @@ impl RingFrame {
                 tag,
                 value: Some(value),
             }),
+            rejoin: None,
         }
     }
 
-    /// Returns `true` if the frame carries neither phase (never sent).
+    /// A frame carrying only a rejoin announcement (sent by a restarted
+    /// server entering the ring, or forwarded standalone; piggybacks on
+    /// regular frames when there is concurrent traffic).
+    pub fn announce_rejoin(rejoin: Rejoin) -> Self {
+        RingFrame {
+            object: ObjectId::SINGLE,
+            pre_write: None,
+            write: None,
+            rejoin: Some(rejoin),
+        }
+    }
+
+    /// Returns `true` if the frame carries nothing (never sent).
     pub fn is_empty(&self) -> bool {
-        self.pre_write.is_none() && self.write.is_none()
+        self.pre_write.is_none() && self.write.is_none() && self.rejoin.is_none()
     }
 }
 
@@ -208,6 +269,15 @@ impl fmt::Display for Message {
                         if w.value.is_some() { "+v" } else { "" }
                     )?;
                 }
+                if let Some(r) = frame.rejoin {
+                    write!(
+                        f,
+                        ", rejoin({}{}{})",
+                        r.server,
+                        if r.stale_source { ",stale" } else { "" },
+                        if r.all_syncing { ",cold" } else { "" }
+                    )?;
+                }
                 f.write_str(")")
             }
         }
@@ -239,8 +309,16 @@ mod tests {
             object: ObjectId(1),
             pre_write: None,
             write: None,
+            rejoin: None,
         };
         assert!(empty.is_empty());
+
+        let announce = RingFrame::announce_rejoin(Rejoin::announce(ServerId(2)));
+        assert!(!announce.is_empty());
+        let r = announce.rejoin.unwrap();
+        assert_eq!(r.server, ServerId(2));
+        assert!(!r.stale_source);
+        assert!(r.all_syncing);
     }
 
     #[test]
@@ -277,7 +355,15 @@ mod tests {
                 tag: tag(),
                 value: Some(Value::bottom()),
             }),
+            rejoin: Some(Rejoin {
+                server: ServerId(2),
+                stale_source: true,
+                all_syncing: false,
+            }),
         });
-        assert_eq!(r.to_string(), "ring(obj0, pre_write[3,s1], write[3,s1]+v)");
+        assert_eq!(
+            r.to_string(),
+            "ring(obj0, pre_write[3,s1], write[3,s1]+v, rejoin(s2,stale))"
+        );
     }
 }

@@ -1,7 +1,8 @@
 //! Property tests for the wire codec and tag ordering laws.
 
 use hts_types::{
-    codec, Message, ObjectId, PreWrite, RequestId, RingFrame, ServerId, Tag, Value, WriteNotice,
+    codec, Message, ObjectId, PreWrite, Rejoin, RequestId, RingFrame, ServerId, Tag, Value,
+    WriteNotice,
 };
 use proptest::prelude::*;
 
@@ -18,8 +19,9 @@ fn arb_frame() -> impl Strategy<Value = RingFrame> {
         any::<u32>(),
         prop::option::of((arb_tag(), arb_value(), any::<bool>())),
         prop::option::of((arb_tag(), prop::option::of(arb_value()))),
+        prop::option::of((any::<u16>(), any::<bool>(), any::<bool>())),
     )
-        .prop_map(|(object, pw, w)| RingFrame {
+        .prop_map(|(object, pw, w, rejoin)| RingFrame {
             object: ObjectId(object),
             pre_write: pw.map(|(tag, value, recovery)| PreWrite {
                 tag,
@@ -27,6 +29,11 @@ fn arb_frame() -> impl Strategy<Value = RingFrame> {
                 recovery,
             }),
             write: w.map(|(tag, value)| WriteNotice { tag, value }),
+            rejoin: rejoin.map(|(server, stale_source, all_syncing)| Rejoin {
+                server: ServerId(server),
+                stale_source,
+                all_syncing,
+            }),
         })
 }
 

@@ -1,0 +1,161 @@
+//! State snapshots: the compaction anchor.
+//!
+//! A snapshot file `snap-<watermark>.snap` captures the full register
+//! state at a compaction point: every `(object, tag, value)` the server
+//! stored, under **one** CRC frame (a snapshot is valid in full or not
+//! at all). The *watermark* is the sequence number of the first segment
+//! that may contain records newer than the snapshot; segments below it
+//! are deleted after the snapshot is durably on disk.
+//!
+//! Snapshots are written to a temp file and renamed into place, so a
+//! crash mid-snapshot leaves the previous snapshot (and the segments it
+//! anchors) untouched.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use crate::record::{put_frame, put_record_payload, take_frame, take_record_payload, WalRecord};
+
+/// First 8 bytes of every snapshot file.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"HTSSNAP1";
+
+/// The file name of the snapshot anchored at `watermark`.
+pub fn snapshot_file_name(watermark: u64) -> String {
+    format!("snap-{watermark:08}.snap")
+}
+
+/// Parses a snapshot file name back to its watermark.
+pub fn parse_snapshot_name(name: &str) -> Option<u64> {
+    name.strip_prefix("snap-")?
+        .strip_suffix(".snap")?
+        .parse()
+        .ok()
+}
+
+/// Lists the snapshots under `dir` in ascending watermark order. A
+/// missing directory lists as empty.
+///
+/// # Errors
+///
+/// Propagates directory-read failures other than `NotFound`.
+pub fn list_snapshots(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut snapshots = Vec::new();
+    for entry in entries {
+        let entry = entry?;
+        if let Some(mark) = entry.file_name().to_str().and_then(parse_snapshot_name) {
+            snapshots.push((mark, entry.path()));
+        }
+    }
+    snapshots.sort_unstable_by_key(|(mark, _)| *mark);
+    Ok(snapshots)
+}
+
+/// Durably writes the snapshot anchored at `watermark` under `dir`
+/// (temp file + fsync + rename) and returns its path.
+///
+/// # Errors
+///
+/// Propagates file creation, write, sync and rename failures.
+pub fn write_snapshot(dir: &Path, watermark: u64, state: &[WalRecord]) -> io::Result<PathBuf> {
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&watermark.to_be_bytes());
+    payload.extend_from_slice(&(state.len() as u32).to_be_bytes());
+    for record in state {
+        put_record_payload(&mut payload, record);
+    }
+    let mut bytes = Vec::with_capacity(SNAPSHOT_MAGIC.len() + payload.len() + 8);
+    bytes.extend_from_slice(SNAPSHOT_MAGIC);
+    put_frame(&mut bytes, &payload);
+
+    let target = dir.join(snapshot_file_name(watermark));
+    let tmp = dir.join(format!("{}.tmp", snapshot_file_name(watermark)));
+    {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(&bytes)?;
+        file.sync_data()?;
+    }
+    fs::rename(&tmp, &target)?;
+    // Persist the rename's directory entry before the caller deletes the
+    // segments this snapshot supersedes — otherwise power loss can keep
+    // the deletions but forget the snapshot.
+    crate::segment::sync_dir(dir)?;
+    Ok(target)
+}
+
+/// Reads a snapshot, returning its watermark and records — or `None`
+/// when the file is torn, corrupt or not a snapshot (an invalid snapshot
+/// is simply ignored by recovery; the segments it would have replaced
+/// are still on disk).
+pub fn read_snapshot(path: &Path) -> Option<(u64, Vec<WalRecord>)> {
+    let bytes = fs::read(path).ok()?;
+    let rest = bytes.strip_prefix(SNAPSHOT_MAGIC.as_slice())?;
+    let mut cursor = rest;
+    let mut payload = take_frame(&mut cursor).ok()?;
+    if !cursor.is_empty() || payload.len() < 12 {
+        return None;
+    }
+    let watermark = u64::from_be_bytes(payload[0..8].try_into().expect("8 bytes"));
+    let count = u32::from_be_bytes(payload[8..12].try_into().expect("4 bytes"));
+    payload = &payload[12..];
+    let mut records = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        records.push(take_record_payload(&mut payload).ok()?);
+    }
+    if !payload.is_empty() {
+        return None;
+    }
+    Some((watermark, records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hts_types::{ObjectId, ServerId, Tag, Value};
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hts-wal-snap-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_state() -> Vec<WalRecord> {
+        (0..3)
+            .map(|i| WalRecord {
+                object: ObjectId(i),
+                tag: Tag::new(u64::from(i) + 1, ServerId(0)),
+                value: Value::from_u64(u64::from(i) * 10),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let dir = tmp_dir("roundtrip");
+        let state = sample_state();
+        let path = write_snapshot(&dir, 5, &state).unwrap();
+        assert_eq!(read_snapshot(&path), Some((5, state)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_snapshot_reads_as_none() {
+        let dir = tmp_dir("corrupt");
+        let path = write_snapshot(&dir, 2, &sample_state()).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(read_snapshot(&path), None);
+        // Truncated mid-body: also None, never a panic.
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert_eq!(read_snapshot(&path), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -77,7 +77,10 @@ fn main() {
     }
     println!();
     println!("virtual time elapsed : {}", sim.now());
-    println!("operations completed : {writes} writes + {reads} reads = {}", writes + reads);
+    println!(
+        "operations completed : {writes} writes + {reads} reads = {}",
+        writes + reads
+    );
     println!("client retries       : {retries} (crashed-server requests re-issued)");
     assert_eq!(writes + reads, 8 * 40, "every operation completed");
 

@@ -39,7 +39,12 @@ impl Ring {
         let Some(frame) = self.servers[usize::from(from)].next_frame() else {
             return Vec::new();
         };
-        println!("    s{} → s{}: {}", from + 1, successor.0 + 1, describe(&frame));
+        println!(
+            "    s{} → s{}: {}",
+            from + 1,
+            successor.0 + 1,
+            describe(&frame)
+        );
         self.servers[successor.index()]
             .on_frame(frame)
             .into_iter()

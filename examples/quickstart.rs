@@ -37,7 +37,10 @@ fn main() -> std::io::Result<()> {
         "wrote v3 through the spliced ring; read back: {:?}",
         text(&client.read()?)
     );
-    println!("{} of 3 servers remain; storage is available down to 1.", cluster.alive());
+    println!(
+        "{} of 3 servers remain; storage is available down to 1.",
+        cluster.alive()
+    );
 
     cluster.shutdown();
     println!("done.");

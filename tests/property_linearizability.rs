@@ -52,7 +52,16 @@ fn arb_scenario() -> impl Strategy<Value = Scenario> {
             any::<bool>(),
         )
             .prop_map(
-                |(seed, n, clients, ops_per_client, read_percent, value_size, crashes, fast_path)| {
+                |(
+                    seed,
+                    n,
+                    clients,
+                    ops_per_client,
+                    read_percent,
+                    value_size,
+                    crashes,
+                    fast_path,
+                )| {
                     Scenario {
                         seed,
                         n,
@@ -80,7 +89,13 @@ fn run_scenario(s: &Scenario) -> (u64, History) {
         let id = NodeId::Server(ServerId(i));
         sim.add_node(
             id,
-            Box::new(SimServer::new(ServerId(i), s.n, config.clone(), ring_net, client_net)),
+            Box::new(SimServer::new(
+                ServerId(i),
+                s.n,
+                config.clone(),
+                ring_net,
+                client_net,
+            )),
         );
         sim.attach(id, ring_net);
         sim.attach(id, client_net);
@@ -110,7 +125,10 @@ fn run_scenario(s: &Scenario) -> (u64, History) {
         stats.push(st);
     }
     for (server, at_us) in &s.crashes {
-        sim.crash_at(NodeId::Server(ServerId(*server)), Nanos::from_micros(*at_us));
+        sim.crash_at(
+            NodeId::Server(ServerId(*server)),
+            Nanos::from_micros(*at_us),
+        );
     }
     sim.run_to_quiescence();
     let done = stats

@@ -35,7 +35,10 @@ fn facade_reexports_resolve() {
     // hts::baselines
     let _abd = hts::baselines::abd::AbdServer::new(hts::sim::NetworkId(0));
     // hts::store
-    let stats = hts::store::ShardedStore::builder().servers(1).build().stats();
+    let stats = hts::store::ShardedStore::builder()
+        .servers(1)
+        .build()
+        .stats();
     assert_eq!(stats.puts, 0);
     // hts::net — exercised for real below; here just name the types.
     let _launch: fn(u16) -> std::io::Result<Cluster> = Cluster::launch;
