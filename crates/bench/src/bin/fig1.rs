@@ -4,17 +4,38 @@
 //! the same isolated latency (4 rounds); their steady-state throughputs
 //! differ threefold.
 //!
-//! Also emits `BENCH_fig1.json`: the round-model numbers plus a
-//! packet-model baseline of the real ring protocol (read/write payload
-//! throughput and p50/p99 latencies), so the performance trajectory of
-//! future changes can be diffed mechanically.
+//! Also emits `BENCH_fig1.json`: the round-model numbers, a packet-model
+//! baseline of the real ring protocol (read/write payload throughput and
+//! p50/p99 latencies), and a **batching ablation** (ring batch cap 1 vs 8
+//! vs 64 on a saturated small-value write workload) so the performance
+//! trajectory of future changes can be diffed mechanically.
+//!
+//! Pass `--smoke` for a seconds-long CI run: identical report shape,
+//! tiny measurement windows.
 
 use hts_baselines::fig1::run_fig1;
 use hts_bench::report::{json_f64, latency_object, write_report};
 use hts_bench::{run_ring_detailed, Params};
+use hts_core::BatchConfig;
 use hts_sim::Nanos;
 
+/// One batching-ablation row: the ring under a saturated small-value
+/// write workload at a given frame cap.
+struct AblationRow {
+    max_frames: usize,
+    writes: u64,
+    write_mbps: f64,
+    latency_json: String,
+}
+
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (rounds, warmup, measure) = if smoke {
+        (100, Nanos::from_millis(50), Nanos::from_millis(100))
+    } else {
+        (1000, Nanos::from_millis(300), Nanos::from_secs(1))
+    };
+
     println!("# Figure 1 — quorum (A) vs local-read (B), round model, 3 servers");
     println!();
     println!("| algorithm | isolated latency (rounds) | steady-state throughput (reads/round) |");
@@ -25,7 +46,6 @@ fn main() {
     let (_, lat_b) = run_fig1(false, 3, 1, 12);
 
     // Saturated throughput: 4 clients/server keep the pipeline full.
-    let rounds = 1000;
     let (done_a, _) = run_fig1(true, 3, 4, rounds);
     let (done_b, _) = run_fig1(false, 3, 4, rounds);
 
@@ -43,8 +63,8 @@ fn main() {
         readers_per_server: 2,
         writers_per_server: 1,
         value_size: 64 * 1024,
-        warmup: Nanos::from_millis(300),
-        measure: Nanos::from_secs(1),
+        warmup,
+        measure,
         ..Params::default()
     };
     let (m, mut read_lat, mut write_lat) = run_ring_detailed(&params);
@@ -54,9 +74,77 @@ fn main() {
         params.n, m.read_mbps, m.write_mbps
     );
 
+    // Batching ablation: a saturated small-value write workload, where
+    // the per-frame wire overhead the RingBatch coalescing removes is
+    // the bottleneck. Cap 1 is the unbatched runtime; 8 is near the
+    // sweet spot; 64 shows the head-of-line cost of over-batching while
+    // still beating frame-at-a-time.
+    let ablation_value_size = 64usize;
+    let ablation_writers = 32u32;
+    println!();
+    println!(
+        "## Batching ablation (ring, n=4, {ablation_writers} writers/server, \
+         {ablation_value_size} B values)"
+    );
+    println!();
+    println!("| batch cap (frames) | writes completed | write Mbit/s | p50 ms | p99 ms |");
+    println!("|---|---|---|---|---|");
+    let mut ablation = Vec::new();
+    for max_frames in [1usize, 8, 64] {
+        let config = hts_core::Config {
+            batching: BatchConfig::with_max_frames(max_frames),
+            ..hts_core::Config::default()
+        };
+        let ab_params = Params {
+            n: 4,
+            readers_per_server: 0,
+            writers_per_server: ablation_writers,
+            value_size: ablation_value_size,
+            warmup,
+            measure,
+            config,
+            ..Params::default()
+        };
+        let (am, _, mut ab_write_lat) = run_ring_detailed(&ab_params);
+        println!(
+            "| {max_frames} | {} | {:.2} | {:.2} | {:.2} |",
+            am.writes,
+            am.write_mbps,
+            hts_bench::percentile_ms(&mut ab_write_lat, 50.0),
+            hts_bench::percentile_ms(&mut ab_write_lat, 99.0),
+        );
+        ablation.push(AblationRow {
+            max_frames,
+            writes: am.writes,
+            write_mbps: am.write_mbps,
+            latency_json: latency_object(&mut ab_write_lat),
+        });
+    }
+    let cap1 = ablation.first().expect("cap-1 row");
+    let cap64 = ablation.last().expect("cap-64 row");
+    println!();
+    println!(
+        "batching speedup (cap 64 vs cap 1): {:.2}x on ring write throughput",
+        cap64.write_mbps / cap1.write_mbps
+    );
+
+    let ablation_rows: Vec<String> = ablation
+        .iter()
+        .map(|row| {
+            format!(
+                r#"    {{"max_frames": {}, "writes_completed": {}, "write_throughput_mbps": {}, "write_latency": {}}}"#,
+                row.max_frames,
+                row.writes,
+                json_f64(row.write_mbps),
+                row.latency_json,
+            )
+        })
+        .collect();
+
     let body = format!(
         r#"{{
   "figure": "fig1",
+  "smoke": {},
   "round_model": {{
     "servers": 3,
     "algorithm_a": {{"latency_rounds": {}, "throughput_reads_per_round": {}}},
@@ -74,9 +162,19 @@ fn main() {
     "writes_completed": {},
     "read_latency": {},
     "write_latency": {}
+  }},
+  "batching_ablation": {{
+    "n": 4,
+    "value_size_bytes": {},
+    "writers_per_server": {},
+    "measure_seconds": {},
+    "rows": [
+{}
+    ]
   }}
 }}
 "#,
+        smoke,
         json_f64(lat_a),
         json_f64(tput_a),
         json_f64(lat_b),
@@ -92,9 +190,19 @@ fn main() {
         m.writes,
         latency_object(&mut read_lat),
         latency_object(&mut write_lat),
+        ablation_value_size,
+        ablation_writers,
+        json_f64(measure.as_secs_f64()),
+        ablation_rows.join(",\n"),
     );
     match write_report("fig1", &body) {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write BENCH_fig1.json: {e}"),
     }
+    assert!(
+        smoke || cap64.write_mbps > cap1.write_mbps,
+        "batching regression: cap 64 ({:.2} Mbit/s) must beat cap 1 ({:.2} Mbit/s)",
+        cap64.write_mbps,
+        cap1.write_mbps
+    );
 }

@@ -54,6 +54,86 @@ impl Durability {
     }
 }
 
+/// How ring frames coalesce into batches on their way to the wire.
+///
+/// The ring's throughput headline rests on each server talking to one
+/// successor — but shipping one frame per TCP write (and one fsync per
+/// commit) squanders it on per-message overheads. Batching drains
+/// everything ready for the successor into a single wire message
+/// ([`RingBatch`](hts_types::Message::RingBatch)), one flush, and lets the
+/// WAL cover every commit in the batch with one fsync (group commit).
+/// Frames inside a batch keep their exact one-at-a-time order, so the
+/// per-link FIFO guarantee the rejoin/resync protocol depends on is
+/// untouched; `max_frames: 1` reproduces the unbatched runtime bit for
+/// bit (the fig1 benchmark's batching ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Most frames one batch may carry (≥ 1; 1 disables coalescing).
+    pub max_frames: usize,
+    /// Byte budget per batch (encoded frame bodies; soft cap — the frame
+    /// that crosses it still ships, so a jumbo value cannot wedge the
+    /// ring). This is the **head-of-line latency knob**: a batch is one
+    /// wire message, decoded only when fully received, so its first
+    /// frame waits for the whole batch to serialize. The 16 KiB default
+    /// coalesces small frames (tag-only write notices, small values)
+    /// aggressively while letting large values travel essentially alone.
+    pub max_bytes: usize,
+    /// How long the outbound writer may wait for more frames after
+    /// draining fewer than `max_frames` (real runtime only; the
+    /// simulator's event loop batches whatever is queued at TX-idle
+    /// time). Zero — the default — never delays a ready frame.
+    pub linger: Nanos,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_frames: 64,
+            max_bytes: 16 * 1024,
+            linger: Nanos::ZERO,
+        }
+    }
+}
+
+impl BatchConfig {
+    /// A configuration that disables coalescing (one frame per write,
+    /// one fsync per commit) — the pre-batching runtime, kept for
+    /// ablations and A/B tests.
+    pub fn unbatched() -> Self {
+        BatchConfig {
+            max_frames: 1,
+            ..BatchConfig::default()
+        }
+    }
+
+    /// A batch cap of `max_frames` with the default byte budget.
+    pub fn with_max_frames(max_frames: usize) -> Self {
+        BatchConfig {
+            max_frames: max_frames.max(1),
+            ..BatchConfig::default()
+        }
+    }
+
+    /// Clamps the knobs into the range the wire format supports — the
+    /// transports call this before building batches, so a hostile or
+    /// typo'd config degrades instead of panicking the writer or
+    /// tripping the receiver's frame-size cap:
+    ///
+    /// * `max_frames` into `[1, MAX_BATCH_FRAMES]` (the batch count
+    ///   prefix is 16-bit);
+    /// * `max_bytes` into `[1, 16 MiB]` — with the soft-cap overshoot
+    ///   of one frame this stays far below the 64 MiB receive limit
+    ///   (a *single* frame beyond it is unshippable batched or not).
+    pub fn normalized(self) -> Self {
+        const MAX_BATCH_BUDGET_BYTES: usize = 16 * 1024 * 1024;
+        BatchConfig {
+            max_frames: self.max_frames.clamp(1, hts_types::codec::MAX_BATCH_FRAMES),
+            max_bytes: self.max_bytes.clamp(1, MAX_BATCH_BUDGET_BYTES),
+            linger: self.linger,
+        }
+    }
+}
+
 /// Protocol options. [`Config::default`] is the paper-faithful,
 /// full-performance configuration; every deviation is an explicitly
 /// documented ablation (see DESIGN.md §4).
@@ -86,6 +166,10 @@ pub struct Config {
     pub client_timeout: Nanos,
     /// Persistence of committed writes (crash-stop vs crash-recovery).
     pub durability: Durability,
+    /// Ring frame coalescing (see [`BatchConfig`]). The default batches
+    /// up to 64 frames per wire message; this changes scheduling
+    /// granularity only, never protocol semantics.
+    pub batching: BatchConfig,
 }
 
 impl Default for Config {
@@ -98,6 +182,7 @@ impl Default for Config {
             adopt_orphans: true,
             client_timeout: Nanos::from_millis(250),
             durability: Durability::Volatile,
+            batching: BatchConfig::default(),
         }
     }
 }
@@ -131,5 +216,45 @@ mod tests {
         assert!(Durability::Buffered.is_persistent());
         assert!(Durability::SyncEveryN(32).is_persistent());
         assert!(Durability::SyncAlways.is_persistent());
+    }
+
+    #[test]
+    fn batch_config_constructors() {
+        let d = BatchConfig::default();
+        assert_eq!(d.max_frames, 64);
+        assert_eq!(d.linger, Nanos::ZERO);
+
+        let un = BatchConfig::unbatched();
+        assert_eq!(un.max_frames, 1);
+        assert_eq!(un.max_bytes, d.max_bytes);
+
+        // A zero cap would wedge the ring; it clamps to 1.
+        assert_eq!(BatchConfig::with_max_frames(0).max_frames, 1);
+        assert_eq!(BatchConfig::with_max_frames(8).max_frames, 8);
+    }
+
+    #[test]
+    fn normalized_clamps_into_wire_limits() {
+        let hostile = BatchConfig {
+            max_frames: usize::MAX,
+            max_bytes: usize::MAX,
+            linger: Nanos::from_micros(5),
+        }
+        .normalized();
+        assert_eq!(hostile.max_frames, hts_types::codec::MAX_BATCH_FRAMES);
+        assert_eq!(hostile.max_bytes, 16 * 1024 * 1024);
+        assert_eq!(hostile.linger, Nanos::from_micros(5));
+
+        let zeroed = BatchConfig {
+            max_frames: 0,
+            max_bytes: 0,
+            linger: Nanos::ZERO,
+        }
+        .normalized();
+        assert_eq!(zeroed.max_frames, 1);
+        assert_eq!(zeroed.max_bytes, 1);
+
+        // A sane config is untouched.
+        assert_eq!(BatchConfig::default().normalized(), BatchConfig::default());
     }
 }

@@ -88,7 +88,7 @@ mod server;
 mod sim_adapter;
 
 pub use client::{ClientCore, Completion};
-pub use config::{Config, Durability, FairnessMode};
+pub use config::{BatchConfig, Config, Durability, FairnessMode};
 pub use fairness::{ForwardScheduler, Selection};
 pub use multi::MultiObjectServer;
 pub use pending::PendingSet;

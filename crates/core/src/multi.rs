@@ -289,6 +289,20 @@ impl MultiObjectServer {
         frame
     }
 
+    /// Pulls up to `max_frames` frames for the current successor,
+    /// rotating fairly across objects and piggybacking queued rejoin
+    /// announcements exactly as repeated [`next_frame`](Self::next_frame)
+    /// calls would — this is the batch scheduler the transports drain
+    /// into one [`RingBatch`](hts_types::Message::RingBatch) wire
+    /// message. `max_bytes` is a soft cap on the batch's encoded frame
+    /// bodies: the frame that crosses it is included, then draining
+    /// stops. Per-link FIFO (which the rejoin/resync protocol depends
+    /// on) is preserved because the batch is written sequentially on the
+    /// same link in drain order.
+    pub fn drain_frames(&mut self, max_frames: usize, max_bytes: usize) -> Vec<RingFrame> {
+        crate::server::drain_frames_with(|| self.next_frame(), max_frames, max_bytes)
+    }
+
     fn next_object_frame(&mut self) -> Option<RingFrame> {
         if self.objects.is_empty() {
             return None;
@@ -409,6 +423,65 @@ mod tests {
         let core = s.object(ObjectId(9)).unwrap();
         assert_eq!(core.successor(), Some(ServerId(2)));
         assert_eq!(s.successor(), Some(ServerId(2)));
+    }
+
+    #[test]
+    fn drain_frames_matches_sequential_next_frame_order() {
+        // A forwarding server with traffic across two objects, queued
+        // local writes AND a rejoin announcement waiting for a slot: the
+        // batch drain must produce byte-for-byte the frame sequence the
+        // one-at-a-time pull would, announcements included — that is
+        // what makes a batch FIFO-transparent on the link.
+        let build = || {
+            let mut s = MultiObjectServer::new(ServerId(1), 3, Config::default());
+            for (o, ts) in [(1u32, 1u64), (2, 2), (1, 3)] {
+                s.on_frame(RingFrame::pre_write(
+                    ObjectId(o),
+                    Tag::new(ts, ServerId(0)),
+                    Value::from_u64(ts),
+                ));
+            }
+            s.on_client_write(ObjectId(1), ClientId(9), RequestId(1), Value::from_u64(100));
+            // s0 restarted: its announcement forwards with the flags
+            // updated, competing with protocol frames for slots.
+            s.on_rejoin_announcement(hts_types::Rejoin::announce(ServerId(0)));
+            s
+        };
+
+        let mut batched = build();
+        let mut sequential = build();
+        let drained = batched.drain_frames(16, usize::MAX);
+        let mut one_at_a_time = Vec::new();
+        while let Some(frame) = sequential.next_frame() {
+            one_at_a_time.push(frame);
+        }
+        assert!(drained.len() >= 4, "expected real traffic, got {drained:?}");
+        assert_eq!(drained, one_at_a_time);
+        assert!(
+            drained.iter().any(|f| f.rejoin.is_some()),
+            "announcement must ride in the batch"
+        );
+        assert!(!batched.has_ring_work(), "drain leaves nothing behind");
+    }
+
+    #[test]
+    fn drain_frames_respects_frame_and_byte_caps() {
+        let mut s = MultiObjectServer::new(ServerId(1), 3, Config::default());
+        for ts in 1..=6u64 {
+            s.on_frame(RingFrame::pre_write(
+                ObjectId(1),
+                Tag::new(ts, ServerId(0)),
+                Value::filled(1, 1000),
+            ));
+        }
+        // Frame cap.
+        assert_eq!(s.drain_frames(2, usize::MAX).len(), 2);
+        // Byte cap is soft: the frame crossing the budget still ships,
+        // and a zero/tiny budget still yields one frame.
+        assert_eq!(s.drain_frames(16, 0).len(), 1);
+        assert_eq!(s.drain_frames(16, 1500).len(), 2);
+        assert_eq!(s.drain_frames(16, usize::MAX).len(), 1);
+        assert!(s.drain_frames(16, usize::MAX).is_empty());
     }
 
     #[test]

@@ -537,6 +537,18 @@ impl ServerCore {
         }
     }
 
+    /// Pulls up to `max_frames` frames for the current successor — the
+    /// batch scheduler behind [`next_frame`](Self::next_frame). Draining
+    /// also stops once the batch's encoded frame bodies reach `max_bytes`
+    /// (a soft cap: the frame that crosses the budget is still included,
+    /// so a jumbo value can never wedge the ring and the first frame
+    /// always goes out). The frames come out in exactly the order
+    /// repeated `next_frame` calls would produce them, so coalescing
+    /// them into one wire message preserves per-link FIFO.
+    pub fn drain_frames(&mut self, max_frames: usize, max_bytes: usize) -> Vec<RingFrame> {
+        drain_frames_with(|| self.next_frame(), max_frames, max_bytes)
+    }
+
     fn next_tag(&self) -> Tag {
         let highest = self
             .pending
@@ -864,4 +876,26 @@ impl ServerCore {
     fn ring_origins(&self) -> Vec<ServerId> {
         (0..self.ring.n()).map(ServerId).collect()
     }
+}
+
+/// The one frame/byte-capped drain loop behind both
+/// [`ServerCore::drain_frames`] and
+/// [`MultiObjectServer::drain_frames`](crate::MultiObjectServer::drain_frames):
+/// pull frames until `max_frames` (clamped to ≥ 1) or the `max_bytes`
+/// soft cap. The first frame is admitted unconditionally — even a zero
+/// byte budget must not wedge the ring — and the frame that crosses the
+/// budget still ships.
+pub(crate) fn drain_frames_with(
+    mut pull: impl FnMut() -> Option<RingFrame>,
+    max_frames: usize,
+    max_bytes: usize,
+) -> Vec<RingFrame> {
+    let mut frames = Vec::new();
+    let mut bytes = 0usize;
+    while frames.len() < max_frames.max(1) && (frames.is_empty() || bytes < max_bytes) {
+        let Some(frame) = pull() else { break };
+        bytes += hts_types::codec::frame_wire_size(&frame);
+        frames.push(frame);
+    }
+    frames
 }

@@ -112,30 +112,40 @@ impl SimServer {
     }
 
     /// Drains the core's committed writes into the modeled log, charging
-    /// the disk per the fsync policy.
+    /// the disk per the fsync policy. Mirrors `hts-wal`'s **group
+    /// commit**: the whole drained batch is one append, and one fsync
+    /// covers every commit in it (under `SyncAlways` each commit's ack is
+    /// still gated on that fsync — it just shares the flush).
     fn persist_commits(&mut self, now: Nanos) {
         if !self.config.durability.is_persistent() {
             return;
         }
         let commits = self.server.drain_commits();
-        for (object, tag, value) in commits {
-            if let Some(disk) = self.disk.as_mut() {
-                let sync = match self.config.durability {
-                    Durability::SyncAlways => true,
-                    Durability::SyncEveryN(n) => {
-                        self.appends_since_sync += 1;
-                        if self.appends_since_sync >= n.max(1) {
-                            self.appends_since_sync = 0;
-                            true
-                        } else {
-                            false
-                        }
+        if commits.is_empty() {
+            return;
+        }
+        if let Some(disk) = self.disk.as_mut() {
+            let batch_bytes: usize = commits
+                .iter()
+                .map(|(_, _, value)| RECORD_OVERHEAD + value.len())
+                .sum();
+            let sync = match self.config.durability {
+                Durability::SyncAlways => true,
+                Durability::SyncEveryN(n) => {
+                    self.appends_since_sync += commits.len() as u32;
+                    if self.appends_since_sync >= n.max(1) {
+                        self.appends_since_sync = 0;
+                        true
+                    } else {
+                        false
                     }
-                    Durability::Buffered | Durability::Volatile => false,
-                };
-                let done = disk.append(now, RECORD_OVERHEAD + value.len(), sync);
-                self.durable_horizon = self.durable_horizon.max(done);
-            }
+                }
+                Durability::Buffered | Durability::Volatile => false,
+            };
+            let done = disk.append(now, batch_bytes, sync);
+            self.durable_horizon = self.durable_horizon.max(done);
+        }
+        for (object, tag, value) in commits {
             let entry = self
                 .persisted
                 .entry(object)
@@ -215,8 +225,18 @@ impl SimServer {
         let Some(successor) = self.server.successor() else {
             return false;
         };
-        match self.server.next_frame() {
-            Some(frame) => {
+        // Batch everything ready for the successor into one wire message
+        // (one serialization, one per-message processing delay at the
+        // receiver) — the simulated analogue of the coalescing TCP
+        // writer. A single ready frame travels as a plain `Ring`.
+        let batching = self.config.batching.normalized();
+        let mut frames = self
+            .server
+            .drain_frames(batching.max_frames, batching.max_bytes);
+        match frames.len() {
+            0 => false,
+            1 => {
+                let frame = frames.pop().expect("len checked");
                 ctx.send(
                     self.ring_net,
                     NodeId::Server(successor),
@@ -224,7 +244,14 @@ impl SimServer {
                 );
                 true
             }
-            None => false,
+            _ => {
+                ctx.send(
+                    self.ring_net,
+                    NodeId::Server(successor),
+                    Message::RingBatch(frames),
+                );
+                true
+            }
         }
     }
 
@@ -282,6 +309,15 @@ impl Process<Message> for SimServer {
                 None => Vec::new(),
             },
             Message::Ring(frame) => self.server.on_frame(frame),
+            Message::RingBatch(frames) => {
+                // Frames apply strictly in batch order — the batch is the
+                // FIFO link's contents, nothing more.
+                let mut actions = Vec::new();
+                for frame in frames {
+                    actions.extend(self.server.on_frame(frame));
+                }
+                actions
+            }
             // Acks are client-bound; a server receiving one is a routing
             // bug in the harness.
             Message::WriteAck { .. } | Message::ReadAck { .. } => Vec::new(),

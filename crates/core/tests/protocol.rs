@@ -602,3 +602,41 @@ fn figure2_walkthrough_scenario() {
     let reads = d.reads();
     assert_eq!(reads.last().unwrap().2, val(2));
 }
+
+#[test]
+fn server_core_drain_frames_matches_sequential_next_frame() {
+    // The per-core batch scheduler (used by single-object embedders)
+    // must mirror `MultiObjectServer::drain_frames`: identical frame
+    // sequence to repeated `next_frame()` pulls, caps respected, and a
+    // zero byte budget still releases one frame.
+    let build = || {
+        let mut core = ServerCore::new(ServerId(1), 3, ObjectId::SINGLE, Config::default());
+        for ts in 1..=4u64 {
+            core.on_frame(RingFrame::pre_write(
+                ObjectId::SINGLE,
+                Tag::new(ts, ServerId(0)),
+                val(ts),
+            ));
+        }
+        core.on_client_write(ClientId(7), RequestId(1), val(100));
+        core
+    };
+
+    let mut batched = build();
+    let mut sequential = build();
+    let drained = batched.drain_frames(16, usize::MAX);
+    let mut one_at_a_time = Vec::new();
+    while let Some(frame) = sequential.next_frame() {
+        one_at_a_time.push(frame);
+    }
+    assert!(drained.len() >= 5, "expected real traffic, got {drained:?}");
+    assert_eq!(drained, one_at_a_time);
+    assert!(!batched.has_ring_work());
+
+    // Caps: frame cap, zero-byte budget (first frame always ships),
+    // and a zero frame cap clamping to one.
+    let mut capped = build();
+    assert_eq!(capped.drain_frames(2, usize::MAX).len(), 2);
+    assert_eq!(capped.drain_frames(16, 0).len(), 1);
+    assert_eq!(capped.drain_frames(0, usize::MAX).len(), 1);
+}

@@ -4,10 +4,11 @@ use std::io::{self, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
+use bytes::BytesMut;
 use hts_core::ClientCore;
 use hts_types::{codec::Hello, ClientId, Message, ObjectId, ServerId, Value};
 
-use crate::framing::{read_message, write_message};
+use crate::framing::{read_message, write_message_with};
 
 /// A synchronous client of a TCP `hts` cluster.
 ///
@@ -22,6 +23,9 @@ pub struct Client {
     connections: Vec<Option<TcpStream>>,
     id: ClientId,
     timeout: Duration,
+    /// Reusable encode buffer: one allocation for the client's lifetime
+    /// instead of one per request.
+    scratch: BytesMut,
 }
 
 impl Client {
@@ -60,6 +64,7 @@ impl Client {
             connections: (0..n).map(|_| None).collect(),
             id,
             timeout: Duration::from_millis(500),
+            scratch: BytesMut::new(),
         })
     }
 
@@ -150,12 +155,16 @@ impl Client {
     /// timed out waiting (server alive but slow, or reply lost).
     fn attempt(&mut self, server: ServerId, msg: &Message) -> io::Result<Option<Option<Value>>> {
         self.ensure_connection(server)?;
-        // Field-disjoint borrows: the socket and the protocol core.
+        // Field-disjoint borrows: the socket, the protocol core and the
+        // scratch encode buffer.
         let Client {
-            connections, core, ..
+            connections,
+            core,
+            scratch,
+            ..
         } = self;
         let stream = connections[server.index()].as_mut().expect("ensured");
-        write_message(stream, msg)?;
+        write_message_with(stream, msg, scratch)?;
         loop {
             match read_message(stream) {
                 Ok(reply) => {

@@ -1,24 +1,90 @@
 //! Length-prefixed message framing over TCP.
+//!
+//! Every wire message is a `u32` big-endian length followed by the codec
+//! bytes. The write paths thread a reusable scratch [`BytesMut`] so the
+//! hot loops (the coalescing ring writer, client-reply flushing, the
+//! blocking client) never allocate a fresh buffer per message, and
+//! [`write_ring_frames`] turns a whole frame batch into **one** buffer
+//! fill, one `write_all`, one flush.
 
 use std::io::{self, Read, Write};
 
 use bytes::BytesMut;
-use hts_types::{codec, Message};
+use hts_types::{codec, Message, RingFrame};
 
 /// Upper bound on a frame body (64 MiB): guards against corrupt length
 /// prefixes allocating unbounded memory.
 pub const MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
 
+/// Appends one length-prefixed message to `buf` without touching the
+/// socket (compose several, then flush once).
+pub fn frame_into(buf: &mut BytesMut, msg: &Message) {
+    let size = codec::wire_size(msg);
+    buf.reserve(4 + size);
+    buf.extend_from_slice(&(size as u32).to_be_bytes());
+    codec::encode_into(msg, buf);
+}
+
+/// Writes one message through a caller-owned scratch buffer (cleared
+/// first), avoiding the per-call allocation of [`write_message`].
+///
+/// # Errors
+///
+/// Propagates socket errors; the caller treats any error as a dead peer.
+pub fn write_message_with<W: Write>(
+    writer: &mut W,
+    msg: &Message,
+    scratch: &mut BytesMut,
+) -> io::Result<()> {
+    scratch.clear();
+    frame_into(scratch, msg);
+    writer.write_all(scratch)?;
+    writer.flush()
+}
+
 /// Writes one message: `u32` big-endian length, then the codec bytes.
+/// Allocates a fresh buffer per call — prefer [`write_message_with`] on
+/// hot paths.
 ///
 /// # Errors
 ///
 /// Propagates socket errors; the caller treats any error as a dead peer.
 pub fn write_message<W: Write>(writer: &mut W, msg: &Message) -> io::Result<()> {
-    let mut buf = BytesMut::with_capacity(4 + codec::wire_size(msg));
-    buf.extend_from_slice(&(codec::wire_size(msg) as u32).to_be_bytes());
-    codec::encode_into(msg, &mut buf);
-    writer.write_all(&buf)?;
+    let mut scratch = BytesMut::with_capacity(4 + codec::wire_size(msg));
+    write_message_with(writer, msg, &mut scratch)
+}
+
+/// Writes a coalesced batch of ring frames as **one** wire message with
+/// one flush: a lone frame travels as [`Message::Ring`], several as
+/// [`Message::RingBatch`] (frames keep their order — the batch is the
+/// FIFO link's contents). An empty batch writes nothing.
+///
+/// # Errors
+///
+/// Propagates socket errors; the caller treats any error as a dead peer
+/// and owns re-sending `frames` elsewhere.
+pub fn write_ring_frames<W: Write>(
+    writer: &mut W,
+    frames: &[RingFrame],
+    scratch: &mut BytesMut,
+) -> io::Result<()> {
+    if frames.is_empty() {
+        return Ok(());
+    }
+    let body = if frames.len() == 1 {
+        1 + codec::frame_wire_size(&frames[0])
+    } else {
+        3 + frames.iter().map(codec::frame_wire_size).sum::<usize>()
+    };
+    scratch.clear();
+    scratch.reserve(4 + body);
+    scratch.extend_from_slice(&(body as u32).to_be_bytes());
+    if frames.len() == 1 {
+        codec::encode_ring_into(&frames[0], scratch);
+    } else {
+        codec::encode_ring_batch_into(frames, scratch);
+    }
+    writer.write_all(scratch)?;
     writer.flush()
 }
 
@@ -46,7 +112,7 @@ pub fn read_message<R: Read>(reader: &mut R) -> io::Result<Message> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hts_types::{ObjectId, RequestId, Value};
+    use hts_types::{ObjectId, RequestId, ServerId, Tag, Value};
 
     #[test]
     fn roundtrip_over_a_buffer() {
@@ -59,6 +125,56 @@ mod tests {
         write_message(&mut buf, &msg).unwrap();
         let mut cursor = &buf[..];
         assert_eq!(read_message(&mut cursor).unwrap(), msg);
+    }
+
+    #[test]
+    fn scratch_writer_matches_allocating_writer() {
+        let msg = Message::ReadReq {
+            object: ObjectId(4),
+            request: RequestId(9),
+        };
+        let mut scratch = BytesMut::new();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        write_message(&mut a, &msg).unwrap();
+        write_message_with(&mut b, &msg, &mut scratch).unwrap();
+        // Re-use immediately: the scratch must be self-cleaning.
+        let mut c = Vec::new();
+        write_message_with(&mut c, &msg, &mut scratch).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn ring_batch_framing_roundtrips_both_arities() {
+        let tag = Tag::new(3, ServerId(1));
+        let mut scratch = BytesMut::new();
+
+        // One frame: travels as a plain Ring message.
+        let single = [RingFrame::write(ObjectId(1), tag)];
+        let mut buf = Vec::new();
+        write_ring_frames(&mut buf, &single, &mut scratch).unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(
+            read_message(&mut cursor).unwrap(),
+            Message::Ring(single[0].clone())
+        );
+
+        // Several frames: one RingBatch wire message, order preserved.
+        let many = vec![
+            RingFrame::pre_write(ObjectId(1), tag, Value::filled(1, 100)),
+            RingFrame::write(ObjectId(2), tag),
+            RingFrame::write(ObjectId(3), tag),
+        ];
+        let mut buf = Vec::new();
+        write_ring_frames(&mut buf, &many, &mut scratch).unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(read_message(&mut cursor).unwrap(), Message::RingBatch(many));
+
+        // Empty batch: nothing on the wire.
+        let mut buf = Vec::new();
+        write_ring_frames(&mut buf, &[], &mut scratch).unwrap();
+        assert!(buf.is_empty());
     }
 
     #[test]

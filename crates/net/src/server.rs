@@ -1,20 +1,25 @@
 //! The threaded TCP server runtime.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use hts_core::{Action, Config, Durability, MultiObjectServer};
-use hts_types::{codec::Hello, ClientId, Message, RingFrame, ServerId};
+use bytes::BytesMut;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use hts_core::{Action, BatchConfig, Config, Durability, MultiObjectServer};
+use hts_types::{codec, codec::Hello, ClientId, Message, RingFrame, ServerId};
 use hts_wal::{recover, FsyncPolicy, Recovery, Wal, WalOptions, WalRecord};
 
-use crate::framing::{read_message, write_message};
+use crate::framing::{frame_into, read_message, write_ring_frames};
+
+/// Coalesced client replies flush once this many buffered bytes
+/// accumulate (bounds the scratch buffer under a burst of 64 KiB reads).
+const REPLY_FLUSH_BYTES: usize = 256 * 1024;
 
 /// Static deployment description handed to every [`Server`].
 #[derive(Debug, Clone)]
@@ -39,7 +44,8 @@ pub struct ServerConfig {
 enum Event {
     /// A message arrived from a client connection.
     FromClient(ClientId, Message),
-    /// A ring frame arrived from the predecessor side.
+    /// A ring frame arrived from the predecessor side (batches are
+    /// unpacked by the connection thread, in order).
     FromRing(RingFrame),
     /// A client connected; replies go into its sender.
     ClientUp(ClientId, Sender<Message>),
@@ -47,17 +53,19 @@ enum Event {
     ClientDown(ClientId),
     /// An inbound ring connection (from server `s`) died: `s` crashed.
     RingInDown(ServerId),
-    /// The outbound ring connection (to server `s`) died: `s` crashed.
-    RingOutDown(ServerId),
-    /// Writing `frame` to server `s` failed. Not yet a crash verdict: a
-    /// parked connection may simply predate the peer's restart (a
-    /// non-adjacent server never observes the crash of a peer it was not
-    /// connected to, so its parked entry can go stale silently). The
-    /// event loop retries over a fresh connection and only declares the
-    /// peer crashed if that also fails.
-    RingWriteFailed(ServerId, RingFrame),
-    /// The ring writer drained a frame: pull the next one.
-    TxDone,
+    /// The outbound writer for `s` failed (connecting, or mid-write) and
+    /// exited; carries every frame it swallowed, oldest first. Not yet a
+    /// crash verdict: a parked connection may simply predate the peer's
+    /// restart (a non-adjacent server never observes the crash of a peer
+    /// it was not connected to, so its parked entry can go stale
+    /// silently). The event loop retries over a fresh connection and
+    /// only declares the peer crashed if that also fails.
+    RingWriteFailed(ServerId, Vec<RingFrame>),
+    /// The writer for `s` put a batch of `n` frames on the wire: open
+    /// that much pipeline room and clear any retry strike against `s` —
+    /// the link is proven healthy. Writers also send `n = 0` right
+    /// after a successful connect + handshake (strike clearing only).
+    TxDone(ServerId, u32),
     /// Stop the event loop.
     Shutdown,
 }
@@ -192,13 +200,21 @@ fn handle_connection(mut stream: TcpStream, events: Sender<Event>) -> io::Result
 
     match peer {
         Hello::Server(s) => {
-            // Inbound ring connection: read frames until it dies.
+            // Inbound ring connection: read frames (and unpack frame
+            // batches, preserving their order) until it dies.
             let mut reader = stream;
             loop {
                 match read_message(&mut reader) {
                     Ok(Message::Ring(frame)) => {
                         if events.send(Event::FromRing(frame)).is_err() {
                             return Ok(());
+                        }
+                    }
+                    Ok(Message::RingBatch(frames)) => {
+                        for frame in frames {
+                            if events.send(Event::FromRing(frame)).is_err() {
+                                return Ok(());
+                            }
                         }
                     }
                     Ok(_) => {} // only ring traffic is expected here
@@ -214,11 +230,27 @@ fn handle_connection(mut stream: TcpStream, events: Sender<Event>) -> io::Result
             if events.send(Event::ClientUp(c, reply_tx)).is_err() {
                 return Ok(());
             }
-            // Writer half.
+            // Writer half: coalesce every reply already queued into one
+            // buffer fill and one flush (a burst of acks costs one
+            // syscall, not one per message).
             let mut writer = stream.try_clone()?;
             thread::spawn(move || {
-                for msg in reply_rx {
-                    if write_message(&mut writer, &msg).is_err() {
+                let mut scratch = BytesMut::new();
+                loop {
+                    let Ok(first) = reply_rx.recv() else { return };
+                    scratch.clear();
+                    frame_into(&mut scratch, &first);
+                    while scratch.len() < REPLY_FLUSH_BYTES {
+                        match reply_rx.try_recv() {
+                            Ok(msg) => frame_into(&mut scratch, &msg),
+                            Err(_) => break,
+                        }
+                    }
+                    if writer
+                        .write_all(&scratch)
+                        .and_then(|()| writer.flush())
+                        .is_err()
+                    {
                         return;
                     }
                 }
@@ -242,38 +274,178 @@ fn handle_connection(mut stream: TcpStream, events: Sender<Event>) -> io::Result
     }
 }
 
-/// The outbound ring connection: a bounded(1) channel + writer thread, so
-/// `TxDone` events pace `next_frame` pulls exactly like the simulator's
-/// TX-idle callback. Keyed by peer in the event loop; connections to
-/// peers that stop being the successor are parked, not closed (see the
-/// event loop).
+/// The outbound ring connection: a shared frame queue drained by a
+/// dedicated writer thread that coalesces everything available into one
+/// wire message per write (see [`ring_writer`]). The event loop paces how
+/// many frames it pushes via `TxDone` events, exactly like the
+/// simulator's TX-idle callback — just with a pipeline deeper than one.
+/// Keyed by peer in the event loop; connections to peers that stop being
+/// the successor are parked, not closed (see the event loop).
 struct RingOut {
-    frames: Sender<RingFrame>,
+    queue: Arc<Mutex<VecDeque<RingFrame>>>,
+    wake: Sender<()>,
 }
 
+impl RingOut {
+    /// Queues frames for the writer and wakes it.
+    fn push(&self, frames: Vec<RingFrame>) {
+        {
+            let mut q = self.queue.lock().expect("ring queue poisoned");
+            q.extend(frames);
+        }
+        let _ = self.wake.send(());
+    }
+
+    /// Frames queued but not yet claimed by the writer.
+    fn queued(&self) -> usize {
+        self.queue.lock().expect("ring queue poisoned").len()
+    }
+
+    /// Takes every unclaimed frame (failure recovery: the writer is gone
+    /// and the event loop owns re-routing them).
+    fn take_queued(&self) -> Vec<RingFrame> {
+        let mut q = self.queue.lock().expect("ring queue poisoned");
+        q.drain(..).collect()
+    }
+}
+
+/// Spawns the writer thread for the link to `to` and returns immediately:
+/// connecting (with its retry sleeps) happens **on the writer thread**,
+/// never on the event loop, so a slow-to-boot or dead peer cannot stall
+/// client traffic. Frames pushed while the connection is still being
+/// established simply wait in the queue. On any failure the thread exits
+/// after reporting [`Event::RingWriteFailed`] with the frames it
+/// swallowed; frames still in the shared queue stay recoverable there.
 fn connect_ring_out(
     me: ServerId,
     to: ServerId,
     addr: SocketAddr,
     events: Sender<Event>,
     attempts: u32,
-) -> io::Result<RingOut> {
-    let mut stream = connect_with_retry(addr, attempts)?;
+    batching: BatchConfig,
+) -> RingOut {
+    let queue = Arc::new(Mutex::new(VecDeque::new()));
+    let (wake_tx, wake_rx) = unbounded::<()>();
+    {
+        let queue = Arc::clone(&queue);
+        thread::spawn(move || {
+            ring_writer(me, to, addr, events, attempts, batching, queue, wake_rx)
+        });
+    }
+    RingOut {
+        queue,
+        wake: wake_tx,
+    }
+}
+
+/// Extends `batch` from the shared queue, tracking the running encoded
+/// size in `bytes` (callers carry it across the linger top-up so the
+/// soft `max_bytes` budget is per **batch**, not per drain call). The
+/// soft cap admits the frame that crosses it; the hard cap is the
+/// receiver's [`MAX_FRAME_BYTES`](crate::framing::MAX_FRAME_BYTES) —
+/// individually-shippable frames must never coalesce into a wire
+/// message the other end will reject as oversized. The first frame is
+/// admitted unconditionally: even a zero byte budget must not wedge the
+/// link (and a single frame beyond the hard cap is unshippable batched
+/// or not).
+fn drain_batch(
+    queue: &Mutex<VecDeque<RingFrame>>,
+    max_frames: usize,
+    max_bytes: usize,
+    bytes: &mut usize,
+    batch: &mut Vec<RingFrame>,
+) {
+    // Headroom for the batch discriminant + count and the length prefix.
+    const HARD_CAP: usize = crate::framing::MAX_FRAME_BYTES - 16;
+    let mut q = queue.lock().expect("ring queue poisoned");
+    while batch.len() < max_frames.max(1) && (batch.is_empty() || *bytes < max_bytes) {
+        let Some(frame) = q.front() else { break };
+        let frame_bytes = codec::frame_wire_size(frame);
+        if !batch.is_empty() && *bytes + frame_bytes > HARD_CAP {
+            break;
+        }
+        let frame = q.pop_front().expect("peeked");
+        *bytes += frame_bytes;
+        batch.push(frame);
+    }
+}
+
+/// The coalescing ring writer: connect (with retries), then repeatedly
+/// drain everything queued into **one** buffered write and one flush per
+/// batch. FIFO is trivially preserved — frames leave the queue and hit
+/// the wire in push order.
+#[allow(clippy::too_many_arguments)]
+fn ring_writer(
+    me: ServerId,
+    to: ServerId,
+    addr: SocketAddr,
+    events: Sender<Event>,
+    attempts: u32,
+    batching: BatchConfig,
+    queue: Arc<Mutex<VecDeque<RingFrame>>>,
+    wake: Receiver<()>,
+) {
+    let fail = |swallowed: Vec<RingFrame>| {
+        let _ = events.send(Event::RingWriteFailed(to, swallowed));
+    };
+    let mut stream = match connect_with_retry(addr, attempts) {
+        Ok(s) => s,
+        Err(_) => return fail(Vec::new()),
+    };
     stream.set_nodelay(true).ok();
-    stream.write_all(&Hello::Server(me).encode())?;
-    let (tx, rx): (Sender<RingFrame>, Receiver<RingFrame>) = bounded(1);
-    thread::spawn(move || {
-        for frame in rx {
-            if write_message(&mut stream, &Message::Ring(frame.clone())).is_err() {
-                let _ = events.send(Event::RingWriteFailed(to, frame));
-                return;
+    if stream.write_all(&Hello::Server(me).encode()).is_err() {
+        return fail(Vec::new());
+    }
+    // The link is proven healthy the moment the connect + handshake
+    // lands: a zero-frame TxDone clears any retry strike against this
+    // peer even if no traffic flows for a while (otherwise a strike
+    // earned during a traffic-free episode would silently turn the NEXT
+    // failure — possibly just a stale parked connection — into an
+    // instant crash verdict, skipping the designed retry).
+    if events.send(Event::TxDone(to, 0)).is_err() {
+        return;
+    }
+    let max_frames = batching.max_frames.max(1);
+    let linger = Duration::from_nanos(batching.linger.as_nanos());
+    let mut scratch = BytesMut::new();
+    loop {
+        if wake.recv().is_err() {
+            return; // server shut down
+        }
+        loop {
+            let mut batch = Vec::new();
+            let mut bytes = 0usize;
+            drain_batch(
+                &queue,
+                max_frames,
+                batching.max_bytes,
+                &mut bytes,
+                &mut batch,
+            );
+            if batch.is_empty() {
+                break; // stale wake token; block again
             }
-            if events.send(Event::TxDone).is_err() {
+            if batch.len() < max_frames && !linger.is_zero() {
+                // Give a near-simultaneous burst one chance to coalesce.
+                // The byte budget carries over: the top-up cannot grow
+                // the batch past what one drain could.
+                thread::sleep(linger);
+                drain_batch(
+                    &queue,
+                    max_frames,
+                    batching.max_bytes,
+                    &mut bytes,
+                    &mut batch,
+                );
+            }
+            if write_ring_frames(&mut stream, &batch, &mut scratch).is_err() {
+                return fail(batch);
+            }
+            if events.send(Event::TxDone(to, batch.len() as u32)).is_err() {
                 return;
             }
         }
-    });
-    Ok(RingOut { frames: tx })
+    }
 }
 
 fn connect_with_retry(addr: SocketAddr, attempts: u32) -> io::Result<TcpStream> {
@@ -283,9 +455,9 @@ fn connect_with_retry(addr: SocketAddr, attempts: u32) -> io::Result<TcpStream> 
             Ok(s) => return Ok(s),
             Err(e) => {
                 last = Some(e);
-                // No point sleeping after the last attempt — and these
-                // retries run on the event-loop thread, so every sleep
-                // stalls client traffic.
+                // No point sleeping after the last attempt. (These sleeps
+                // run on the writer thread — the event loop keeps serving
+                // client traffic throughout a reconnect storm.)
                 if attempt + 1 < attempts {
                     thread::sleep(Duration::from_millis(50));
                 }
@@ -313,6 +485,11 @@ fn event_loop(
     wal_state: Option<(Wal, Recovery)>,
 ) {
     let n = config.addrs.len() as u16;
+    let batching = config.config.batching.normalized();
+    // Frames the event loop may hand the active writer ahead of TxDone
+    // acknowledgements: one batch on the wire, one batch queued behind
+    // it. `max_frames = 1` degenerates to (pipelined) frame-at-a-time.
+    let pipeline_cap = batching.max_frames.max(1) * 2;
     let mut core = MultiObjectServer::new(config.id, n, config.config.clone());
     let mut wal = None;
     if let Some((w, recovery)) = wal_state {
@@ -339,8 +516,12 @@ fn event_loop(
     // side, and a later splice-back (rejoin) reuses the parked link.
     let mut ring_outs: HashMap<ServerId, RingOut> = HashMap::new();
     let mut active_out: Option<ServerId> = None;
-    // Frames handed to the active writer but possibly still in its channel.
+    // Frames handed to the active writer and not yet TxDone-acknowledged.
     let mut in_channel = 0u32;
+    // Peers whose writer failed once and is on its second-chance fresh
+    // connection; a second failure is a crash verdict, a TxDone clears
+    // the strike.
+    let mut retried: HashSet<ServerId> = HashSet::new();
 
     let ensure_ring_out = |core: &MultiObjectServer,
                            ring_outs: &mut HashMap<ServerId, RingOut>,
@@ -353,22 +534,23 @@ fn event_loop(
         *active_out = None;
         *in_channel = 0;
         let Some(next) = successor else { return };
-        if let std::collections::hash_map::Entry::Vacant(slot) = ring_outs.entry(next) {
-            match connect_ring_out(
-                config.id,
-                next,
-                config.addrs[next.index()],
-                events_tx.clone(),
-                40,
-            ) {
-                Ok(out) => {
-                    slot.insert(out);
-                }
-                Err(_) => {
-                    // The successor is unreachable: report it crashed.
-                    let _ = events_tx.send(Event::RingOutDown(next));
-                    return;
-                }
+        match ring_outs.entry(next) {
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                // Non-blocking: the writer thread does the connecting.
+                slot.insert(connect_ring_out(
+                    config.id,
+                    next,
+                    config.addrs[next.index()],
+                    events_tx.clone(),
+                    40,
+                    batching,
+                ));
+            }
+            std::collections::hash_map::Entry::Occupied(slot) => {
+                // Reactivating a parked link: frames from its previous
+                // activation may still be queued; count them or the
+                // pipeline pacing would over-fill.
+                *in_channel = slot.get().queued() as u32;
             }
         }
         *active_out = Some(next);
@@ -403,10 +585,12 @@ fn event_loop(
         }
     };
 
-    // Appends the core's freshly committed writes to the log. Runs
-    // BEFORE actions flush, so under `SyncAlways` a client never sees an
-    // ack whose write is not on stable storage. Returns `false` on an
-    // unrecoverable log failure (the server then stops = crash-stop).
+    // Appends the core's freshly committed writes to the log as ONE
+    // group-committed batch: a single fsync covers every commit drained
+    // by this event-loop iteration. Runs BEFORE actions flush, so under
+    // `SyncAlways` a client never sees an ack whose write is not on
+    // stable storage. Returns `false` on an unrecoverable log failure
+    // (the server then stops = crash-stop).
     let persist = |core: &mut MultiObjectServer, wal: &mut Option<Wal>| -> bool {
         let Some(wal) = wal.as_mut() else {
             // Persistent durability without a wal_dir: nothing to log,
@@ -415,15 +599,18 @@ fn event_loop(
             core.drain_commits();
             return true;
         };
-        for (object, tag, value) in core.drain_commits() {
-            if let Err(e) = wal.append(&WalRecord { object, tag, value }) {
-                eprintln!(
-                    "hts-net server {}: wal append failed ({e}); stopping to avoid \
-                     acknowledging non-durable writes",
-                    config.id
-                );
-                return false;
-            }
+        let records: Vec<WalRecord> = core
+            .drain_commits()
+            .into_iter()
+            .map(|(object, tag, value)| WalRecord { object, tag, value })
+            .collect();
+        if let Err(e) = wal.append_batch(&records) {
+            eprintln!(
+                "hts-net server {}: wal append failed ({e}); stopping to avoid \
+                 acknowledging non-durable writes",
+                config.id
+            );
+            return false;
         }
         if wal.wants_compaction() {
             let state: Vec<WalRecord> = core
@@ -443,22 +630,21 @@ fn event_loop(
                 ring_outs: &mut HashMap<ServerId, RingOut>,
                 active_out: &mut Option<ServerId>,
                 in_channel: &mut u32| {
-        // Keep at most one frame queued at the active writer.
         ensure_ring_out(core, ring_outs, active_out, in_channel);
-        while *in_channel < 1 {
-            let Some(active) = *active_out else { break };
-            let Some(out) = ring_outs.get(&active) else {
+        let Some(active) = *active_out else { return };
+        let Some(out) = ring_outs.get(&active) else {
+            return;
+        };
+        // Keep the writer's pipeline primed: drain the batch scheduler
+        // until the core has nothing ready or the pipeline is full.
+        while (*in_channel as usize) < pipeline_cap {
+            let room = pipeline_cap - *in_channel as usize;
+            let frames = core.drain_frames(room.min(batching.max_frames), batching.max_bytes);
+            if frames.is_empty() {
                 break;
-            };
-            match core.next_frame() {
-                Some(frame) => {
-                    if out.frames.send(frame).is_err() {
-                        break; // writer died; RingOutDown will arrive
-                    }
-                    *in_channel += 1;
-                }
-                None => break,
             }
+            *in_channel += frames.len() as u32;
+            out.push(frames);
         }
     };
 
@@ -488,30 +674,58 @@ fn event_loop(
                 _ => Vec::new(),
             },
             Event::FromRing(frame) => core.on_frame(frame),
-            Event::RingInDown(s) | Event::RingOutDown(s) => {
+            Event::RingInDown(s) => {
                 // Any connection to the crashed server died with it; a
                 // parked entry must not be reused after a rejoin.
                 ring_outs.remove(&s);
+                retried.remove(&s);
                 core.on_server_crashed(s)
             }
-            Event::RingWriteFailed(s, frame) => {
-                // The connection may just be stale (the peer restarted
-                // while it sat parked): retry once over a fresh one.
-                ring_outs.remove(&s);
-                match connect_ring_out(config.id, s, config.addrs[s.index()], events_tx.clone(), 3)
-                {
-                    Ok(out) => {
-                        // The peer is alive after all; re-send the frame
-                        // that the dead socket swallowed.
-                        let _ = out.frames.send(frame);
-                        ring_outs.insert(s, out);
-                        Vec::new()
+            Event::RingWriteFailed(s, mut lost) => {
+                // The writer is gone: recover the frames it never
+                // claimed from the shared queue (they are strictly newer
+                // than the batch it reported).
+                if let Some(out) = ring_outs.remove(&s) {
+                    lost.extend(out.take_queued());
+                }
+                if active_out == Some(s) {
+                    in_channel = 0;
+                }
+                if retried.insert(s) {
+                    // First strike: the connection may just be stale (the
+                    // peer restarted while it sat parked). Retry the lost
+                    // frames over a fresh connection — the connect runs
+                    // on the new writer's thread, so even an unreachable
+                    // peer costs the event loop nothing.
+                    let out = connect_ring_out(
+                        config.id,
+                        s,
+                        config.addrs[s.index()],
+                        events_tx.clone(),
+                        3,
+                        batching,
+                    );
+                    if active_out == Some(s) {
+                        in_channel = lost.len() as u32;
                     }
-                    Err(_) => core.on_server_crashed(s),
+                    if !lost.is_empty() {
+                        out.push(lost);
+                    }
+                    ring_outs.insert(s, out);
+                    Vec::new()
+                } else {
+                    // Second strike on a fresh connection: the peer is
+                    // really gone. The lost frames are covered by the
+                    // splice-retransmission in `on_server_crashed`.
+                    retried.remove(&s);
+                    core.on_server_crashed(s)
                 }
             }
-            Event::TxDone => {
-                in_channel = in_channel.saturating_sub(1);
+            Event::TxDone(s, done) => {
+                retried.remove(&s);
+                if active_out == Some(s) {
+                    in_channel = in_channel.saturating_sub(done);
+                }
                 Vec::new()
             }
         };

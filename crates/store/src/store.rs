@@ -3,7 +3,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use hts_core::{ClientCore, Config, Durability, SimServer};
+use hts_core::{BatchConfig, ClientCore, Config, Durability, SimServer};
 use hts_sim::packet::{Ctx, NetworkConfig, PacketSim, Process, TimerId};
 use hts_sim::{DiskConfig, Nanos};
 use hts_types::{ClientId, Message, NodeId, ObjectId, ServerId, Value};
@@ -131,6 +131,17 @@ impl ShardedStoreBuilder {
     pub fn durability(mut self, durability: Durability, disk: DiskConfig) -> Self {
         self.config.durability = durability;
         self.disk = Some(disk);
+        self
+    }
+
+    /// Ring frame batching for the store's servers (see
+    /// [`BatchConfig`]): how aggressively protocol frames coalesce into
+    /// one wire message per link transmission, and — with a persistent
+    /// [`Durability`] — how many commits one modeled fsync covers
+    /// (group commit). `BatchConfig::unbatched()` reproduces the
+    /// frame-at-a-time runtime for A/B comparisons.
+    pub fn batching(mut self, batching: BatchConfig) -> Self {
+        self.config.batching = batching;
         self
     }
 
@@ -393,6 +404,35 @@ mod tests {
         store.crash_server(ServerId(0));
         store.crash_server(ServerId(2));
         assert_eq!(store.get(b"k"), Some(b"v".to_vec()));
+    }
+
+    #[test]
+    fn batching_knob_is_a_pure_performance_setting() {
+        // Same operations, batched vs unbatched (and with group-committed
+        // durability): identical results, only the virtual clock differs.
+        let run = |batching: BatchConfig| {
+            let mut store = ShardedStore::builder()
+                .servers(3)
+                .seed(21)
+                .durability(Durability::SyncAlways, DiskConfig::nvme_ssd())
+                .batching(batching)
+                .build();
+            for i in 0..16u32 {
+                store.put(format!("key-{i}").as_bytes(), i.to_be_bytes().to_vec());
+            }
+            store.crash_server(ServerId(1));
+            store.restart_server(ServerId(1));
+            let values: Vec<Option<Vec<u8>>> = (0..16u32)
+                .map(|i| store.get(format!("key-{i}").as_bytes()))
+                .collect();
+            values
+        };
+        let batched = run(BatchConfig::default());
+        let unbatched = run(BatchConfig::unbatched());
+        assert_eq!(batched, unbatched);
+        for (i, v) in batched.iter().enumerate() {
+            assert_eq!(v.as_deref(), Some(&(i as u32).to_be_bytes()[..]), "key-{i}");
+        }
     }
 
     #[test]

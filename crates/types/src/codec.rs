@@ -32,6 +32,12 @@ const D_READ_REQ: u8 = 0x02;
 const D_WRITE_ACK: u8 = 0x03;
 const D_READ_ACK: u8 = 0x04;
 const D_RING: u8 = 0x05;
+const D_RING_BATCH: u8 = 0x06;
+
+/// Most frames one [`Message::RingBatch`] can carry (the count prefix is
+/// 16-bit). Writers coalesce far below this; the cap bounds what a decoder
+/// will attempt to materialize from one wire message.
+pub const MAX_BATCH_FRAMES: usize = u16::MAX as usize;
 
 const TAG_SIZE: usize = 8 + 2; // ts + origin
 const OBJECT_SIZE: usize = 4;
@@ -88,40 +94,71 @@ pub fn encode_into(msg: &Message, buf: &mut BytesMut) {
             put_request(buf, *request);
             put_value(buf, value);
         }
-        Message::Ring(frame) => {
-            buf.put_u8(D_RING);
-            put_object(buf, frame.object);
-            match &frame.pre_write {
+        Message::Ring(frame) => encode_ring_into(frame, buf),
+        Message::RingBatch(frames) => encode_ring_batch_into(frames, buf),
+    }
+}
+
+/// Encodes `Message::Ring(frame)` by appending to `buf`, without
+/// constructing the enum — hot-path helper for transports that hold
+/// frames by reference.
+///
+/// # Panics
+///
+/// Panics if a contained value is longer than `u32::MAX` bytes.
+pub fn encode_ring_into(frame: &RingFrame, buf: &mut BytesMut) {
+    buf.put_u8(D_RING);
+    put_frame(buf, frame);
+}
+
+/// Encodes `Message::RingBatch(frames)` by appending to `buf`, without
+/// constructing the enum.
+///
+/// # Panics
+///
+/// Panics if `frames.len()` exceeds [`MAX_BATCH_FRAMES`] or a contained
+/// value is longer than `u32::MAX` bytes.
+pub fn encode_ring_batch_into(frames: &[RingFrame], buf: &mut BytesMut) {
+    buf.put_u8(D_RING_BATCH);
+    let count = u16::try_from(frames.len())
+        .unwrap_or_else(|_| panic!("batch of {} frames exceeds u16::MAX", frames.len()));
+    buf.put_u16(count);
+    for frame in frames {
+        put_frame(buf, frame);
+    }
+}
+
+fn put_frame(buf: &mut BytesMut, frame: &RingFrame) {
+    put_object(buf, frame.object);
+    match &frame.pre_write {
+        None => buf.put_u8(0),
+        Some(pw) => {
+            buf.put_u8(1);
+            put_tag(buf, pw.tag);
+            buf.put_u8(u8::from(pw.recovery));
+            put_value(buf, &pw.value);
+        }
+    }
+    match &frame.write {
+        None => buf.put_u8(0),
+        Some(w) => {
+            buf.put_u8(1);
+            put_tag(buf, w.tag);
+            match &w.value {
                 None => buf.put_u8(0),
-                Some(pw) => {
+                Some(v) => {
                     buf.put_u8(1);
-                    put_tag(buf, pw.tag);
-                    buf.put_u8(u8::from(pw.recovery));
-                    put_value(buf, &pw.value);
+                    put_value(buf, v);
                 }
             }
-            match &frame.write {
-                None => buf.put_u8(0),
-                Some(w) => {
-                    buf.put_u8(1);
-                    put_tag(buf, w.tag);
-                    match &w.value {
-                        None => buf.put_u8(0),
-                        Some(v) => {
-                            buf.put_u8(1);
-                            put_value(buf, v);
-                        }
-                    }
-                }
-            }
-            match frame.rejoin {
-                None => buf.put_u8(0),
-                Some(r) => {
-                    buf.put_u8(1);
-                    buf.put_u16(r.server.0);
-                    buf.put_u8(u8::from(r.stale_source) | (u8::from(r.all_syncing) << 1));
-                }
-            }
+        }
+    }
+    match frame.rejoin {
+        None => buf.put_u8(0),
+        Some(r) => {
+            buf.put_u8(1);
+            buf.put_u16(r.server.0);
+            buf.put_u8(u8::from(r.stale_source) | (u8::from(r.all_syncing) << 1));
         }
     }
 }
@@ -136,21 +173,25 @@ pub fn wire_size(msg: &Message) -> usize {
         Message::ReadReq { .. } => OBJECT_SIZE + REQUEST_SIZE,
         Message::WriteAck { .. } => OBJECT_SIZE + REQUEST_SIZE,
         Message::ReadAck { value, .. } => OBJECT_SIZE + REQUEST_SIZE + LEN_PREFIX + value.len(),
-        Message::Ring(frame) => {
-            let pw = match &frame.pre_write {
-                None => 0,
-                Some(pw) => TAG_SIZE + FLAG_SIZE + LEN_PREFIX + pw.value.len(),
-            };
-            let w = match &frame.write {
-                None => 0,
-                Some(wn) => {
-                    TAG_SIZE + FLAG_SIZE + wn.value.as_ref().map_or(0, |v| LEN_PREFIX + v.len())
-                }
-            };
-            let rejoin = frame.rejoin.map_or(0, |_| 2 + FLAG_SIZE);
-            OBJECT_SIZE + FLAG_SIZE + pw + FLAG_SIZE + w + FLAG_SIZE + rejoin
-        }
+        Message::Ring(frame) => frame_wire_size(frame),
+        Message::RingBatch(frames) => 2 + frames.iter().map(frame_wire_size).sum::<usize>(),
     }
+}
+
+/// The exact encoded size of one ring frame's body (no discriminant), as
+/// it appears inside [`Message::Ring`] and [`Message::RingBatch`]. Batch
+/// schedulers use this to enforce byte budgets without encoding.
+pub fn frame_wire_size(frame: &RingFrame) -> usize {
+    let pw = match &frame.pre_write {
+        None => 0,
+        Some(pw) => TAG_SIZE + FLAG_SIZE + LEN_PREFIX + pw.value.len(),
+    };
+    let w = match &frame.write {
+        None => 0,
+        Some(wn) => TAG_SIZE + FLAG_SIZE + wn.value.as_ref().map_or(0, |v| LEN_PREFIX + v.len()),
+    };
+    let rejoin = frame.rejoin.map_or(0, |_| 2 + FLAG_SIZE);
+    OBJECT_SIZE + FLAG_SIZE + pw + FLAG_SIZE + w + FLAG_SIZE + rejoin
 }
 
 /// Decodes a message from a complete buffer.
@@ -198,55 +239,68 @@ pub fn decode_partial(buf: &mut &[u8]) -> Result<Message, DecodeError> {
             request: get_request(buf)?,
             value: get_value(buf)?,
         }),
-        D_RING => {
-            let object = get_object(buf)?;
-            let pre_write = if get_flag(buf)? {
-                let tag = get_tag(buf)?;
-                let recovery = get_flag(buf)?;
-                let value = get_value(buf)?;
-                Some(PreWrite {
-                    tag,
-                    value,
-                    recovery,
-                })
-            } else {
-                None
-            };
-            let write = if get_flag(buf)? {
-                let tag = get_tag(buf)?;
-                let value = if get_flag(buf)? {
-                    Some(get_value(buf)?)
-                } else {
-                    None
-                };
-                Some(WriteNotice { tag, value })
-            } else {
-                None
-            };
-            let rejoin = if get_flag(buf)? {
-                need(buf, 3)?;
-                let server = ServerId(buf.get_u16());
-                let flags = buf.get_u8();
-                if flags > 0b11 {
-                    return Err(DecodeError::BadOptionFlag(flags));
-                }
-                Some(Rejoin {
-                    server,
-                    stale_source: flags & 0b01 != 0,
-                    all_syncing: flags & 0b10 != 0,
-                })
-            } else {
-                None
-            };
-            Ok(Message::Ring(RingFrame {
-                object,
-                pre_write,
-                write,
-                rejoin,
-            }))
+        D_RING => Ok(Message::Ring(get_frame(buf)?)),
+        D_RING_BATCH => {
+            need(buf, 2)?;
+            let count = usize::from(buf.get_u16());
+            // Cap the pre-allocation: a corrupt count must not reserve
+            // megabytes before the truncation error surfaces.
+            let mut frames = Vec::with_capacity(count.min(1024));
+            for _ in 0..count {
+                frames.push(get_frame(buf)?);
+            }
+            Ok(Message::RingBatch(frames))
         }
         other => Err(DecodeError::UnknownDiscriminant(other)),
     }
+}
+
+fn get_frame(buf: &mut &[u8]) -> Result<RingFrame, DecodeError> {
+    let object = get_object(buf)?;
+    let pre_write = if get_flag(buf)? {
+        let tag = get_tag(buf)?;
+        let recovery = get_flag(buf)?;
+        let value = get_value(buf)?;
+        Some(PreWrite {
+            tag,
+            value,
+            recovery,
+        })
+    } else {
+        None
+    };
+    let write = if get_flag(buf)? {
+        let tag = get_tag(buf)?;
+        let value = if get_flag(buf)? {
+            Some(get_value(buf)?)
+        } else {
+            None
+        };
+        Some(WriteNotice { tag, value })
+    } else {
+        None
+    };
+    let rejoin = if get_flag(buf)? {
+        need(buf, 3)?;
+        let server = ServerId(buf.get_u16());
+        let flags = buf.get_u8();
+        if flags > 0b11 {
+            return Err(DecodeError::BadOptionFlag(flags));
+        }
+        Some(Rejoin {
+            server,
+            stale_source: flags & 0b01 != 0,
+            all_syncing: flags & 0b10 != 0,
+        })
+    } else {
+        None
+    };
+    Ok(RingFrame {
+        object,
+        pre_write,
+        write,
+        rejoin,
+    })
 }
 
 fn put_object(buf: &mut BytesMut, object: ObjectId) {
@@ -427,6 +481,12 @@ mod tests {
                     all_syncing: true,
                 }),
             }),
+            Message::RingBatch(Vec::new()),
+            Message::RingBatch(vec![
+                RingFrame::pre_write(ObjectId(1), tag, Value::filled(3, 100)),
+                RingFrame::write(ObjectId(2), tag),
+                RingFrame::announce_rejoin(Rejoin::announce(ServerId(1))),
+            ]),
         ]
     }
 
@@ -498,6 +558,61 @@ mod tests {
         assert_eq!(decode_partial(&mut cursor).unwrap(), a);
         assert_eq!(decode_partial(&mut cursor).unwrap(), b);
         assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn max_size_batch_roundtrips() {
+        // The count prefix is 16-bit: a batch of exactly MAX_BATCH_FRAMES
+        // frames must encode and come back intact.
+        let frame = RingFrame::write(ObjectId(7), Tag::new(9, ServerId(1)));
+        let msg = Message::RingBatch(vec![frame; MAX_BATCH_FRAMES]);
+        let bytes = encode(&msg);
+        assert_eq!(bytes.len(), wire_size(&msg));
+        assert_eq!(decode(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u16::MAX")]
+    fn oversized_batch_panics_at_encode() {
+        let frame = RingFrame::write(ObjectId(0), Tag::new(1, ServerId(0)));
+        let msg = Message::RingBatch(vec![frame; MAX_BATCH_FRAMES + 1]);
+        let _ = encode(&msg);
+    }
+
+    #[test]
+    fn batch_wire_size_is_sum_of_frames_plus_count() {
+        let frames = vec![
+            RingFrame::write(ObjectId(1), Tag::new(1, ServerId(0))),
+            RingFrame::pre_write(ObjectId(2), Tag::new(2, ServerId(1)), Value::filled(1, 64)),
+        ];
+        let per_frame: usize = frames.iter().map(frame_wire_size).sum();
+        assert_eq!(
+            wire_size(&Message::RingBatch(frames.clone())),
+            1 + 2 + per_frame
+        );
+        // A batched frame costs exactly its Ring encoding minus the
+        // discriminant — coalescing never inflates the payload.
+        for frame in frames {
+            assert_eq!(
+                frame_wire_size(&frame) + 1,
+                wire_size(&Message::Ring(frame.clone()))
+            );
+        }
+    }
+
+    #[test]
+    fn by_ref_ring_encoders_match_the_enum_path() {
+        let frames = vec![
+            RingFrame::pre_write(ObjectId(1), Tag::new(2, ServerId(0)), Value::filled(9, 33)),
+            RingFrame::write(ObjectId(1), Tag::new(2, ServerId(0))),
+        ];
+        let mut by_ref = BytesMut::new();
+        encode_ring_into(&frames[0], &mut by_ref);
+        assert_eq!(&by_ref[..], &encode(&Message::Ring(frames[0].clone()))[..]);
+
+        by_ref.clear();
+        encode_ring_batch_into(&frames, &mut by_ref);
+        assert_eq!(&by_ref[..], &encode(&Message::RingBatch(frames))[..]);
     }
 
     #[test]

@@ -221,10 +221,21 @@ pub enum Message {
     },
     /// Server → ring successor: protocol traffic.
     Ring(RingFrame),
+    /// Server → ring successor: several [`RingFrame`]s coalesced into one
+    /// wire message. Frames are ordered oldest-first and must be applied
+    /// in that order — the batch is a transparent framing optimization,
+    /// not a semantic unit, so per-link FIFO (which the rejoin/resync
+    /// protocol depends on) is exactly preserved. The outbound writer in
+    /// `hts-net` and the simulator's `SimServer` build batches whenever
+    /// more than one frame is ready for the same link; a single ready
+    /// frame still travels as [`Message::Ring`].
+    RingBatch(Vec<RingFrame>),
 }
 
 impl Message {
-    /// The register object this message concerns.
+    /// The register object this message concerns. For a batch this is the
+    /// first frame's object (a batch can span objects; routing happens
+    /// per frame, so this accessor is informational only there).
     pub fn object(&self) -> ObjectId {
         match self {
             Message::WriteReq { object, .. }
@@ -232,12 +243,13 @@ impl Message {
             | Message::WriteAck { object, .. }
             | Message::ReadAck { object, .. } => *object,
             Message::Ring(frame) => frame.object,
+            Message::RingBatch(frames) => frames.first().map_or(ObjectId::SINGLE, |f| f.object),
         }
     }
 
     /// Returns `true` for server→server ring traffic.
     pub fn is_ring(&self) -> bool {
-        matches!(self, Message::Ring(_))
+        matches!(self, Message::Ring(_) | Message::RingBatch(_))
     }
 }
 
@@ -256,32 +268,47 @@ impl fmt::Display for Message {
                 request,
                 value,
             } => write!(f, "read_ack({object},{request},{} bytes)", value.len()),
-            Message::Ring(frame) => {
-                write!(f, "ring({}", frame.object)?;
-                if let Some(pw) = &frame.pre_write {
-                    write!(f, ", pre_write{}", pw.tag)?;
+            Message::Ring(frame) => fmt_frame(f, frame),
+            Message::RingBatch(frames) => {
+                write!(f, "ring_batch[{}]", frames.len())?;
+                if let Some(first) = frames.first() {
+                    f.write_str("{")?;
+                    fmt_frame(f, first)?;
+                    if frames.len() > 1 {
+                        f.write_str(", ..")?;
+                    }
+                    f.write_str("}")?;
                 }
-                if let Some(w) = &frame.write {
-                    write!(
-                        f,
-                        ", write{}{}",
-                        w.tag,
-                        if w.value.is_some() { "+v" } else { "" }
-                    )?;
-                }
-                if let Some(r) = frame.rejoin {
-                    write!(
-                        f,
-                        ", rejoin({}{}{})",
-                        r.server,
-                        if r.stale_source { ",stale" } else { "" },
-                        if r.all_syncing { ",cold" } else { "" }
-                    )?;
-                }
-                f.write_str(")")
+                Ok(())
             }
         }
     }
+}
+
+/// Renders one ring frame for [`Message`]'s `Display` impl.
+fn fmt_frame(f: &mut fmt::Formatter<'_>, frame: &RingFrame) -> fmt::Result {
+    write!(f, "ring({}", frame.object)?;
+    if let Some(pw) = &frame.pre_write {
+        write!(f, ", pre_write{}", pw.tag)?;
+    }
+    if let Some(w) = &frame.write {
+        write!(
+            f,
+            ", write{}{}",
+            w.tag,
+            if w.value.is_some() { "+v" } else { "" }
+        )?;
+    }
+    if let Some(r) = frame.rejoin {
+        write!(
+            f,
+            ", rejoin({}{}{})",
+            r.server,
+            if r.stale_source { ",stale" } else { "" },
+            if r.all_syncing { ",cold" } else { "" }
+        )?;
+    }
+    f.write_str(")")
 }
 
 #[cfg(test)]
@@ -319,6 +346,24 @@ mod tests {
         assert_eq!(r.server, ServerId(2));
         assert!(!r.stale_source);
         assert!(r.all_syncing);
+    }
+
+    #[test]
+    fn batch_display_and_accessors() {
+        let empty = Message::RingBatch(Vec::new());
+        assert_eq!(empty.to_string(), "ring_batch[0]");
+        assert_eq!(empty.object(), ObjectId::SINGLE);
+        assert!(empty.is_ring());
+
+        let batch = Message::RingBatch(vec![
+            RingFrame::write(ObjectId(3), tag()),
+            RingFrame::write(ObjectId(4), tag()),
+        ]);
+        assert_eq!(batch.object(), ObjectId(3));
+        assert_eq!(
+            batch.to_string(),
+            "ring_batch[2]{ring(obj3, write[3,s1]), ..}"
+        );
     }
 
     #[test]

@@ -58,6 +58,7 @@ fn arb_message() -> impl Strategy<Value = Message> {
             value,
         }),
         arb_frame().prop_map(Message::Ring),
+        prop::collection::vec(arb_frame(), 0..12).prop_map(Message::RingBatch),
     ]
 }
 
@@ -88,6 +89,31 @@ proptest! {
             prop_assert_eq!(&got, m);
         }
         prop_assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn batch_roundtrip_preserves_frame_order(frames in prop::collection::vec(arb_frame(), 0..32)) {
+        // Includes the empty edge (0 frames); the u16::MAX edge is pinned
+        // by a unit test in the codec module (too large to shrink well).
+        let msg = Message::RingBatch(frames.clone());
+        let bytes = codec::encode(&msg);
+        prop_assert_eq!(bytes.len(), codec::wire_size(&msg));
+        match codec::decode(&bytes).unwrap() {
+            Message::RingBatch(back) => prop_assert_eq!(back, frames),
+            other => prop_assert!(false, "decoded wrong variant: {}", other),
+        }
+    }
+
+    #[test]
+    fn batch_costs_no_more_than_separate_frames(frames in prop::collection::vec(arb_frame(), 1..16)) {
+        // The point of RingBatch: coalescing strictly shrinks the payload
+        // (one discriminant + count vs. a discriminant per frame).
+        let separate: usize = frames
+            .iter()
+            .map(|f| codec::wire_size(&Message::Ring(f.clone())))
+            .sum();
+        let batched = codec::wire_size(&Message::RingBatch(frames.clone()));
+        prop_assert!(batched <= separate + 2);
     }
 
     #[test]
