@@ -6,9 +6,11 @@
 //!
 //! Also emits `BENCH_fig1.json`: the round-model numbers, a packet-model
 //! baseline of the real ring protocol (read/write payload throughput and
-//! p50/p99 latencies), and a **batching ablation** (ring batch cap 1 vs 8
-//! vs 64 on a saturated small-value write workload) so the performance
-//! trajectory of future changes can be diffed mechanically.
+//! p50/p99 latencies), a **batching ablation** (ring batch cap 1 vs 8
+//! vs 64 on a saturated small-value write workload) and a **lane
+//! ablation** (1 vs 2 vs 4 parallel ring lanes on the saturated
+//! multi-object write workload) so the performance trajectory of future
+//! changes can be diffed mechanically.
 //!
 //! Pass `--smoke` for a seconds-long CI run: identical report shape,
 //! tiny measurement windows.
@@ -128,11 +130,76 @@ fn main() {
         cap64.write_mbps / cap1.write_mbps
     );
 
+    // Lane ablation: the same saturated small-value write pressure, but
+    // multi-object (one register per writer) so the load partitions
+    // across R parallel ring lanes. One lane is today's single-ring
+    // runtime; each extra lane adds an independent ring pipeline, so
+    // write throughput scales until the client network binds.
+    println!();
+    println!(
+        "## Lane ablation (ring, n=4, {ablation_writers} writers/server, \
+         {ablation_value_size} B values, one object per writer)"
+    );
+    println!();
+    println!("| ring lanes | writes completed | write Mbit/s | p50 ms | p99 ms |");
+    println!("|---|---|---|---|---|");
+    let mut lane_ablation = Vec::new();
+    for lanes in [1u16, 2, 4] {
+        let config = hts_core::Config {
+            lanes,
+            ..hts_core::Config::default()
+        };
+        let lane_params = Params {
+            n: 4,
+            readers_per_server: 0,
+            writers_per_server: ablation_writers,
+            value_size: ablation_value_size,
+            warmup,
+            measure,
+            distinct_objects: true,
+            config,
+            ..Params::default()
+        };
+        let (lm, _, mut lane_write_lat) = run_ring_detailed(&lane_params);
+        println!(
+            "| {lanes} | {} | {:.2} | {:.2} | {:.2} |",
+            lm.writes,
+            lm.write_mbps,
+            hts_bench::percentile_ms(&mut lane_write_lat, 50.0),
+            hts_bench::percentile_ms(&mut lane_write_lat, 99.0),
+        );
+        lane_ablation.push(AblationRow {
+            max_frames: usize::from(lanes), // reused row shape: the knob value
+            writes: lm.writes,
+            write_mbps: lm.write_mbps,
+            latency_json: latency_object(&mut lane_write_lat),
+        });
+    }
+    let lanes1 = lane_ablation.first().expect("1-lane row");
+    let lanes4 = lane_ablation.last().expect("4-lane row");
+    println!();
+    println!(
+        "lane speedup (4 lanes vs 1): {:.2}x on multi-object write throughput",
+        lanes4.write_mbps / lanes1.write_mbps
+    );
+
     let ablation_rows: Vec<String> = ablation
         .iter()
         .map(|row| {
             format!(
                 r#"    {{"max_frames": {}, "writes_completed": {}, "write_throughput_mbps": {}, "write_latency": {}}}"#,
+                row.max_frames,
+                row.writes,
+                json_f64(row.write_mbps),
+                row.latency_json,
+            )
+        })
+        .collect();
+    let lane_rows: Vec<String> = lane_ablation
+        .iter()
+        .map(|row| {
+            format!(
+                r#"    {{"lanes": {}, "writes_completed": {}, "write_throughput_mbps": {}, "write_latency": {}}}"#,
                 row.max_frames,
                 row.writes,
                 json_f64(row.write_mbps),
@@ -171,6 +238,16 @@ fn main() {
     "rows": [
 {}
     ]
+  }},
+  "lane_ablation": {{
+    "n": 4,
+    "value_size_bytes": {},
+    "writers_per_server": {},
+    "distinct_objects": true,
+    "measure_seconds": {},
+    "rows": [
+{}
+    ]
   }}
 }}
 "#,
@@ -194,6 +271,10 @@ fn main() {
         ablation_writers,
         json_f64(measure.as_secs_f64()),
         ablation_rows.join(",\n"),
+        ablation_value_size,
+        ablation_writers,
+        json_f64(measure.as_secs_f64()),
+        lane_rows.join(",\n"),
     );
     match write_report("fig1", &body) {
         Ok(path) => println!("wrote {}", path.display()),
@@ -204,5 +285,11 @@ fn main() {
         "batching regression: cap 64 ({:.2} Mbit/s) must beat cap 1 ({:.2} Mbit/s)",
         cap64.write_mbps,
         cap1.write_mbps
+    );
+    assert!(
+        smoke || lanes4.write_mbps > lanes1.write_mbps,
+        "lane-scaling regression: 4 lanes ({:.2} Mbit/s) must beat 1 lane ({:.2} Mbit/s)",
+        lanes4.write_mbps,
+        lanes1.write_mbps
     );
 }

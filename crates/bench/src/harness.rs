@@ -10,7 +10,7 @@ use hts_baselines::tob::{TobClient, TobServer};
 use hts_core::{ClientStats, Config, OpMix, SimClient, SimServer, WorkloadConfig};
 use hts_sim::packet::{NetworkConfig, PacketSim};
 use hts_sim::{DiskConfig, Nanos, Wire};
-use hts_types::{ClientId, NodeId, ServerId};
+use hts_types::{ClientId, NodeId, ObjectId, ServerId};
 
 /// Which protocol a run exercises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,7 +56,15 @@ pub struct Params {
     pub measure: Nanos,
     /// Determinism seed.
     pub seed: u64,
-    /// Protocol options (ring only).
+    /// Give every client its own register object (`ObjectId(client)`)
+    /// instead of the shared single register — the multi-object workload
+    /// that spreads load across parallel ring lanes
+    /// ([`Config::lanes`](hts_core::Config)). Ring only.
+    pub distinct_objects: bool,
+    /// Protocol options (ring only). `config.lanes > 1` gives every
+    /// server that many independent ring NICs (the simulated analogue of
+    /// the TCP runtime's per-lane connections); requires a dual-network
+    /// cluster (`shared_network: false`).
     pub config: Config,
 }
 
@@ -71,6 +79,7 @@ impl Default for Params {
             warmup: Nanos::from_millis(400),
             measure: Nanos::from_secs(2),
             seed: 7,
+            distinct_objects: false,
             config: Config::default(),
         }
     }
@@ -239,30 +248,48 @@ pub fn run_ring_detailed(params: &Params) -> (Measurement, Vec<u64>, Vec<u64>) {
 
 fn build_ring(params: &Params) -> (PacketSim<hts_types::Message>, Vec<Rc<RefCell<ClientStats>>>) {
     let mut sim = PacketSim::new(params.seed);
-    let ring_net = sim.add_network(NetworkConfig::fast_ethernet());
+    let lanes = params.config.lanes.max(1);
+    assert!(
+        lanes == 1 || !params.shared_network,
+        "the shared-network experiment supports a single lane only"
+    );
+    let ring_nets: Vec<_> = (0..lanes)
+        .map(|_| sim.add_network(NetworkConfig::fast_ethernet()))
+        .collect();
     let client_net = if params.shared_network {
-        ring_net
+        ring_nets[0]
     } else {
         sim.add_network(NetworkConfig::fast_ethernet())
     };
     for i in 0..params.n {
         let id = NodeId::Server(ServerId(i));
-        let mut server = SimServer::new(
+        let mut server = SimServer::with_ring_lanes(
             ServerId(i),
             params.n,
             params.config.clone(),
-            ring_net,
+            ring_nets.clone(),
             client_net,
         );
         if params.config.durability.is_persistent() {
             server = server.with_disk(DiskConfig::nvme_ssd());
         }
         sim.add_node(id, Box::new(server));
-        sim.attach(id, ring_net);
+        for ring_net in &ring_nets {
+            sim.attach(id, *ring_net);
+        }
         if !params.shared_network {
             sim.attach(id, client_net);
         }
     }
+    // Each client's target object: the shared single register, or — for
+    // the multi-object lane workloads — its own.
+    let object_of = |client: ClientId| {
+        if params.distinct_objects {
+            ObjectId(client.0)
+        } else {
+            ObjectId::SINGLE
+        }
+    };
     let mut stats = Vec::new();
     let (pre, _pre_stats) = SimClient::new(
         PRELOADER,
@@ -279,8 +306,9 @@ fn build_ring(params: &Params) -> (PacketSim<hts_types::Message>, Vec<Rc<RefCell
         for _ in 0..params.readers_per_server {
             let id = ClientId(next_client);
             next_client += 1;
-            let (c, s) = SimClient::new(
+            let (c, s) = SimClient::new_for_object(
                 id,
+                object_of(id),
                 params.n,
                 ServerId(i),
                 reader_workload(params),
@@ -294,8 +322,9 @@ fn build_ring(params: &Params) -> (PacketSim<hts_types::Message>, Vec<Rc<RefCell
         for _ in 0..params.writers_per_server {
             let id = ClientId(next_client);
             next_client += 1;
-            let (c, s) = SimClient::new(
+            let (c, s) = SimClient::new_for_object(
                 id,
+                object_of(id),
                 params.n,
                 ServerId(i),
                 writer_workload(params),

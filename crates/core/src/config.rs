@@ -170,6 +170,18 @@ pub struct Config {
     /// up to 64 frames per wire message; this changes scheduling
     /// granularity only, never protocol semantics.
     pub batching: BatchConfig,
+    /// Parallel ring **lanes** (default 1). Objects are partitioned
+    /// across `lanes` fully independent ring instances
+    /// ([`LaneMap`](crate::LaneMap) placement): each lane owns its own
+    /// protocol cores, its own successor link (a separate TCP stream in
+    /// `hts-net`, a separate ring NIC in the simulator), and — with a
+    /// persistent [`Durability`] — its own WAL, so one node scales
+    /// across cores/links instead of funneling every object through a
+    /// single event loop. Per-object semantics are untouched: an object
+    /// lives on exactly one lane, and each lane preserves the per-link
+    /// FIFO the rejoin/resync protocol depends on. `1` is today's
+    /// single-ring runtime, bit for bit.
+    pub lanes: u16,
 }
 
 impl Default for Config {
@@ -183,6 +195,7 @@ impl Default for Config {
             client_timeout: Nanos::from_millis(250),
             durability: Durability::Volatile,
             batching: BatchConfig::default(),
+            lanes: 1,
         }
     }
 }
@@ -208,6 +221,7 @@ mod tests {
         assert!(c.adopt_orphans);
         assert_eq!(c.durability, Durability::Volatile);
         assert!(!c.durability.is_persistent());
+        assert_eq!(c.lanes, 1);
         assert_eq!(c, Config::paper());
     }
 

@@ -80,6 +80,7 @@
 mod client;
 mod config;
 mod fairness;
+mod lanes;
 mod multi;
 mod pending;
 mod ring;
@@ -90,6 +91,7 @@ mod sim_adapter;
 pub use client::{ClientCore, Completion};
 pub use config::{BatchConfig, Config, Durability, FairnessMode};
 pub use fairness::{ForwardScheduler, Selection};
+pub use lanes::LaneMap;
 pub use multi::MultiObjectServer;
 pub use pending::PendingSet;
 pub use ring::RingView;

@@ -21,7 +21,7 @@ use hts_sim::packet::{Ctx, NetworkId, Process, TimerId};
 use hts_sim::{DiskConfig, DiskModel, Nanos};
 use hts_types::{ClientId, Message, NodeId, ObjectId, RequestId, ServerId, Tag, Value};
 
-use crate::{Action, ClientCore, Config, Durability, MultiObjectServer};
+use crate::{Action, ClientCore, Config, Durability, LaneMap, MultiObjectServer};
 
 /// On-log framing overhead per record (frame header + fixed fields),
 /// mirroring `hts-wal`'s record layout for byte-accurate disk modeling.
@@ -32,22 +32,15 @@ const RECORD_OVERHEAD: usize = 26;
 /// modeled replay time tracks state size, not total history.
 const MODELED_SEGMENT_BYTES: u64 = 8 * 1024 * 1024;
 
-/// A ring storage server as a simulated process.
-pub struct SimServer {
+/// One parallel ring lane of a [`SimServer`]: an independent protocol
+/// instance with its own ring NIC, modeled log device and recovery
+/// state. A single-lane server is exactly the pre-lane adapter.
+struct SimLane {
     server: MultiObjectServer,
-    me: ServerId,
-    n: u16,
-    config: Config,
     ring_net: NetworkId,
-    client_net: NetworkId,
-    /// Outgoing client replies, paced one frame at a time so that on a
-    /// shared network they interleave fairly with ring traffic instead of
-    /// monopolizing the NIC (the kernel's per-socket queues do this on
-    /// real hardware).
-    replies: VecDeque<(NodeId, Message)>,
-    /// Shared-network alternation flag: reply next (vs ring frame).
-    prefer_reply: bool,
-    /// Modeled log device (durability experiments only).
+    /// Modeled log device (durability experiments only) — per lane, so
+    /// group commit is modeled per lane exactly like `hts-net`'s
+    /// per-lane WALs.
     disk: Option<DiskModel>,
     /// Modeled persisted state: what `hts-wal` would recover after a
     /// crash. Survives crash-restart because the process object does.
@@ -56,10 +49,28 @@ pub struct SimServer {
     appends_since_sync: u32,
     /// Instant the last queued append (incl. fsync) completes.
     durable_horizon: Nanos,
-    /// Write acks gated on fsync completion (`Durability::SyncAlways`).
-    deferred_acks: Vec<(Nanos, (NodeId, Message))>,
     /// Replay-in-progress timer after a restart; pumping waits for it.
     replaying: Option<TimerId>,
+}
+
+/// A ring storage server as a simulated process, hosting one protocol
+/// instance per configured ring lane (see [`Config::lanes`]).
+pub struct SimServer {
+    lanes: Vec<SimLane>,
+    map: LaneMap,
+    me: ServerId,
+    n: u16,
+    config: Config,
+    client_net: NetworkId,
+    /// Outgoing client replies, paced one frame at a time so that on a
+    /// shared network they interleave fairly with ring traffic instead of
+    /// monopolizing the NIC (the kernel's per-socket queues do this on
+    /// real hardware).
+    replies: VecDeque<(NodeId, Message)>,
+    /// Shared-network alternation flag: reply next (vs ring frame).
+    prefer_reply: bool,
+    /// Write acks gated on fsync completion (`Durability::SyncAlways`).
+    deferred_acks: Vec<(Nanos, (NodeId, Message))>,
     /// Crash-restarts survived.
     restarts: u64,
 }
@@ -67,6 +78,8 @@ pub struct SimServer {
 impl SimServer {
     /// Creates server `me` of an `n`-ring attached to the given networks
     /// (pass the same id twice for the shared-network experiments).
+    /// Hosts a single ring lane regardless of [`Config::lanes`]; use
+    /// [`with_ring_lanes`](Self::with_ring_lanes) for the laned runtime.
     pub fn new(
         me: ServerId,
         n: u16,
@@ -74,36 +87,88 @@ impl SimServer {
         ring_net: NetworkId,
         client_net: NetworkId,
     ) -> Self {
+        let mut config = config;
+        config.lanes = 1;
+        SimServer::with_ring_lanes(me, n, config, vec![ring_net], client_net)
+    }
+
+    /// Creates server `me` of an `n`-ring with one independent ring lane
+    /// per entry of `ring_nets` — each lane owns its NIC, exactly as the
+    /// TCP runtime gives each lane its own successor connection.
+    /// `config.lanes` must equal `ring_nets.len()`, and the shared-NIC
+    /// experiment (`client_net` doubling as a ring net) only supports a
+    /// single lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a lane-count mismatch, or on a multi-lane server whose
+    /// client NIC doubles as a ring NIC.
+    pub fn with_ring_lanes(
+        me: ServerId,
+        n: u16,
+        config: Config,
+        ring_nets: Vec<NetworkId>,
+        client_net: NetworkId,
+    ) -> Self {
+        assert_eq!(
+            usize::from(config.lanes.max(1)),
+            ring_nets.len(),
+            "config.lanes must match the ring NIC count"
+        );
+        assert!(
+            ring_nets.len() == 1 || ring_nets.iter().all(|net| *net != client_net),
+            "the shared-network experiment supports a single lane only"
+        );
+        let lanes = ring_nets
+            .into_iter()
+            .map(|ring_net| SimLane {
+                server: MultiObjectServer::new(me, n, config.clone()),
+                ring_net,
+                disk: None,
+                persisted: BTreeMap::new(),
+                appends_since_sync: 0,
+                durable_horizon: Nanos::ZERO,
+                replaying: None,
+            })
+            .collect::<Vec<_>>();
         SimServer {
-            server: MultiObjectServer::new(me, n, config.clone()),
+            map: LaneMap::new(lanes.len() as u16),
+            lanes,
             me,
             n,
             config,
-            ring_net,
             client_net,
             replies: VecDeque::new(),
             prefer_reply: true,
-            disk: None,
-            persisted: BTreeMap::new(),
-            appends_since_sync: 0,
-            durable_horizon: Nanos::ZERO,
             deferred_acks: Vec::new(),
-            replaying: None,
             restarts: 0,
         }
     }
 
-    /// Attaches a modeled log device (meaningful when the config's
-    /// [`Durability`] is persistent: commits charge disk time, and with
-    /// [`Durability::SyncAlways`] write acks wait for the fsync).
+    /// Attaches a modeled log device **per lane** (meaningful when the
+    /// config's [`Durability`] is persistent: commits charge disk time,
+    /// and with [`Durability::SyncAlways`] write acks wait for the
+    /// fsync). Each lane logs — and group-commits — independently.
     pub fn with_disk(mut self, disk: DiskConfig) -> Self {
-        self.disk = Some(DiskModel::new(disk));
+        for lane in &mut self.lanes {
+            lane.disk = Some(DiskModel::new(disk));
+        }
         self
     }
 
-    /// Access to the hosted multi-object server (tests/inspection).
+    /// Access to lane 0's multi-object server (tests/inspection).
     pub fn server(&self) -> &MultiObjectServer {
-        &self.server
+        &self.lanes[0].server
+    }
+
+    /// Access to one lane's multi-object server (tests/inspection).
+    pub fn lane_server(&self, lane: u16) -> &MultiObjectServer {
+        &self.lanes[usize::from(lane)].server
+    }
+
+    /// The object → lane placement this server routes by.
+    pub fn lane_map(&self) -> &LaneMap {
+        &self.map
     }
 
     /// Crash-restarts survived so far.
@@ -111,20 +176,21 @@ impl SimServer {
         self.restarts
     }
 
-    /// Drains the core's committed writes into the modeled log, charging
-    /// the disk per the fsync policy. Mirrors `hts-wal`'s **group
+    /// Drains one lane's committed writes into its modeled log, charging
+    /// that lane's disk per the fsync policy. Mirrors `hts-wal`'s **group
     /// commit**: the whole drained batch is one append, and one fsync
     /// covers every commit in it (under `SyncAlways` each commit's ack is
     /// still gated on that fsync — it just shares the flush).
-    fn persist_commits(&mut self, now: Nanos) {
+    fn persist_commits(&mut self, lane_idx: usize, now: Nanos) {
         if !self.config.durability.is_persistent() {
             return;
         }
-        let commits = self.server.drain_commits();
+        let lane = &mut self.lanes[lane_idx];
+        let commits = lane.server.drain_commits();
         if commits.is_empty() {
             return;
         }
-        if let Some(disk) = self.disk.as_mut() {
+        if let Some(disk) = lane.disk.as_mut() {
             let batch_bytes: usize = commits
                 .iter()
                 .map(|(_, _, value)| RECORD_OVERHEAD + value.len())
@@ -132,9 +198,9 @@ impl SimServer {
             let sync = match self.config.durability {
                 Durability::SyncAlways => true,
                 Durability::SyncEveryN(n) => {
-                    self.appends_since_sync += commits.len() as u32;
-                    if self.appends_since_sync >= n.max(1) {
-                        self.appends_since_sync = 0;
+                    lane.appends_since_sync += commits.len() as u32;
+                    if lane.appends_since_sync >= n.max(1) {
+                        lane.appends_since_sync = 0;
                         true
                     } else {
                         false
@@ -143,10 +209,10 @@ impl SimServer {
                 Durability::Buffered | Durability::Volatile => false,
             };
             let done = disk.append(now, batch_bytes, sync);
-            self.durable_horizon = self.durable_horizon.max(done);
+            lane.durable_horizon = lane.durable_horizon.max(done);
         }
         for (object, tag, value) in commits {
-            let entry = self
+            let entry = lane
                 .persisted
                 .entry(object)
                 .or_insert_with(|| (tag, value.clone()));
@@ -159,28 +225,29 @@ impl SimServer {
         // replayable tail shrinks to it. Without this, replay time —
         // and the benchmark's recovery_seconds — would grow with total
         // history instead of state size.
-        if let Some(disk) = self.disk.as_mut() {
+        if let Some(disk) = lane.disk.as_mut() {
             if disk.appended_bytes() >= MODELED_SEGMENT_BYTES {
-                let state_bytes: u64 = self
+                let state_bytes: u64 = lane
                     .persisted
                     .values()
                     .map(|(_, v)| (RECORD_OVERHEAD + v.len()) as u64)
                     .sum();
                 let done = disk.append(now, state_bytes as usize, true);
-                self.durable_horizon = self.durable_horizon.max(done);
+                lane.durable_horizon = lane.durable_horizon.max(done);
                 disk.truncate(state_bytes);
             }
         }
     }
 
-    fn flush(&mut self, ctx: &mut Ctx<'_, Message>, actions: Vec<Action>) {
+    fn flush(&mut self, ctx: &mut Ctx<'_, Message>, lane_idx: usize, actions: Vec<Action>) {
         // Under ack-after-fsync durability, write acks wait until the
-        // log device reports their commit record stable.
+        // lane's log device reports their commit record stable.
         let now = ctx.now();
+        let lane = &self.lanes[lane_idx];
         let gate = (self.config.durability == Durability::SyncAlways
-            && self.disk.is_some()
-            && self.durable_horizon > now)
-            .then_some(self.durable_horizon);
+            && lane.disk.is_some()
+            && lane.durable_horizon > now)
+            .then_some(lane.durable_horizon);
         for action in actions {
             match action {
                 // Write acks are a couple dozen bytes: real NICs interleave
@@ -221,8 +288,22 @@ impl SimServer {
         }
     }
 
-    fn send_ring_frame(&mut self, ctx: &mut Ctx<'_, Message>) -> bool {
-        let Some(successor) = self.server.successor() else {
+    /// Routes an event through one lane: apply, persist that lane's
+    /// commits, flush its actions.
+    fn integrate(
+        &mut self,
+        ctx: &mut Ctx<'_, Message>,
+        lane_idx: usize,
+        apply: impl FnOnce(&mut MultiObjectServer) -> Vec<Action>,
+    ) {
+        let actions = apply(&mut self.lanes[lane_idx].server);
+        self.persist_commits(lane_idx, ctx.now());
+        self.flush(ctx, lane_idx, actions);
+    }
+
+    fn send_ring_frame(&mut self, ctx: &mut Ctx<'_, Message>, lane_idx: usize) -> bool {
+        let lane = &mut self.lanes[lane_idx];
+        let Some(successor) = lane.server.successor() else {
             return false;
         };
         // Batch everything ready for the successor into one wire message
@@ -230,15 +311,27 @@ impl SimServer {
         // receiver) — the simulated analogue of the coalescing TCP
         // writer. A single ready frame travels as a plain `Ring`.
         let batching = self.config.batching.normalized();
-        let mut frames = self
+        let mut frames = lane
             .server
             .drain_frames(batching.max_frames, batching.max_bytes);
+        if self.map.lanes() > 1 {
+            // Announce-only frames carry a placeholder object; stamp the
+            // lane's token object so the receiver's object-based demux
+            // delivers them to the right lane (the transport-level lane
+            // tag the TCP runtime gets from its per-lane connections).
+            let token = self.map.token_object(lane_idx as u16);
+            for frame in &mut frames {
+                if frame.pre_write.is_none() && frame.write.is_none() {
+                    frame.object = token;
+                }
+            }
+        }
         match frames.len() {
             0 => false,
             1 => {
                 let frame = frames.pop().expect("len checked");
                 ctx.send(
-                    self.ring_net,
+                    lane.ring_net,
                     NodeId::Server(successor),
                     Message::Ring(frame),
                 );
@@ -246,7 +339,7 @@ impl SimServer {
             }
             _ => {
                 ctx.send(
-                    self.ring_net,
+                    lane.ring_net,
                     NodeId::Server(successor),
                     Message::RingBatch(frames),
                 );
@@ -266,28 +359,38 @@ impl SimServer {
     }
 
     fn pump(&mut self, ctx: &mut Ctx<'_, Message>) {
-        if self.replaying.is_some() {
-            return; // still replaying the log: no traffic yet
-        }
-        if self.ring_net == self.client_net {
+        if self.lanes.len() == 1 && self.lanes[0].ring_net == self.client_net {
+            if self.lanes[0].replaying.is_some() {
+                return; // still replaying the log: no traffic yet
+            }
             // One NIC for everything: alternate replies and ring frames so
             // neither side starves (Figure 3's shared-network setup).
-            if !ctx.tx_is_idle(self.ring_net) {
+            if !ctx.tx_is_idle(self.client_net) {
                 return;
             }
             if self.prefer_reply {
-                if self.send_reply(ctx) || self.send_ring_frame(ctx) {
+                if self.send_reply(ctx) || self.send_ring_frame(ctx, 0) {
                     self.prefer_reply = false;
                 }
-            } else if self.send_ring_frame(ctx) || self.send_reply(ctx) {
+            } else if self.send_ring_frame(ctx, 0) || self.send_reply(ctx) {
                 self.prefer_reply = true;
             }
         } else {
-            if ctx.tx_is_idle(self.client_net) {
+            // Replies hold while every lane is still replaying its log
+            // (the whole process just rebooted); once any lane is live
+            // its traffic — and the shared reply path — flows again.
+            if self.lanes.iter().any(|lane| lane.replaying.is_none())
+                && ctx.tx_is_idle(self.client_net)
+            {
                 self.send_reply(ctx);
             }
-            if ctx.tx_is_idle(self.ring_net) {
-                self.send_ring_frame(ctx);
+            for lane_idx in 0..self.lanes.len() {
+                if self.lanes[lane_idx].replaying.is_some() {
+                    continue; // this lane is still replaying its log
+                }
+                if ctx.tx_is_idle(self.lanes[lane_idx].ring_net) {
+                    self.send_ring_frame(ctx, lane_idx);
+                }
             }
         }
     }
@@ -295,57 +398,90 @@ impl SimServer {
 
 impl Process<Message> for SimServer {
     fn on_message(&mut self, ctx: &mut Ctx<'_, Message>, from: NodeId, msg: Message) {
-        let actions = match msg {
+        match msg {
             Message::WriteReq {
                 object,
                 request,
                 value,
-            } => match from.as_client() {
-                Some(client) => self.server.on_client_write(object, client, request, value),
-                None => Vec::new(),
-            },
-            Message::ReadReq { object, request } => match from.as_client() {
-                Some(client) => self.server.on_client_read(object, client, request),
-                None => Vec::new(),
-            },
-            Message::Ring(frame) => self.server.on_frame(frame),
+            } => {
+                if let Some(client) = from.as_client() {
+                    let lane_idx = usize::from(self.map.lane_of(object));
+                    self.integrate(ctx, lane_idx, |server| {
+                        server.on_client_write(object, client, request, value)
+                    });
+                }
+            }
+            Message::ReadReq { object, request } => {
+                if let Some(client) = from.as_client() {
+                    let lane_idx = usize::from(self.map.lane_of(object));
+                    self.integrate(ctx, lane_idx, |server| {
+                        server.on_client_read(object, client, request)
+                    });
+                }
+            }
+            Message::Ring(frame) => {
+                let lane_idx = usize::from(self.map.lane_of_frame(&frame));
+                self.integrate(ctx, lane_idx, |server| server.on_frame(frame));
+            }
             Message::RingBatch(frames) => {
                 // Frames apply strictly in batch order — the batch is the
-                // FIFO link's contents, nothing more.
-                let mut actions = Vec::new();
+                // FIFO link's contents, nothing more. A batch is drained
+                // from one lane's scheduler, so every frame routes to the
+                // same lane (routing per frame keeps that a
+                // non-assumption), but persistence stays per lane per
+                // BATCH: every commit the batch produced shares one
+                // modeled append + fsync — the group-commit model the
+                // durability benchmarks measure.
+                let mut lane_actions: Vec<Option<Vec<Action>>> = vec![None; self.lanes.len()];
                 for frame in frames {
-                    actions.extend(self.server.on_frame(frame));
+                    let lane_idx = usize::from(self.map.lane_of_frame(&frame));
+                    let actions = self.lanes[lane_idx].server.on_frame(frame);
+                    lane_actions[lane_idx]
+                        .get_or_insert_with(Vec::new)
+                        .extend(actions);
                 }
-                actions
+                for (lane_idx, actions) in lane_actions.into_iter().enumerate() {
+                    if let Some(actions) = actions {
+                        self.persist_commits(lane_idx, ctx.now());
+                        self.flush(ctx, lane_idx, actions);
+                    }
+                }
             }
             // Acks are client-bound; a server receiving one is a routing
             // bug in the harness.
-            Message::WriteAck { .. } | Message::ReadAck { .. } => Vec::new(),
-        };
-        self.persist_commits(ctx.now());
-        self.flush(ctx, actions);
+            Message::WriteAck { .. } | Message::ReadAck { .. } => {}
+        }
         self.pump(ctx);
     }
 
     fn on_tx_idle(&mut self, ctx: &mut Ctx<'_, Message>, net: NetworkId) {
-        if net == self.ring_net || net == self.client_net {
+        if net == self.client_net || self.lanes.iter().any(|lane| lane.ring_net == net) {
             self.pump(ctx);
         }
     }
 
     fn on_crashed(&mut self, ctx: &mut Ctx<'_, Message>, node: NodeId) {
         if let Some(s) = node.as_server() {
-            let actions = self.server.on_server_crashed(s);
-            self.persist_commits(ctx.now());
-            self.flush(ctx, actions);
+            // A crash is process-wide on the peer: every lane's link to
+            // it died, so every lane splices its own ring view.
+            for lane_idx in 0..self.lanes.len() {
+                self.integrate(ctx, lane_idx, |server| server.on_server_crashed(s));
+            }
             self.pump(ctx);
         }
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Message>, timer: TimerId) {
-        if self.replaying == Some(timer) {
-            // Log replay finished: the rejoin announcement may now leave.
-            self.replaying = None;
+        let mut replay_done = false;
+        for lane in &mut self.lanes {
+            if lane.replaying == Some(timer) {
+                // This lane's log replay finished: its rejoin
+                // announcement may now leave.
+                lane.replaying = None;
+                replay_done = true;
+            }
+        }
+        if replay_done {
             self.pump(ctx);
             return;
         }
@@ -363,30 +499,32 @@ impl Process<Message> for SimServer {
     }
 
     fn on_restart(&mut self, ctx: &mut Ctx<'_, Message>) {
-        // Reboot: volatile state is gone; rebuild from the modeled log
-        // and rejoin the ring through the announcement protocol.
+        // Reboot: volatile state is gone; every lane rebuilds from its
+        // own modeled log and rejoins its ring through the announcement
+        // protocol, independently.
         self.restarts += 1;
         self.replies.clear();
         self.deferred_acks.clear();
-        self.durable_horizon = ctx.now();
-        self.appends_since_sync = 0;
-        self.server = MultiObjectServer::new(self.me, self.n, self.config.clone());
-        self.server.restore_state(
-            self.persisted
-                .iter()
-                .map(|(object, (tag, value))| (*object, *tag, value.clone())),
-        );
-        self.server.begin_rejoin();
-        let replay = self
-            .disk
-            .as_ref()
-            .map(DiskModel::replay_time)
-            .unwrap_or(Nanos::ZERO);
-        if replay > Nanos::ZERO {
-            self.replaying = Some(ctx.set_timer(replay));
-        } else {
-            self.pump(ctx);
+        let now = ctx.now();
+        let (me, n, config) = (self.me, self.n, self.config.clone());
+        for lane in &mut self.lanes {
+            lane.durable_horizon = now;
+            lane.appends_since_sync = 0;
+            lane.server = MultiObjectServer::new(me, n, config.clone());
+            lane.server.restore_state(
+                lane.persisted
+                    .iter()
+                    .map(|(object, (tag, value))| (*object, *tag, value.clone())),
+            );
+            lane.server.begin_rejoin();
+            let replay = lane
+                .disk
+                .as_ref()
+                .map(DiskModel::replay_time)
+                .unwrap_or(Nanos::ZERO);
+            lane.replaying = (replay > Nanos::ZERO).then(|| ctx.set_timer(replay));
         }
+        self.pump(ctx);
     }
 }
 
@@ -513,10 +651,34 @@ impl SimClient {
         client_net: NetworkId,
         history: Option<Rc<RefCell<History>>>,
     ) -> (Self, Rc<RefCell<ClientStats>>) {
+        SimClient::new_for_object(
+            id,
+            ObjectId::SINGLE,
+            n,
+            preferred,
+            workload,
+            client_net,
+            history,
+        )
+    }
+
+    /// [`new`](Self::new), but every operation targets register `object`
+    /// instead of [`ObjectId::SINGLE`] — the multi-object workloads
+    /// (e.g. the lane-scaling ablation) give each client its own object
+    /// so load spreads across lanes.
+    pub fn new_for_object(
+        id: ClientId,
+        object: ObjectId,
+        n: u16,
+        preferred: ServerId,
+        workload: WorkloadConfig,
+        client_net: NetworkId,
+        history: Option<Rc<RefCell<History>>>,
+    ) -> (Self, Rc<RefCell<ClientStats>>) {
         let stats = Rc::new(RefCell::new(ClientStats::default()));
         (
             SimClient {
-                core: ClientCore::new(id, ObjectId::SINGLE, n, preferred),
+                core: ClientCore::new(id, object, n, preferred),
                 workload,
                 client_net,
                 stats: Rc::clone(&stats),

@@ -2,7 +2,7 @@
 
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::BytesMut;
 use hts_core::ClientCore;
@@ -152,18 +152,29 @@ impl Client {
     }
 
     /// One attempt against one server. `Ok(Some)` = completed; `Ok(None)` =
-    /// timed out waiting (server alive but slow, or reply lost).
+    /// timed out waiting (server alive but slow, or reply lost). The
+    /// whole attempt — including any number of stale replies from
+    /// earlier attempts — runs under ONE deadline: each stale reply
+    /// shrinks the remaining read budget instead of resetting it, so a
+    /// burst of stale traffic can never extend an attempt beyond its
+    /// per-attempt timeout (the retry/rotation logic upstream depends on
+    /// attempts actually ending on time).
     fn attempt(&mut self, server: ServerId, msg: &Message) -> io::Result<Option<Option<Value>>> {
         self.ensure_connection(server)?;
+        let deadline = Instant::now() + self.timeout;
         // Field-disjoint borrows: the socket, the protocol core and the
         // scratch encode buffer.
         let Client {
             connections,
             core,
             scratch,
+            timeout,
             ..
         } = self;
         let stream = connections[server.index()].as_mut().expect("ensured");
+        // A previous attempt's stale-reply handling may have left a
+        // shrunken read timeout on this reused connection.
+        stream.set_read_timeout(Some(*timeout))?;
         write_message_with(stream, msg, scratch)?;
         loop {
             match read_message(stream) {
@@ -171,7 +182,13 @@ impl Client {
                     if let Some(done) = core.on_reply(&reply) {
                         return Ok(Some(done.value));
                     }
-                    // Stale reply from an earlier attempt: keep waiting.
+                    // Stale reply from an earlier attempt: keep waiting,
+                    // but only for what is left of THIS attempt's budget.
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() {
+                        return Ok(None);
+                    }
+                    stream.set_read_timeout(Some(remaining))?;
                 }
                 Err(e)
                     if e.kind() == io::ErrorKind::WouldBlock
@@ -184,9 +201,15 @@ impl Client {
         }
     }
 
+    /// (Re)opens the connection to `server`, bounding the TCP connect by
+    /// the same per-attempt timeout as replies: a SYN-blackholed server
+    /// (dead host, dropped packets, full accept backlog) must cost one
+    /// attempt budget, not the OS connect timeout of minutes — the
+    /// caller then rotates to the next server exactly as it does for a
+    /// silent one.
     fn ensure_connection(&mut self, server: ServerId) -> io::Result<()> {
         if self.connections[server.index()].is_none() {
-            let mut stream = TcpStream::connect(self.addrs[server.index()])?;
+            let mut stream = TcpStream::connect_timeout(&self.addrs[server.index()], self.timeout)?;
             stream.set_nodelay(true).ok();
             stream.set_read_timeout(Some(self.timeout))?;
             stream.write_all(&Hello::Client(self.id).encode())?;

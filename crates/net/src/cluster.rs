@@ -16,7 +16,11 @@ use crate::server::{Server, ServerConfig};
 /// [`launch_durable`](Cluster::launch_durable) gives crash-**recovery**:
 /// every server logs committed writes to a WAL directory, and
 /// [`restart`](Cluster::restart) boots a crashed server back up from its
-/// log — it rejoins the ring, resyncs and serves again.
+/// log — it rejoins the ring, resyncs and serves again. With
+/// [`Config::lanes`](hts_core::Config) > 1 every server runs that many
+/// parallel ring lanes; each lane logs into its own `lane-<k>`
+/// subdirectory of the server's WAL directory and is recovered —
+/// replayed, rejoined, resynced — independently on restart.
 ///
 /// See the [crate docs](crate) for an example.
 pub struct Cluster {

@@ -7,13 +7,20 @@
 //! * each server listens on one address; clients and the ring predecessor
 //!   connect to it (a 3-byte [`Hello`](hts_types::codec::Hello) handshake
 //!   declares who is calling);
-//! * each server keeps a single long-lived TCP connection to its ring
-//!   successor, exactly as §2 prescribes; a broken connection **is** the
-//!   perfect failure detector — the predecessor splices the ring and
-//!   retransmits, the successor-side adopter completes orphaned writes;
+//! * each server keeps one long-lived TCP connection **per ring lane**
+//!   to its ring successor (`Config::lanes`, default 1 — exactly the
+//!   single connection §2 prescribes); a broken connection **is** the
+//!   perfect failure detector — the predecessor splices the lane's ring
+//!   and retransmits, the successor-side adopter completes orphaned
+//!   writes;
 //! * ring frames are pulled from the core one at a time as the previous
 //!   frame drains into the socket, which is where the fairness rule runs
-//!   (the kernel's send buffer plays the role of the NIC TX queue).
+//!   (the kernel's send buffer plays the role of the NIC TX queue);
+//! * with `lanes = R > 1`, objects partition across `R` independent ring
+//!   instances (`hts_core::LaneMap` placement), each lane owning its own
+//!   event-loop thread, outbound coalescing writer, inbound stream and
+//!   WAL directory — one node then scales across cores instead of
+//!   serializing every object through one event loop.
 //!
 //! Performance experiments live on the simulator (`hts-bench`), where
 //! bandwidth is controlled; this runtime demonstrates the protocol

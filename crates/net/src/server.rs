@@ -1,17 +1,27 @@
 //! The threaded TCP server runtime.
+//!
+//! A server hosts [`Config::lanes`](hts_core::Config) **parallel ring
+//! lanes**: objects are partitioned across lanes by the shared
+//! [`LaneMap`] placement, and each lane runs its own event loop thread,
+//! its own outbound coalescing writer to the successor (a separate TCP
+//! connection, tagged by a lane-aware handshake), its own inbound ring
+//! stream and — with persistent durability — its own WAL directory. One
+//! node therefore scales across cores instead of funneling every object
+//! through a single event loop; `lanes = 1` (the default) is the
+//! original single-ring runtime, byte for byte.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::BytesMut;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use hts_core::{Action, BatchConfig, Config, Durability, MultiObjectServer};
+use hts_core::{Action, BatchConfig, Config, Durability, LaneMap, MultiObjectServer};
 use hts_types::{codec, codec::Hello, ClientId, Message, RingFrame, ServerId};
 use hts_wal::{recover, FsyncPolicy, Recovery, Wal, WalOptions, WalRecord};
 
@@ -28,7 +38,8 @@ pub struct ServerConfig {
     pub id: ServerId,
     /// Listen addresses of **all** servers, indexed by [`ServerId`].
     pub addrs: Vec<SocketAddr>,
-    /// Protocol options.
+    /// Protocol options. `config.lanes` ring lanes are spawned; every
+    /// server of a cluster must agree on the lane count.
     pub config: Config,
     /// Write-ahead-log directory. With a persistent
     /// [`Config::durability`](hts_core::Config), committed writes are
@@ -37,7 +48,10 @@ pub struct ServerConfig {
     /// restores its registers from snapshot + log tail, announces its
     /// rejoin around the ring, resyncs from its new predecessor and only
     /// then serves — converting the paper's crash-stop model into
-    /// crash-recovery.
+    /// crash-recovery. A multi-lane server logs each lane into its own
+    /// `lane-<k>` subdirectory (recovered independently on restart); a
+    /// single-lane server uses the directory as-is, matching the
+    /// pre-lane layout.
     pub wal_dir: Option<PathBuf>,
 }
 
@@ -51,7 +65,8 @@ enum Event {
     ClientUp(ClientId, Sender<Message>),
     /// A client connection died.
     ClientDown(ClientId),
-    /// An inbound ring connection (from server `s`) died: `s` crashed.
+    /// This lane's inbound ring connection (from server `s`) died: `s`
+    /// crashed.
     RingInDown(ServerId),
     /// The outbound writer for `s` failed (connecting, or mid-write) and
     /// exited; carries every frame it swallowed, oldest first. Not yet a
@@ -70,66 +85,104 @@ enum Event {
     Shutdown,
 }
 
-/// A running storage server (event loop + connection threads).
+/// Routes freshly accepted connections to the right lane's event loop:
+/// inbound ring streams by their handshake's lane tag, client requests
+/// by their object's lane.
+struct LaneRouter {
+    senders: Vec<Sender<Event>>,
+    map: LaneMap,
+}
+
+/// A running storage server (per-lane event loops + connection threads).
 ///
 /// See the [crate docs](crate) for the runtime's shape; create whole local
 /// clusters with [`Cluster`](crate::Cluster).
 pub struct Server {
-    events: Sender<Event>,
-    handle: Option<JoinHandle<()>>,
+    lanes: Vec<Sender<Event>>,
+    handles: Vec<JoinHandle<()>>,
     accept_alive: Arc<AtomicBool>,
     addr: SocketAddr,
 }
 
+/// The WAL directory of one lane: the base directory itself for a
+/// single-lane server (the pre-lane layout), `base/lane-<k>` otherwise.
+fn lane_wal_dir(base: &Path, lane: u16, lanes: u16) -> PathBuf {
+    if lanes <= 1 {
+        base.to_path_buf()
+    } else {
+        base.join(format!("lane-{lane}"))
+    }
+}
+
 impl Server {
-    /// Binds `config.addrs[config.id]` and spawns the server. With a
-    /// WAL directory and persistent durability, first recovers any
-    /// existing log — a non-empty directory makes this a **restart**:
-    /// the server rejoins the ring and resyncs before serving.
+    /// Binds `config.addrs[config.id]` and spawns the server: one event
+    /// loop per configured ring lane. With a WAL directory and
+    /// persistent durability, first recovers each lane's existing log —
+    /// a non-empty directory makes this a **restart**: every lane
+    /// rejoins its ring and resyncs before serving.
     ///
     /// # Errors
     ///
     /// Returns the bind error if the listen address is unavailable, or
     /// the I/O error if log recovery / creation fails.
     pub fn spawn(config: ServerConfig) -> io::Result<Server> {
-        let wal_state = match (&config.wal_dir, wal_fsync_policy(config.config.durability)) {
-            (Some(dir), Some(fsync)) => {
-                let recovery = recover(dir)?;
-                let wal = Wal::open(
-                    dir,
-                    WalOptions {
-                        fsync,
-                        ..WalOptions::default()
-                    },
-                )?;
-                Some((wal, recovery))
-            }
-            _ => None,
-        };
+        let lanes = config.config.lanes.max(1);
+        let fsync = wal_fsync_policy(config.config.durability);
+        let mut wal_states = Vec::with_capacity(usize::from(lanes));
+        for lane in 0..lanes {
+            let state = match (&config.wal_dir, fsync) {
+                (Some(dir), Some(fsync)) => {
+                    let dir = lane_wal_dir(dir, lane, lanes);
+                    let recovery = recover(&dir)?;
+                    let wal = Wal::open(
+                        &dir,
+                        WalOptions {
+                            fsync,
+                            ..WalOptions::default()
+                        },
+                    )?;
+                    Some((wal, recovery))
+                }
+                _ => None,
+            };
+            wal_states.push(state);
+        }
         let addr = config.addrs[config.id.index()];
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
-        let (events_tx, events_rx) = unbounded::<Event>();
         let accept_alive = Arc::new(AtomicBool::new(true));
 
-        // Accept loop.
-        {
-            let events = events_tx.clone();
-            let alive = Arc::clone(&accept_alive);
-            thread::spawn(move || accept_loop(listener, events, alive));
+        // One event loop per lane, each with its own channel and WAL.
+        let mut senders = Vec::with_capacity(usize::from(lanes));
+        let mut handles = Vec::with_capacity(usize::from(lanes));
+        for (lane, wal_state) in wal_states.into_iter().enumerate() {
+            let (events_tx, events_rx) = unbounded::<Event>();
+            senders.push(events_tx.clone());
+            let lane_config = LaneConfig {
+                lane: lane as u16,
+                id: config.id,
+                addrs: config.addrs.clone(),
+                config: config.config.clone(),
+            };
+            handles.push(thread::spawn(move || {
+                event_loop(lane_config, events_rx, events_tx, wal_state)
+            }));
         }
 
-        // Event loop.
-        let handle = {
-            let events = events_tx.clone();
-            let rx = events_rx;
-            thread::spawn(move || event_loop(config, rx, events, wal_state))
-        };
+        // Accept loop, demultiplexing onto the lanes.
+        {
+            let router = Arc::new(LaneRouter {
+                senders: senders.clone(),
+                map: LaneMap::new(lanes),
+            });
+            let alive = Arc::clone(&accept_alive);
+            thread::spawn(move || accept_loop(listener, router, alive));
+        }
 
         Ok(Server {
-            events: events_tx,
-            handle: Some(handle),
+            lanes: senders,
+            handles,
             accept_alive,
             addr,
         })
@@ -143,8 +196,10 @@ impl Server {
     /// Stops the server (crashing it, from the cluster's point of view).
     pub fn shutdown(mut self) {
         self.accept_alive.store(false, Ordering::SeqCst);
-        let _ = self.events.send(Event::Shutdown);
-        if let Some(h) = self.handle.take() {
+        for lane in &self.lanes {
+            let _ = lane.send(Event::Shutdown);
+        }
+        for h in self.handles.drain(..) {
             let _ = h.join();
         }
     }
@@ -153,18 +208,20 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         self.accept_alive.store(false, Ordering::SeqCst);
-        let _ = self.events.send(Event::Shutdown);
+        for lane in &self.lanes {
+            let _ = lane.send(Event::Shutdown);
+        }
         // Threads exit on their own; not joined in drop (C-DTOR-BLOCK).
     }
 }
 
-fn accept_loop(listener: TcpListener, events: Sender<Event>, alive: Arc<AtomicBool>) {
+fn accept_loop(listener: TcpListener, router: Arc<LaneRouter>, alive: Arc<AtomicBool>) {
     while alive.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
-                let events = events.clone();
+                let router = Arc::clone(&router);
                 thread::spawn(move || {
-                    let _ = handle_connection(stream, events);
+                    let _ = handle_connection(stream, router);
                 });
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -175,8 +232,10 @@ fn accept_loop(listener: TcpListener, events: Sender<Event>, alive: Arc<AtomicBo
     }
 }
 
-/// Reads the handshake, then pumps messages into the event loop.
-fn handle_connection(mut stream: TcpStream, events: Sender<Event>) -> io::Result<()> {
+/// Reads the handshake, then pumps messages into the owning lane's event
+/// loop: an inbound ring stream belongs to the lane its handshake names
+/// (legacy `Hello::Server` = lane 0), client requests route per object.
+fn handle_connection(mut stream: TcpStream, router: Arc<LaneRouter>) -> io::Result<()> {
     stream.set_nodelay(true).ok();
     let mut hello = [0u8; 5];
     stream.read_exact(&mut hello[..1])?;
@@ -185,7 +244,7 @@ fn handle_connection(mut stream: TcpStream, events: Sender<Event>) -> io::Result
             stream.read_exact(&mut hello[1..3])?;
             Hello::decode(&hello[..3])
         }
-        0x02 => {
+        0x02 | 0x03 => {
             stream.read_exact(&mut hello[1..5])?;
             Hello::decode(&hello[..5])
         }
@@ -199,37 +258,26 @@ fn handle_connection(mut stream: TcpStream, events: Sender<Event>) -> io::Result
     .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
 
     match peer {
-        Hello::Server(s) => {
-            // Inbound ring connection: read frames (and unpack frame
-            // batches, preserving their order) until it dies.
-            let mut reader = stream;
-            loop {
-                match read_message(&mut reader) {
-                    Ok(Message::Ring(frame)) => {
-                        if events.send(Event::FromRing(frame)).is_err() {
-                            return Ok(());
-                        }
-                    }
-                    Ok(Message::RingBatch(frames)) => {
-                        for frame in frames {
-                            if events.send(Event::FromRing(frame)).is_err() {
-                                return Ok(());
-                            }
-                        }
-                    }
-                    Ok(_) => {} // only ring traffic is expected here
-                    Err(_) => {
-                        let _ = events.send(Event::RingInDown(s));
-                        return Ok(());
-                    }
-                }
-            }
+        Hello::Server(s) => ring_in_loop(stream, s, &router.senders[0]),
+        Hello::ServerLane(s, lane) => {
+            let Some(sender) = router.senders.get(usize::from(lane)) else {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("ring lane {lane} outside this server's lane count"),
+                ));
+            };
+            ring_in_loop(stream, s, sender)
         }
         Hello::Client(c) => {
             let (reply_tx, reply_rx) = unbounded::<Message>();
-            if events.send(Event::ClientUp(c, reply_tx)).is_err() {
-                return Ok(());
+            for sender in &router.senders {
+                if sender.send(Event::ClientUp(c, reply_tx.clone())).is_err() {
+                    return Ok(());
+                }
             }
+            // The lanes now own every reply sender; the writer below
+            // exits once they all drop theirs.
+            drop(reply_tx);
             // Writer half: coalesce every reply already queued into one
             // buffer fill and one flush (a burst of acks costs one
             // syscall, not one per message).
@@ -255,22 +303,75 @@ fn handle_connection(mut stream: TcpStream, events: Sender<Event>) -> io::Result
                     }
                 }
             });
-            // Reader half.
+            // Reader half: route each request to its object's lane.
             let mut reader = stream;
             loop {
                 match read_message(&mut reader) {
                     Ok(msg) => {
-                        if events.send(Event::FromClient(c, msg)).is_err() {
+                        let lane = usize::from(router.map.lane_of(msg.object()));
+                        if router.senders[lane]
+                            .send(Event::FromClient(c, msg))
+                            .is_err()
+                        {
                             return Ok(());
                         }
                     }
                     Err(_) => {
-                        let _ = events.send(Event::ClientDown(c));
+                        for sender in &router.senders {
+                            let _ = sender.send(Event::ClientDown(c));
+                        }
                         return Ok(());
                     }
                 }
             }
         }
+    }
+}
+
+/// Pumps one inbound ring connection (one lane's FIFO stream from server
+/// `s`) into its lane's event loop until it dies, unpacking frame
+/// batches in order.
+fn ring_in_loop(mut reader: TcpStream, s: ServerId, events: &Sender<Event>) -> io::Result<()> {
+    loop {
+        match read_message(&mut reader) {
+            Ok(Message::Ring(frame)) => {
+                if events.send(Event::FromRing(frame)).is_err() {
+                    return Ok(());
+                }
+            }
+            Ok(Message::RingBatch(frames)) => {
+                for frame in frames {
+                    if events.send(Event::FromRing(frame)).is_err() {
+                        return Ok(());
+                    }
+                }
+            }
+            Ok(_) => {} // only ring traffic is expected here
+            Err(_) => {
+                let _ = events.send(Event::RingInDown(s));
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// The outbound ring writer's shared state: the frame queue plus a
+/// shutdown flag under one mutex, and the condvar the writer blocks on.
+/// Pushes and shutdown both signal it, so a linger never outlives the
+/// work it was waiting for (see [`ring_writer`]).
+struct RingShared {
+    queue: Mutex<RingQueue>,
+    ready: Condvar,
+}
+
+struct RingQueue {
+    frames: VecDeque<RingFrame>,
+    shutdown: bool,
+}
+
+impl RingShared {
+    fn lock(&self) -> std::sync::MutexGuard<'_, RingQueue> {
+        self.queue.lock().expect("ring queue poisoned")
     }
 }
 
@@ -280,76 +381,85 @@ fn handle_connection(mut stream: TcpStream, events: Sender<Event>) -> io::Result
 /// many frames it pushes via `TxDone` events, exactly like the
 /// simulator's TX-idle callback — just with a pipeline deeper than one.
 /// Keyed by peer in the event loop; connections to peers that stop being
-/// the successor are parked, not closed (see the event loop).
+/// the successor are parked, not closed (see the event loop). Dropping
+/// the handle flags shutdown: the writer flushes what is queued and
+/// exits without waiting out any linger.
 struct RingOut {
-    queue: Arc<Mutex<VecDeque<RingFrame>>>,
-    wake: Sender<()>,
+    shared: Arc<RingShared>,
 }
 
 impl RingOut {
     /// Queues frames for the writer and wakes it.
     fn push(&self, frames: Vec<RingFrame>) {
         {
-            let mut q = self.queue.lock().expect("ring queue poisoned");
-            q.extend(frames);
+            let mut q = self.shared.lock();
+            q.frames.extend(frames);
         }
-        let _ = self.wake.send(());
+        self.shared.ready.notify_all();
     }
 
     /// Frames queued but not yet claimed by the writer.
     fn queued(&self) -> usize {
-        self.queue.lock().expect("ring queue poisoned").len()
+        self.shared.lock().frames.len()
     }
 
     /// Takes every unclaimed frame (failure recovery: the writer is gone
     /// and the event loop owns re-routing them).
     fn take_queued(&self) -> Vec<RingFrame> {
-        let mut q = self.queue.lock().expect("ring queue poisoned");
-        q.drain(..).collect()
+        self.shared.lock().frames.drain(..).collect()
     }
 }
 
-/// Spawns the writer thread for the link to `to` and returns immediately:
-/// connecting (with its retry sleeps) happens **on the writer thread**,
-/// never on the event loop, so a slow-to-boot or dead peer cannot stall
-/// client traffic. Frames pushed while the connection is still being
-/// established simply wait in the queue. On any failure the thread exits
-/// after reporting [`Event::RingWriteFailed`] with the frames it
-/// swallowed; frames still in the shared queue stay recoverable there.
+impl Drop for RingOut {
+    fn drop(&mut self) {
+        self.shared.lock().shutdown = true;
+        self.shared.ready.notify_all();
+    }
+}
+
+/// Spawns the writer thread for lane `lane`'s link to `to` and returns
+/// immediately: connecting (with its retry sleeps) happens **on the
+/// writer thread**, never on the event loop, so a slow-to-boot or dead
+/// peer cannot stall client traffic. Frames pushed while the connection
+/// is still being established simply wait in the queue. On any failure
+/// the thread exits after reporting [`Event::RingWriteFailed`] with the
+/// frames it swallowed; frames still in the shared queue stay
+/// recoverable there.
 fn connect_ring_out(
     me: ServerId,
     to: ServerId,
+    lane: u16,
     addr: SocketAddr,
     events: Sender<Event>,
     attempts: u32,
     batching: BatchConfig,
 ) -> RingOut {
-    let queue = Arc::new(Mutex::new(VecDeque::new()));
-    let (wake_tx, wake_rx) = unbounded::<()>();
+    let shared = Arc::new(RingShared {
+        queue: Mutex::new(RingQueue {
+            frames: VecDeque::new(),
+            shutdown: false,
+        }),
+        ready: Condvar::new(),
+    });
     {
-        let queue = Arc::clone(&queue);
-        thread::spawn(move || {
-            ring_writer(me, to, addr, events, attempts, batching, queue, wake_rx)
-        });
+        let shared = Arc::clone(&shared);
+        thread::spawn(move || ring_writer(me, to, lane, addr, events, attempts, batching, shared));
     }
-    RingOut {
-        queue,
-        wake: wake_tx,
-    }
+    RingOut { shared }
 }
 
-/// Extends `batch` from the shared queue, tracking the running encoded
-/// size in `bytes` (callers carry it across the linger top-up so the
-/// soft `max_bytes` budget is per **batch**, not per drain call). The
-/// soft cap admits the frame that crosses it; the hard cap is the
-/// receiver's [`MAX_FRAME_BYTES`](crate::framing::MAX_FRAME_BYTES) —
+/// Extends `batch` from the queue, tracking the running encoded size in
+/// `bytes` (callers carry it across the linger top-up so the soft
+/// `max_bytes` budget is per **batch**, not per drain call). The soft
+/// cap admits the frame that crosses it; the hard cap is the receiver's
+/// [`MAX_FRAME_BYTES`](crate::framing::MAX_FRAME_BYTES) —
 /// individually-shippable frames must never coalesce into a wire
 /// message the other end will reject as oversized. The first frame is
 /// admitted unconditionally: even a zero byte budget must not wedge the
 /// link (and a single frame beyond the hard cap is unshippable batched
 /// or not).
 fn drain_batch(
-    queue: &Mutex<VecDeque<RingFrame>>,
+    q: &mut VecDeque<RingFrame>,
     max_frames: usize,
     max_bytes: usize,
     bytes: &mut usize,
@@ -357,7 +467,6 @@ fn drain_batch(
 ) {
     // Headroom for the batch discriminant + count and the length prefix.
     const HARD_CAP: usize = crate::framing::MAX_FRAME_BYTES - 16;
-    let mut q = queue.lock().expect("ring queue poisoned");
     while batch.len() < max_frames.max(1) && (batch.is_empty() || *bytes < max_bytes) {
         let Some(frame) = q.front() else { break };
         let frame_bytes = codec::frame_wire_size(frame);
@@ -373,17 +482,20 @@ fn drain_batch(
 /// The coalescing ring writer: connect (with retries), then repeatedly
 /// drain everything queued into **one** buffered write and one flush per
 /// batch. FIFO is trivially preserved — frames leave the queue and hit
-/// the wire in push order.
+/// the wire in push order. A partial batch lingers on the queue condvar
+/// (never a hard sleep): a push that fills the batch, or a shutdown,
+/// wakes it immediately, so a full batch always flushes at once and
+/// shutdown is prompt even with a long linger configured.
 #[allow(clippy::too_many_arguments)]
 fn ring_writer(
     me: ServerId,
     to: ServerId,
+    lane: u16,
     addr: SocketAddr,
     events: Sender<Event>,
     attempts: u32,
     batching: BatchConfig,
-    queue: Arc<Mutex<VecDeque<RingFrame>>>,
-    wake: Receiver<()>,
+    shared: Arc<RingShared>,
 ) {
     let fail = |swallowed: Vec<RingFrame>| {
         let _ = events.send(Event::RingWriteFailed(to, swallowed));
@@ -393,7 +505,14 @@ fn ring_writer(
         Err(_) => return fail(Vec::new()),
     };
     stream.set_nodelay(true).ok();
-    if stream.write_all(&Hello::Server(me).encode()).is_err() {
+    // Lane 0 keeps the legacy handshake (a single-lane cluster speaks
+    // the pre-lane wire protocol bit for bit); other lanes tag theirs.
+    let hello = if lane == 0 {
+        Hello::Server(me)
+    } else {
+        Hello::ServerLane(me, lane)
+    };
+    if stream.write_all(&hello.encode()).is_err() {
         return fail(Vec::new());
     }
     // The link is proven healthy the moment the connect + handshake
@@ -409,41 +528,64 @@ fn ring_writer(
     let linger = Duration::from_nanos(batching.linger.as_nanos());
     let mut scratch = BytesMut::new();
     loop {
-        if wake.recv().is_err() {
-            return; // server shut down
-        }
-        loop {
-            let mut batch = Vec::new();
-            let mut bytes = 0usize;
+        let mut batch = Vec::new();
+        let mut bytes = 0usize;
+        {
+            let mut q = shared.lock();
+            // Block until there is work (or a shutdown with an empty
+            // queue — queued frames still flush on the way out).
+            loop {
+                if !q.frames.is_empty() {
+                    break;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.ready.wait(q).expect("ring queue poisoned");
+            }
             drain_batch(
-                &queue,
+                &mut q.frames,
                 max_frames,
                 batching.max_bytes,
                 &mut bytes,
                 &mut batch,
             );
-            if batch.is_empty() {
-                break; // stale wake token; block again
+            if batch.len() < max_frames && bytes < batching.max_bytes && !linger.is_zero() {
+                // Give a near-simultaneous burst one chance to coalesce,
+                // waiting on the condvar — NOT a hard sleep — so a push
+                // that fills the batch flushes immediately and shutdown
+                // never waits out the linger. The byte budget carries
+                // over: the top-up cannot grow the batch past what one
+                // drain could.
+                let deadline = Instant::now() + linger;
+                while !q.shutdown {
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() {
+                        break;
+                    }
+                    let (guard, _) = shared
+                        .ready
+                        .wait_timeout(q, remaining)
+                        .expect("ring queue poisoned");
+                    q = guard;
+                    drain_batch(
+                        &mut q.frames,
+                        max_frames,
+                        batching.max_bytes,
+                        &mut bytes,
+                        &mut batch,
+                    );
+                    if batch.len() >= max_frames || bytes >= batching.max_bytes {
+                        break;
+                    }
+                }
             }
-            if batch.len() < max_frames && !linger.is_zero() {
-                // Give a near-simultaneous burst one chance to coalesce.
-                // The byte budget carries over: the top-up cannot grow
-                // the batch past what one drain could.
-                thread::sleep(linger);
-                drain_batch(
-                    &queue,
-                    max_frames,
-                    batching.max_bytes,
-                    &mut bytes,
-                    &mut batch,
-                );
-            }
-            if write_ring_frames(&mut stream, &batch, &mut scratch).is_err() {
-                return fail(batch);
-            }
-            if events.send(Event::TxDone(to, batch.len() as u32)).is_err() {
-                return;
-            }
+        } // release the queue lock before touching the socket
+        if write_ring_frames(&mut stream, &batch, &mut scratch).is_err() {
+            return fail(batch);
+        }
+        if events.send(Event::TxDone(to, batch.len() as u32)).is_err() {
+            return;
         }
     }
 }
@@ -478,19 +620,28 @@ fn wal_fsync_policy(durability: Durability) -> Option<FsyncPolicy> {
     }
 }
 
+/// Everything one lane's event loop needs to know about its place in the
+/// deployment.
+struct LaneConfig {
+    lane: u16,
+    id: ServerId,
+    addrs: Vec<SocketAddr>,
+    config: Config,
+}
+
 fn event_loop(
-    config: ServerConfig,
+    lc: LaneConfig,
     events: Receiver<Event>,
     events_tx: Sender<Event>,
     wal_state: Option<(Wal, Recovery)>,
 ) {
-    let n = config.addrs.len() as u16;
-    let batching = config.config.batching.normalized();
+    let n = lc.addrs.len() as u16;
+    let batching = lc.config.batching.normalized();
     // Frames the event loop may hand the active writer ahead of TxDone
     // acknowledgements: one batch on the wire, one batch queued behind
     // it. `max_frames = 1` degenerates to (pipelined) frame-at-a-time.
     let pipeline_cap = batching.max_frames.max(1) * 2;
-    let mut core = MultiObjectServer::new(config.id, n, config.config.clone());
+    let mut core = MultiObjectServer::new(lc.id, n, lc.config.clone());
     let mut wal = None;
     if let Some((w, recovery)) = wal_state {
         // Restart path: restore the registers the log proves committed,
@@ -538,9 +689,10 @@ fn event_loop(
             std::collections::hash_map::Entry::Vacant(slot) => {
                 // Non-blocking: the writer thread does the connecting.
                 slot.insert(connect_ring_out(
-                    config.id,
+                    lc.id,
                     next,
-                    config.addrs[next.index()],
+                    lc.lane,
+                    lc.addrs[next.index()],
                     events_tx.clone(),
                     40,
                     batching,
@@ -606,9 +758,9 @@ fn event_loop(
             .collect();
         if let Err(e) = wal.append_batch(&records) {
             eprintln!(
-                "hts-net server {}: wal append failed ({e}); stopping to avoid \
+                "hts-net server {} lane {}: wal append failed ({e}); stopping to avoid \
                  acknowledging non-durable writes",
-                config.id
+                lc.id, lc.lane
             );
             return false;
         }
@@ -620,7 +772,10 @@ fn event_loop(
                 .collect();
             if let Err(e) = wal.compact(&state) {
                 // Non-fatal: the uncompacted log remains recoverable.
-                eprintln!("hts-net server {}: wal compaction failed ({e})", config.id);
+                eprintln!(
+                    "hts-net server {} lane {}: wal compaction failed ({e})",
+                    lc.id, lc.lane
+                );
             }
         }
         true
@@ -698,9 +853,10 @@ fn event_loop(
                     // on the new writer's thread, so even an unreachable
                     // peer costs the event loop nothing.
                     let out = connect_ring_out(
-                        config.id,
+                        lc.id,
                         s,
-                        config.addrs[s.index()],
+                        lc.lane,
+                        lc.addrs[s.index()],
                         events_tx.clone(),
                         3,
                         batching,
@@ -734,5 +890,124 @@ fn event_loop(
         }
         flush(&clients, actions);
         pump(&mut core, &mut ring_outs, &mut active_out, &mut in_channel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hts_sim::Nanos;
+    use hts_types::{ObjectId, Tag, Value};
+
+    fn test_frame(ts: u64) -> RingFrame {
+        RingFrame::pre_write(ObjectId(1), Tag::new(ts, ServerId(0)), Value::from_u64(ts))
+    }
+
+    /// Accepts one ring connection on `listener` and forwards every
+    /// decoded wire message (with its arrival instant) into a channel.
+    fn accept_ring(listener: TcpListener) -> Receiver<(Instant, Message)> {
+        let (tx, rx) = unbounded();
+        thread::spawn(move || {
+            listener.set_nonblocking(false).ok();
+            let Ok((mut stream, _)) = listener.accept() else {
+                return;
+            };
+            let mut hello = [0u8; 5];
+            if stream.read_exact(&mut hello[..1]).is_err() {
+                return;
+            }
+            let rest = if hello[0] == 0x01 { 2 } else { 4 };
+            if stream.read_exact(&mut hello[1..1 + rest]).is_err() {
+                return;
+            }
+            while let Ok(msg) = read_message(&mut stream) {
+                if tx.send((Instant::now(), msg)).is_err() {
+                    return;
+                }
+            }
+        });
+        rx
+    }
+
+    fn lingering(linger: Duration, max_frames: usize) -> BatchConfig {
+        BatchConfig {
+            max_frames,
+            max_bytes: 1024 * 1024,
+            linger: Nanos(linger.as_nanos() as u64),
+        }
+    }
+
+    #[test]
+    fn filled_batch_flushes_immediately_mid_linger() {
+        // Regression test for the hard-sleep linger: with a 5 s linger a
+        // batch that FILLS mid-linger must still hit the wire at once —
+        // the writer waits on the queue condvar, not the clock.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let msgs = accept_ring(listener);
+        let (events_tx, _events_rx) = unbounded::<Event>();
+        let out = connect_ring_out(
+            ServerId(0),
+            ServerId(1),
+            0,
+            addr,
+            events_tx,
+            5,
+            lingering(Duration::from_secs(5), 2),
+        );
+        out.push(vec![test_frame(1)]);
+        thread::sleep(Duration::from_millis(50));
+        let pushed = Instant::now();
+        out.push(vec![test_frame(2)]);
+        let (arrived, msg) = msgs
+            .recv_timeout(Duration::from_secs(2))
+            .expect("filled batch stuck behind the linger sleep");
+        assert!(
+            arrived.duration_since(pushed) < Duration::from_secs(1),
+            "batch waited out the linger instead of flushing on fill"
+        );
+        match msg {
+            Message::RingBatch(frames) => assert_eq!(frames.len(), 2),
+            other => panic!("expected the filled 2-frame batch, got {other}"),
+        }
+    }
+
+    #[test]
+    fn shutdown_mid_linger_flushes_and_exits_promptly() {
+        // Dropping the handle mid-linger must flush the partial batch
+        // right away instead of sleeping out the remaining linger.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let msgs = accept_ring(listener);
+        let (events_tx, _events_rx) = unbounded::<Event>();
+        let out = connect_ring_out(
+            ServerId(0),
+            ServerId(1),
+            0,
+            addr,
+            events_tx,
+            5,
+            lingering(Duration::from_secs(5), 64),
+        );
+        out.push(vec![test_frame(1)]);
+        thread::sleep(Duration::from_millis(50));
+        let dropped = Instant::now();
+        drop(out);
+        let (arrived, msg) = msgs
+            .recv_timeout(Duration::from_secs(2))
+            .expect("shutdown waited out the linger");
+        assert!(
+            arrived.duration_since(dropped) < Duration::from_secs(1),
+            "shutdown flush delayed by the linger"
+        );
+        assert!(matches!(msg, Message::Ring(_)));
+    }
+
+    #[test]
+    fn lane_wal_dirs_nest_only_when_laned() {
+        let base = Path::new("/tmp/wal");
+        assert_eq!(lane_wal_dir(base, 0, 1), PathBuf::from("/tmp/wal"));
+        assert_eq!(lane_wal_dir(base, 0, 4), PathBuf::from("/tmp/wal/lane-0"));
+        assert_eq!(lane_wal_dir(base, 3, 4), PathBuf::from("/tmp/wal/lane-3"));
     }
 }

@@ -376,8 +376,14 @@ fn get_value(buf: &mut &[u8]) -> Result<Value, DecodeError> {
 /// that crate's handshake. Kept here so both ends agree on the encoding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Hello {
-    /// The peer is ring server `ServerId`.
+    /// The peer is ring server `ServerId` (lane 0 traffic; predates the
+    /// laned runtime and stays the encoding for lane 0 so a single-lane
+    /// deployment is byte-identical to the pre-lane wire protocol).
     Server(ServerId),
+    /// The peer is ring server `ServerId` and this connection carries
+    /// lane `lane`'s ring stream (parallel ring lanes; lane ≥ 1 — lane 0
+    /// uses [`Hello::Server`]).
+    ServerLane(ServerId, u16),
     /// The peer is client `ClientId`.
     Client(ClientId),
 }
@@ -394,6 +400,12 @@ impl Hello {
             Hello::Client(c) => {
                 let mut v = vec![0x02];
                 v.extend_from_slice(&c.0.to_be_bytes());
+                v
+            }
+            Hello::ServerLane(s, lane) => {
+                let mut v = vec![0x03];
+                v.extend_from_slice(&s.0.to_be_bytes());
+                v.extend_from_slice(&lane.to_be_bytes());
                 v
             }
         }
@@ -414,6 +426,11 @@ impl Hello {
             0x02 => {
                 need(b, 4)?;
                 Ok(Hello::Client(ClientId(b.get_u32())))
+            }
+            0x03 => {
+                need(b, 4)?;
+                let server = ServerId(b.get_u16());
+                Ok(Hello::ServerLane(server, b.get_u16()))
             }
             other => Err(DecodeError::UnknownDiscriminant(other)),
         }
@@ -628,11 +645,28 @@ mod tests {
 
     #[test]
     fn hello_roundtrip() {
-        for hello in [Hello::Server(ServerId(3)), Hello::Client(ClientId(900))] {
+        for hello in [
+            Hello::Server(ServerId(3)),
+            Hello::Client(ClientId(900)),
+            Hello::ServerLane(ServerId(2), 3),
+            Hello::ServerLane(ServerId(0), u16::MAX),
+        ] {
             let bytes = hello.encode();
             assert_eq!(Hello::decode(&bytes).unwrap(), hello);
         }
         assert!(Hello::decode(&[0x09]).is_err());
         assert!(Hello::decode(&[0x01, 0x00]).is_err());
+        assert!(Hello::decode(&[0x03, 0x00, 0x01]).is_err());
+    }
+
+    #[test]
+    fn lane_zero_hello_is_the_legacy_server_encoding() {
+        // A single-lane deployment must stay byte-identical to the
+        // pre-lane wire protocol: lane 0 travels as Hello::Server.
+        assert_eq!(Hello::Server(ServerId(4)).encode(), vec![0x01, 0x00, 0x04]);
+        assert_eq!(
+            Hello::ServerLane(ServerId(4), 1).encode(),
+            vec![0x03, 0x00, 0x04, 0x00, 0x01]
+        );
     }
 }
