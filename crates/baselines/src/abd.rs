@@ -430,6 +430,7 @@ mod tests {
                 op_limit: Some(ops),
                 start_delay: Nanos::ZERO,
                 timeout: Nanos::from_millis(500),
+                window: 1,
             };
             let (client, stats) =
                 AbdClient::new(ClientId(c), n, workload, net, Some(Rc::clone(&history)));
@@ -481,6 +482,7 @@ mod tests {
             op_limit: Some(10),
             start_delay: Nanos::ZERO,
             timeout: Nanos::from_millis(500),
+            window: 1,
         };
         let (client, stats) = AbdClient::new(ClientId(0), 3, workload, net, None);
         let cid = NodeId::Client(ClientId(0));

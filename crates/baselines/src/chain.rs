@@ -287,6 +287,7 @@ mod tests {
                 op_limit: Some(ops),
                 start_delay: Nanos::ZERO,
                 timeout: Nanos::from_millis(500),
+                window: 1,
             };
             let (client, s) = ChainClient::new(
                 ClientId(c),

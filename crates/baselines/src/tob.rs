@@ -350,6 +350,7 @@ mod tests {
                 op_limit: Some(ops),
                 start_delay: Nanos::ZERO,
                 timeout: Nanos::from_millis(500),
+                window: 1,
             };
             let (client, s) = TobClient::new(
                 ClientId(c),

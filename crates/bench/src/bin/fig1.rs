@@ -7,10 +7,11 @@
 //! Also emits `BENCH_fig1.json`: the round-model numbers, a packet-model
 //! baseline of the real ring protocol (read/write payload throughput and
 //! p50/p99 latencies), a **batching ablation** (ring batch cap 1 vs 8
-//! vs 64 on a saturated small-value write workload) and a **lane
-//! ablation** (1 vs 2 vs 4 parallel ring lanes on the saturated
-//! multi-object write workload) so the performance trajectory of future
-//! changes can be diffed mechanically.
+//! vs 64 on a saturated small-value write workload), a **lane ablation**
+//! (1 vs 2 vs 4 parallel ring lanes on the saturated multi-object write
+//! workload) and a **pipelining ablation** (client session window 1 vs 8
+//! vs 64 at a fixed small client count) so the performance trajectory of
+//! future changes can be diffed mechanically.
 //!
 //! Pass `--smoke` for a seconds-long CI run: identical report shape,
 //! tiny measurement windows.
@@ -183,6 +184,59 @@ fn main() {
         lanes4.write_mbps / lanes1.write_mbps
     );
 
+    // Pipelining ablation: the same saturated small-value write pressure,
+    // but produced by a FIXED, small client count (one writer per server
+    // — one thread each, in a real deployment) whose session window is
+    // the only knob. At window 1 this is the closed-loop thread-bound
+    // regime; wider windows multiplex more in-flight operations per
+    // connection, so measured throughput becomes protocol-bound instead
+    // of thread-count-bound.
+    let pipeline_writers = 1u32;
+    println!();
+    println!(
+        "## Pipelining ablation (ring, n=4, {pipeline_writers} writer/server, \
+         {ablation_value_size} B values, window 1/8/64)"
+    );
+    println!();
+    println!("| session window | writes completed | write Mbit/s | p50 ms | p99 ms |");
+    println!("|---|---|---|---|---|");
+    let mut pipeline_ablation = Vec::new();
+    for window in [1usize, 8, 64] {
+        let win_params = Params {
+            n: 4,
+            readers_per_server: 0,
+            writers_per_server: pipeline_writers,
+            value_size: ablation_value_size,
+            warmup,
+            measure,
+            client_window: window,
+            ..Params::default()
+        };
+        let (wm, _, mut win_write_lat) = run_ring_detailed(&win_params);
+        println!(
+            "| {window} | {} | {:.2} | {:.2} | {:.2} |",
+            wm.writes,
+            wm.write_mbps,
+            hts_bench::percentile_ms(&mut win_write_lat, 50.0),
+            hts_bench::percentile_ms(&mut win_write_lat, 99.0),
+        );
+        pipeline_ablation.push(AblationRow {
+            max_frames: window, // reused row shape: the knob value
+            writes: wm.writes,
+            write_mbps: wm.write_mbps,
+            latency_json: latency_object(&mut win_write_lat),
+        });
+    }
+    let window1 = pipeline_ablation.first().expect("window-1 row");
+    let window8 = &pipeline_ablation[1];
+    let window64 = pipeline_ablation.last().expect("window-64 row");
+    println!();
+    println!(
+        "pipelining speedup at equal thread count: {:.2}x (window 8 vs 1), {:.2}x (window 64 vs 1)",
+        window8.write_mbps / window1.write_mbps,
+        window64.write_mbps / window1.write_mbps
+    );
+
     let ablation_rows: Vec<String> = ablation
         .iter()
         .map(|row| {
@@ -200,6 +254,18 @@ fn main() {
         .map(|row| {
             format!(
                 r#"    {{"lanes": {}, "writes_completed": {}, "write_throughput_mbps": {}, "write_latency": {}}}"#,
+                row.max_frames,
+                row.writes,
+                json_f64(row.write_mbps),
+                row.latency_json,
+            )
+        })
+        .collect();
+    let pipeline_rows: Vec<String> = pipeline_ablation
+        .iter()
+        .map(|row| {
+            format!(
+                r#"    {{"window": {}, "writes_completed": {}, "write_throughput_mbps": {}, "write_latency": {}}}"#,
                 row.max_frames,
                 row.writes,
                 json_f64(row.write_mbps),
@@ -248,6 +314,15 @@ fn main() {
     "rows": [
 {}
     ]
+  }},
+  "pipelining_ablation": {{
+    "n": 4,
+    "value_size_bytes": {},
+    "writers_per_server": {},
+    "measure_seconds": {},
+    "rows": [
+{}
+    ]
   }}
 }}
 "#,
@@ -275,6 +350,10 @@ fn main() {
         ablation_writers,
         json_f64(measure.as_secs_f64()),
         lane_rows.join(",\n"),
+        ablation_value_size,
+        pipeline_writers,
+        json_f64(measure.as_secs_f64()),
+        pipeline_rows.join(",\n"),
     );
     match write_report("fig1", &body) {
         Ok(path) => println!("wrote {}", path.display()),
@@ -291,5 +370,12 @@ fn main() {
         "lane-scaling regression: 4 lanes ({:.2} Mbit/s) must beat 1 lane ({:.2} Mbit/s)",
         lanes4.write_mbps,
         lanes1.write_mbps
+    );
+    assert!(
+        smoke || window8.write_mbps > window1.write_mbps,
+        "pipelining regression: window 8 ({:.2} Mbit/s) must beat window 1 ({:.2} Mbit/s) at \
+         equal thread count",
+        window8.write_mbps,
+        window1.write_mbps
     );
 }

@@ -73,6 +73,7 @@ fn build(n: u16, seed: u64, config: Config, disk: Option<DiskConfig>) -> Cluster
             op_limit: None,
             start_delay: Nanos::ZERO,
             timeout: Nanos::from_millis(120),
+            window: 1,
         };
         let (client, s) = SimClient::new(
             id,
@@ -249,6 +250,7 @@ fn crash_restart() -> Timeline {
         op_limit: Some(1),
         start_delay: probe_start,
         timeout: Nanos::from_secs(30),
+        window: 1,
     };
     let client_net = cluster.client_net;
     let (probe, probe_stats) = SimClient::new(

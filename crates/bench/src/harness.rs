@@ -61,6 +61,12 @@ pub struct Params {
     /// that spreads load across parallel ring lanes
     /// ([`Config::lanes`](hts_core::Config)). Ring only.
     pub distinct_objects: bool,
+    /// Pipeline window per workload client (default 1 = the paper's
+    /// closed-loop clients). Larger windows multiplex that many
+    /// concurrent operations over each client's channel — open-loop load
+    /// without adding clients (threads, in a real deployment). Ring only;
+    /// the preloader always runs at window 1.
+    pub client_window: usize,
     /// Protocol options (ring only). `config.lanes > 1` gives every
     /// server that many independent ring NICs (the simulated analogue of
     /// the TCP runtime's per-lane connections); requires a dual-network
@@ -80,6 +86,7 @@ impl Default for Params {
             measure: Nanos::from_secs(2),
             seed: 7,
             distinct_objects: false,
+            client_window: 1,
             config: Config::default(),
         }
     }
@@ -191,6 +198,7 @@ fn reader_workload(p: &Params) -> WorkloadConfig {
         op_limit: None,
         start_delay: Nanos::ZERO,
         timeout: Nanos::from_secs(30),
+        window: p.client_window.max(1),
     }
 }
 
@@ -201,6 +209,7 @@ fn writer_workload(p: &Params) -> WorkloadConfig {
         op_limit: None,
         start_delay: Nanos::ZERO,
         timeout: Nanos::from_secs(30),
+        window: p.client_window.max(1),
     }
 }
 
@@ -213,6 +222,7 @@ fn preload_workload(p: &Params) -> WorkloadConfig {
         op_limit: Some(1),
         start_delay: Nanos::ZERO,
         timeout: Nanos::from_secs(30),
+        window: 1,
     }
 }
 

@@ -1,4 +1,4 @@
-//! The client state machine.
+//! The sequential client state machine.
 //!
 //! Clients are oblivious to the ring: they send each request to one server
 //! and wait (paper lines 1–10). If the reply times out — the contacted
@@ -6,30 +6,21 @@
 //! the *same request id* to the next server (paper §3: "when their request
 //! times out, they simply re-send it to another server"). Transports own
 //! the actual timers; this core just decides what to send next.
+//!
+//! Since the pipelined-session refactor, [`ClientCore`] is a thin
+//! window-of-1 wrapper over [`SessionCore`]: the paper's sequential
+//! client is exactly a session that admits one in-flight operation.
 
 use hts_types::{ClientId, Message, ObjectId, RequestId, ServerId, Value};
 
-/// A finished operation, reported by [`ClientCore::on_reply`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Completion {
-    /// The request that finished.
-    pub request: RequestId,
-    /// `None` for writes; the value read for reads.
-    pub value: Option<Value>,
-}
-
-#[derive(Debug, Clone)]
-struct Inflight {
-    request: RequestId,
-    /// Message to (re-)send.
-    message: Message,
-    server: ServerId,
-    attempts: u32,
-}
+pub use crate::session::Completion;
+use crate::session::SessionCore;
 
 /// One client's request/retry logic. At most one operation is in flight at
 /// a time (the paper's clients are sequential; harnesses emulate load by
 /// running many `ClientCore`s, exactly like the paper's client machines).
+/// For many concurrent operations over one channel, use the underlying
+/// [`SessionCore`] with a larger window.
 ///
 /// # Examples
 ///
@@ -46,13 +37,7 @@ struct Inflight {
 /// ```
 #[derive(Debug, Clone)]
 pub struct ClientCore {
-    id: ClientId,
-    object: ObjectId,
-    n: u16,
-    alive: Vec<bool>,
-    preferred: ServerId,
-    next_request: u64,
-    inflight: Option<Inflight>,
+    session: SessionCore,
 }
 
 impl ClientCore {
@@ -63,32 +48,30 @@ impl ClientCore {
     ///
     /// Panics if `preferred` is outside `0..n` or `n` is zero.
     pub fn new(id: ClientId, object: ObjectId, n: u16, preferred: ServerId) -> Self {
-        assert!(n > 0, "a ring needs at least one server");
-        assert!(preferred.0 < n, "preferred server outside ring");
         ClientCore {
-            id,
-            object,
-            n,
-            alive: vec![true; usize::from(n)],
-            preferred,
-            next_request: 0,
-            inflight: None,
+            session: SessionCore::new(id, object, n, preferred, 1),
         }
     }
 
     /// This client's id.
     pub fn id(&self) -> ClientId {
-        self.id
+        self.session.id()
     }
 
     /// Whether an operation is currently in flight.
     pub fn is_busy(&self) -> bool {
-        self.inflight.is_some()
+        self.session.in_flight() > 0
     }
 
     /// The server the in-flight request was last sent to.
     pub fn current_server(&self) -> Option<ServerId> {
-        self.inflight.as_ref().map(|i| i.server)
+        let request = self.session.inflight_requests().next()?;
+        self.session.server_of(request)
+    }
+
+    /// The current alive-map (see [`SessionCore::believed_alive`]).
+    pub fn believed_alive(&self) -> &[bool] {
+        self.session.believed_alive()
     }
 
     /// Starts a write of the default object; returns
@@ -98,7 +81,7 @@ impl ClientCore {
     ///
     /// Panics if an operation is already in flight.
     pub fn begin_write(&mut self, value: Value) -> (RequestId, ServerId, Message) {
-        self.begin_write_to(self.object, value)
+        self.begin_write_to(self.session.object(), value)
     }
 
     /// Starts a write of an explicit object (multi-register deployments).
@@ -111,13 +94,8 @@ impl ClientCore {
         object: ObjectId,
         value: Value,
     ) -> (RequestId, ServerId, Message) {
-        let request = self.fresh_request();
-        let message = Message::WriteReq {
-            object,
-            request,
-            value,
-        };
-        self.launch(request, message)
+        self.assert_idle();
+        self.session.begin_write_to(object, value)
     }
 
     /// Starts a read of the default object; returns
@@ -127,7 +105,7 @@ impl ClientCore {
     ///
     /// Panics if an operation is already in flight.
     pub fn begin_read(&mut self) -> (RequestId, ServerId, Message) {
-        self.begin_read_from(self.object)
+        self.begin_read_from(self.session.object())
     }
 
     /// Starts a read of an explicit object (multi-register deployments).
@@ -136,99 +114,46 @@ impl ClientCore {
     ///
     /// Panics if an operation is already in flight.
     pub fn begin_read_from(&mut self, object: ObjectId) -> (RequestId, ServerId, Message) {
-        let request = self.fresh_request();
-        let message = Message::ReadReq { object, request };
-        self.launch(request, message)
+        self.assert_idle();
+        self.session.begin_read_from(object)
     }
 
     /// Feeds a server reply; returns the completion if it answers the
     /// in-flight request (stale or duplicate replies return `None`).
     pub fn on_reply(&mut self, reply: &Message) -> Option<Completion> {
-        let (request, value) = match reply {
-            Message::WriteAck { request, .. } => (*request, None),
-            Message::ReadAck { request, value, .. } => (*request, Some(value.clone())),
-            _ => return None,
-        };
-        match &self.inflight {
-            Some(inflight) if inflight.request == request => {
-                self.inflight = None;
-                Some(Completion { request, value })
-            }
-            _ => None,
-        }
+        self.session.on_reply(reply)
     }
 
     /// The transport's reply timer fired for `request`: re-issue it to the
     /// next server believed alive. Returns `None` if the request already
     /// completed (stale timer) — or panics never.
     pub fn on_timeout(&mut self, request: RequestId) -> Option<(ServerId, Message)> {
-        let inflight = self.inflight.as_mut()?;
-        if inflight.request != request {
-            return None;
-        }
-        // The silent server is suspect: deprioritize it for future ops.
-        let from = inflight.server;
-        inflight.attempts += 1;
-        let next = self.next_server_after(from);
-        let inflight = self.inflight.as_mut().expect("checked above");
-        inflight.server = next;
-        Some((next, inflight.message.clone()))
+        self.session.on_timeout(request)
     }
 
     /// The failure detector (or connection teardown) reported `s` crashed:
     /// skip it in future retries. If the in-flight request targets `s`,
     /// returns the immediate re-send.
     pub fn on_server_down(&mut self, s: ServerId) -> Option<(ServerId, Message)> {
-        if let Some(a) = self.alive.get_mut(s.index()) {
-            *a = false;
-        }
-        match &self.inflight {
-            Some(inflight) if inflight.server == s => {
-                let request = inflight.request;
-                self.on_timeout(request)
-            }
-            _ => None,
-        }
+        self.session
+            .on_server_down(s)
+            .into_iter()
+            .next()
+            .map(|(_, server, message)| (server, message))
     }
 
-    fn fresh_request(&mut self) -> RequestId {
-        self.next_request += 1;
-        // Request ids are unique per client; transports key replies on
-        // (client, request).
-        RequestId(self.next_request)
+    /// The transport observed `s` healthy again (successful reconnect):
+    /// clear the suspicion so routing may prefer it again.
+    pub fn on_server_up(&mut self, s: ServerId) {
+        self.session.on_server_up(s);
     }
 
-    fn launch(&mut self, request: RequestId, message: Message) -> (RequestId, ServerId, Message) {
+    fn assert_idle(&self) {
         assert!(
-            self.inflight.is_none(),
+            !self.is_busy(),
             "{}: operation already in flight",
-            self.id
+            self.session.id()
         );
-        let server = if self.alive[self.preferred.index()] {
-            self.preferred
-        } else {
-            self.next_server_after(self.preferred)
-        };
-        self.inflight = Some(Inflight {
-            request,
-            message: message.clone(),
-            server,
-            attempts: 0,
-        });
-        (request, server, message)
-    }
-
-    fn next_server_after(&self, s: ServerId) -> ServerId {
-        let n = usize::from(self.n);
-        for step in 1..=n {
-            let idx = (s.index() + step) % n;
-            if self.alive[idx] {
-                return ServerId(idx as u16);
-            }
-        }
-        // Everyone suspected: fall back to round-robin anyway (the paper
-        // assumes at least one correct server, so suspicion must be wrong).
-        ServerId(((s.index() + 1) % n) as u16)
     }
 }
 
@@ -328,16 +253,31 @@ mod tests {
         let (retry, _) = c.on_server_down(ServerId(1)).unwrap();
         assert_eq!(retry, ServerId(2));
         // Complete, then a fresh op avoids the dead preferred server.
-        let req = c.current_server();
-        assert_eq!(req, Some(ServerId(2)));
-        let inflight = c.inflight.clone().unwrap();
+        assert_eq!(c.current_server(), Some(ServerId(2)));
+        let request = c.session.inflight_requests().next().unwrap();
         c.on_reply(&Message::ReadAck {
             object: ObjectId::SINGLE,
-            request: inflight.request,
+            request,
             value: Value::bottom(),
         });
         let (_, server, _) = c.begin_read();
         assert_eq!(server, ServerId(2));
+    }
+
+    #[test]
+    fn server_up_restores_the_preferred_server() {
+        let mut c = client();
+        assert!(c.on_server_down(ServerId(1)).is_none());
+        let (request, server, _) = c.begin_read();
+        assert_eq!(server, ServerId(2), "dead preferred avoided");
+        c.on_reply(&Message::ReadAck {
+            object: ObjectId::SINGLE,
+            request,
+            value: Value::bottom(),
+        });
+        c.on_server_up(ServerId(1));
+        let (_, server, _) = c.begin_read();
+        assert_eq!(server, ServerId(1), "recovered preferred used again");
     }
 
     #[test]

@@ -28,6 +28,10 @@
 //!
 //! * [`ServerCore`] / [`ClientCore`] — the protocol state machines
 //!   (sans-io: feed events, collect [`Action`]s / messages).
+//! * [`SessionCore`] — the pipelined client session: a **window** of
+//!   concurrent in-flight operations over one channel, with per-request
+//!   retry state and out-of-order completions ([`ClientCore`] is its
+//!   window-of-1 wrapper).
 //! * [`MultiObjectServer`] — many registers multiplexed over one ring.
 //! * [`SimServer`] / [`SimClient`] — adapters for the `hts-sim` packet
 //!   simulator (used by every benchmark).
@@ -86,6 +90,7 @@ mod pending;
 mod ring;
 mod round_adapter;
 mod server;
+mod session;
 mod sim_adapter;
 
 pub use client::{ClientCore, Completion};
@@ -97,4 +102,5 @@ pub use pending::PendingSet;
 pub use ring::RingView;
 pub use round_adapter::{RoundClient, RoundClientStats, RoundServer};
 pub use server::{Action, ServerCore, ServerStats};
+pub use session::{SessionCore, REPROBE_PERIOD};
 pub use sim_adapter::{unique_value, ClientStats, OpMix, SimClient, SimServer, WorkloadConfig};

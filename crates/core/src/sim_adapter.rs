@@ -6,14 +6,16 @@
 //! [`MultiObjectServer::next_frame`] whenever the ring NIC reports idle,
 //! which is exactly where the paper's fairness rule takes effect.
 //!
-//! [`SimClient`] is a closed-loop workload client: it keeps one operation
-//! in flight (like the paper's client processes), records every operation
-//! into a shared [`History`] for linearizability checking, accumulates
-//! latency/throughput counters, and re-issues timed-out requests to the
-//! next server.
+//! [`SimClient`] is a workload client over a [`SessionCore`] pipeline: at
+//! the default window of 1 it is closed-loop (like the paper's client
+//! processes); larger [`WorkloadConfig::window`]s keep that many
+//! operations in flight concurrently over the one simulated channel. It
+//! records every operation into a shared [`History`] for linearizability
+//! checking, accumulates latency/throughput counters, and re-issues each
+//! timed-out request to the next server independently.
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::rc::Rc;
 
 use hts_lincheck::{History, OpId};
@@ -21,7 +23,7 @@ use hts_sim::packet::{Ctx, NetworkId, Process, TimerId};
 use hts_sim::{DiskConfig, DiskModel, Nanos};
 use hts_types::{ClientId, Message, NodeId, ObjectId, RequestId, ServerId, Tag, Value};
 
-use crate::{Action, ClientCore, Config, Durability, LaneMap, MultiObjectServer};
+use crate::{Action, Config, Durability, LaneMap, MultiObjectServer, SessionCore};
 
 /// On-log framing overhead per record (frame header + fixed fields),
 /// mirroring `hts-wal`'s record layout for byte-accurate disk modeling.
@@ -555,6 +557,12 @@ pub struct WorkloadConfig {
     pub start_delay: Nanos,
     /// Reply timeout before re-issuing to the next server.
     pub timeout: Nanos,
+    /// Pipeline window: how many operations this client keeps in flight
+    /// concurrently (default 1 — the paper's closed-loop client). Larger
+    /// windows model open-loop load honestly: one client multiplexes
+    /// `window` outstanding requests over its channel, each with its own
+    /// retry/timeout state (see [`SessionCore`](crate::SessionCore)).
+    pub window: usize,
 }
 
 impl Default for WorkloadConfig {
@@ -565,6 +573,7 @@ impl Default for WorkloadConfig {
             op_limit: None,
             start_delay: Nanos::ZERO,
             timeout: Nanos::from_millis(250),
+            window: 1,
         }
     }
 }
@@ -620,23 +629,27 @@ pub fn unique_value(client: ClientId, seq: u64, size: usize) -> Value {
     Value::from(bytes)
 }
 
-enum ArmedTimer {
-    None,
-    Kick(TimerId),
-    Timeout(TimerId, RequestId),
+/// Book-keeping for one in-flight operation of a [`SimClient`].
+struct PendingOp {
+    op_id: Option<OpId>,
+    issued_at: Nanos,
+    is_read: bool,
+    timer: TimerId,
 }
 
-/// A closed-loop simulated client. See the [module docs](self).
+/// A simulated workload client: closed-loop at `window = 1` (the paper's
+/// client processes), an open-loop pipeline of `window` concurrent
+/// operations otherwise. See the [module docs](self).
 pub struct SimClient {
-    core: ClientCore,
+    core: SessionCore,
     workload: WorkloadConfig,
     client_net: NetworkId,
     stats: Rc<RefCell<ClientStats>>,
     history: Option<Rc<RefCell<History>>>,
-    current_op: Option<(RequestId, Option<OpId>, Nanos, bool)>, // (req, op, issued, is_read)
-    timer: ArmedTimer,
+    pending: HashMap<RequestId, PendingOp>,
+    kick: Option<TimerId>,
     value_seq: u64,
-    done: bool,
+    issued: u64,
 }
 
 impl SimClient {
@@ -676,63 +689,69 @@ impl SimClient {
         history: Option<Rc<RefCell<History>>>,
     ) -> (Self, Rc<RefCell<ClientStats>>) {
         let stats = Rc::new(RefCell::new(ClientStats::default()));
+        let window = workload.window.max(1);
         (
             SimClient {
-                core: ClientCore::new(id, object, n, preferred),
+                core: SessionCore::new(id, object, n, preferred, window),
                 workload,
                 client_net,
                 stats: Rc::clone(&stats),
                 history,
-                current_op: None,
-                timer: ArmedTimer::None,
+                pending: HashMap::new(),
+                kick: None,
                 value_seq: 0,
-                done: false,
+                issued: 0,
             },
             stats,
         )
     }
 
-    fn completed_total(&self) -> u64 {
-        let s = self.stats.borrow();
-        s.writes_done + s.reads_done
-    }
-
+    /// Fills the pipeline: issues operations until the window is full or
+    /// the op limit is reached (each issued op completes eventually — the
+    /// retry rule re-sends under the same request id — so bounding
+    /// *issues* bounds completions identically).
     fn issue_next(&mut self, ctx: &mut Ctx<'_, Message>) {
-        if self.done || self.core.is_busy() {
-            return;
-        }
-        if let Some(limit) = self.workload.op_limit {
-            if self.completed_total() >= limit {
-                self.done = true;
-                return;
+        while self.core.has_capacity() {
+            if let Some(limit) = self.workload.op_limit {
+                if self.issued >= limit {
+                    return;
+                }
             }
+            let read = match self.workload.mix {
+                OpMix::ReadOnly => true,
+                OpMix::WriteOnly => false,
+                OpMix::Mixed { read_percent } => ctx.rand_below(100) < u64::from(read_percent),
+            };
+            let now = ctx.now();
+            let (request, server, message, op_id) = if read {
+                let op_id = self
+                    .history
+                    .as_ref()
+                    .map(|h| h.borrow_mut().invoke_read(self.core.id(), now.as_nanos()));
+                let (request, server, message) = self.core.begin_read();
+                (request, server, message, op_id)
+            } else {
+                self.value_seq += 1;
+                let value = unique_value(self.core.id(), self.value_seq, self.workload.value_size);
+                let op_id = self.history.as_ref().map(|h| {
+                    h.borrow_mut()
+                        .invoke_write(self.core.id(), value.clone(), now.as_nanos())
+                });
+                let (request, server, message) = self.core.begin_write(value);
+                (request, server, message, op_id)
+            };
+            self.issued += 1;
+            ctx.send(self.client_net, NodeId::Server(server), message);
+            self.pending.insert(
+                request,
+                PendingOp {
+                    op_id,
+                    issued_at: now,
+                    is_read: read,
+                    timer: ctx.set_timer(self.workload.timeout),
+                },
+            );
         }
-        let read = match self.workload.mix {
-            OpMix::ReadOnly => true,
-            OpMix::WriteOnly => false,
-            OpMix::Mixed { read_percent } => ctx.rand_below(100) < u64::from(read_percent),
-        };
-        let now = ctx.now();
-        let (request, server, message, op_id) = if read {
-            let (request, server, message) = self.core.begin_read();
-            let op_id = self
-                .history
-                .as_ref()
-                .map(|h| h.borrow_mut().invoke_read(self.core.id(), now.as_nanos()));
-            (request, server, message, op_id)
-        } else {
-            self.value_seq += 1;
-            let value = unique_value(self.core.id(), self.value_seq, self.workload.value_size);
-            let op_id = self.history.as_ref().map(|h| {
-                h.borrow_mut()
-                    .invoke_write(self.core.id(), value.clone(), now.as_nanos())
-            });
-            let (request, server, message) = self.core.begin_write(value);
-            (request, server, message, op_id)
-        };
-        self.current_op = Some((request, op_id, now, read));
-        ctx.send(self.client_net, NodeId::Server(server), message);
-        self.timer = ArmedTimer::Timeout(ctx.set_timer(self.workload.timeout), request);
     }
 }
 
@@ -741,26 +760,24 @@ impl Process<Message> for SimClient {
         if self.workload.start_delay == Nanos::ZERO {
             self.issue_next(ctx);
         } else {
-            self.timer = ArmedTimer::Kick(ctx.set_timer(self.workload.start_delay));
+            self.kick = Some(ctx.set_timer(self.workload.start_delay));
         }
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, Message>, _from: NodeId, msg: Message) {
         let Some(completion) = self.core.on_reply(&msg) else {
-            return;
+            return; // stale or duplicate reply
         };
-        let (request, op_id, issued, is_read) =
-            self.current_op.take().expect("completion without op");
-        debug_assert_eq!(request, completion.request);
-        if let ArmedTimer::Timeout(t, _) = self.timer {
-            ctx.cancel_timer(t);
-        }
-        self.timer = ArmedTimer::None;
+        let op = self
+            .pending
+            .remove(&completion.request)
+            .expect("completion without op");
+        ctx.cancel_timer(op.timer);
         let now = ctx.now();
-        let latency = now.saturating_sub(issued);
+        let latency = now.saturating_sub(op.issued_at);
         {
             let mut stats = self.stats.borrow_mut();
-            if is_read {
+            if op.is_read {
                 let value = completion.value.as_ref().expect("read returns a value");
                 stats.reads_done += 1;
                 stats.read_payload_bytes += value.len() as u64;
@@ -773,46 +790,52 @@ impl Process<Message> for SimClient {
                 stats.write_latencies.push(latency.as_nanos());
             }
         }
-        if let (Some(h), Some(op)) = (&self.history, op_id) {
+        if let (Some(h), Some(op_id)) = (&self.history, op.op_id) {
             let mut h = h.borrow_mut();
             match completion.value {
-                Some(value) => h.complete_read(op, value, now.as_nanos()),
-                None => h.complete_write(op, now.as_nanos()),
+                Some(value) => h.complete_read(op_id, value, now.as_nanos()),
+                None => h.complete_write(op_id, now.as_nanos()),
             }
         }
         self.issue_next(ctx);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Message>, timer: TimerId) {
-        match self.timer {
-            ArmedTimer::Kick(t) if t == timer => {
-                self.timer = ArmedTimer::None;
-                self.issue_next(ctx);
-            }
-            ArmedTimer::Timeout(t, request) if t == timer => {
-                if let Some((server, message)) = self.core.on_timeout(request) {
-                    self.stats.borrow_mut().retries += 1;
-                    ctx.send(self.client_net, NodeId::Server(server), message);
-                    self.timer = ArmedTimer::Timeout(ctx.set_timer(self.workload.timeout), request);
-                } else {
-                    self.timer = ArmedTimer::None;
-                }
-            }
-            _ => {} // stale timer
+        if self.kick == Some(timer) {
+            self.kick = None;
+            self.issue_next(ctx);
+            return;
+        }
+        // Per-request timers: only the request whose timer fired retries;
+        // the rest of the window is untouched.
+        let Some(request) = self
+            .pending
+            .iter()
+            .find(|(_, op)| op.timer == timer)
+            .map(|(r, _)| *r)
+        else {
+            return; // stale timer
+        };
+        if let Some((server, message)) = self.core.on_timeout(request) {
+            self.stats.borrow_mut().retries += 1;
+            ctx.send(self.client_net, NodeId::Server(server), message);
+            let op = self.pending.get_mut(&request).expect("found above");
+            op.timer = ctx.set_timer(self.workload.timeout);
+        } else {
+            self.pending.remove(&request);
         }
     }
 
     fn on_crashed(&mut self, ctx: &mut Ctx<'_, Message>, node: NodeId) {
         if let Some(s) = node.as_server() {
-            if let Some((server, message)) = self.core.on_server_down(s) {
+            // Every in-flight request stranded on the crashed server is
+            // re-sent immediately, each under its own fresh timer.
+            for (request, server, message) in self.core.on_server_down(s) {
                 self.stats.borrow_mut().retries += 1;
                 ctx.send(self.client_net, NodeId::Server(server), message);
-                if let ArmedTimer::Timeout(t, request) = self.timer {
-                    ctx.cancel_timer(t);
-                    let _ = request;
-                }
-                if let Some((request, _, _, _)) = self.current_op {
-                    self.timer = ArmedTimer::Timeout(ctx.set_timer(self.workload.timeout), request);
+                if let Some(op) = self.pending.get_mut(&request) {
+                    ctx.cancel_timer(op.timer);
+                    op.timer = ctx.set_timer(self.workload.timeout);
                 }
             }
         }

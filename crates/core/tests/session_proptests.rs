@@ -1,0 +1,210 @@
+//! Property tests for the pipelined [`SessionCore`]: across an arbitrary
+//! in-flight window and an adversarial delivery schedule — replies out of
+//! order, duplicated, stale (never issued or already completed), timers
+//! firing in any interleaving, servers reported down and up — every
+//! operation completes **exactly once**, retry state stays **per
+//! request**, and the window invariant never breaks.
+
+use std::collections::{HashMap, HashSet};
+
+use hts_core::SessionCore;
+use hts_types::{ClientId, Message, ObjectId, RequestId, ServerId, Value};
+use proptest::prelude::*;
+
+const N: u16 = 4;
+
+#[derive(Debug, Clone)]
+enum Event {
+    /// Start a read (`true`) or write (`false`) if the window has room.
+    Begin(bool),
+    /// Deliver the correct reply for the `i`-th issued request (mod
+    /// issued count) — possibly already completed, making it a duplicate.
+    Reply(usize),
+    /// Deliver a reply for a request id never issued by this session.
+    ForeignReply(u64),
+    /// Fire the retry timer for the `i`-th issued request (mod issued
+    /// count) — stale if it already completed.
+    Timeout(usize),
+    /// Failure detector reports server `s % N` down.
+    Down(u16),
+    /// Transport reports server `s % N` healthy again.
+    Up(u16),
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    // (The vendored proptest has no weighted prop_oneof; duplicate the
+    // hot arms so begins and replies dominate the schedule.)
+    prop_oneof![
+        any::<bool>().prop_map(Event::Begin),
+        any::<bool>().prop_map(Event::Begin),
+        any::<bool>().prop_map(Event::Begin),
+        (0usize..64).prop_map(Event::Reply),
+        (0usize..64).prop_map(Event::Reply),
+        (0usize..64).prop_map(Event::Reply),
+        (0u64..10_000).prop_map(Event::ForeignReply),
+        (0usize..64).prop_map(Event::Timeout),
+        (0usize..64).prop_map(Event::Timeout),
+        (0u16..N).prop_map(Event::Down),
+        (0u16..N).prop_map(Event::Up),
+    ]
+}
+
+/// The reply a server would send for `request` as issued (reads answer
+/// with a recognizable value).
+fn reply_for(request: RequestId, is_read: bool) -> Message {
+    if is_read {
+        Message::ReadAck {
+            object: ObjectId::SINGLE,
+            request,
+            value: Value::from_u64(request.0),
+        }
+    } else {
+        Message::WriteAck {
+            object: ObjectId::SINGLE,
+            request,
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn completions_are_exactly_once_and_retries_independent(
+        window in 1usize..=8,
+        events in prop::collection::vec(arb_event(), 1..120),
+    ) {
+        let mut s = SessionCore::new(ClientId(1), ObjectId::SINGLE, N, ServerId(0), window);
+        let mut issued: Vec<(RequestId, bool)> = Vec::new();
+        let mut completed: HashSet<RequestId> = HashSet::new();
+
+        for event in events.clone() {
+            match event {
+                Event::Begin(is_read) => {
+                    if !s.has_capacity() {
+                        continue;
+                    }
+                    let (request, server, msg) = if is_read {
+                        s.begin_read()
+                    } else {
+                        s.begin_write(Value::from_u64(7))
+                    };
+                    prop_assert!(server.0 < N);
+                    match (&msg, is_read) {
+                        (Message::ReadReq { request: r, .. }, true)
+                        | (Message::WriteReq { request: r, .. }, false) => {
+                            prop_assert_eq!(*r, request);
+                        }
+                        other => prop_assert!(false, "wrong message kind: {:?}", other),
+                    }
+                    prop_assert!(s.is_inflight(request));
+                    issued.push((request, is_read));
+                }
+                Event::Reply(i) => {
+                    if issued.is_empty() {
+                        continue;
+                    }
+                    let (request, is_read) = issued[i % issued.len()];
+                    let was_inflight = s.is_inflight(request);
+                    let done = s.on_reply(&reply_for(request, is_read));
+                    if was_inflight {
+                        // First delivery: completes, exactly once.
+                        let done = done.expect("in-flight reply completes");
+                        prop_assert_eq!(done.request, request);
+                        if is_read {
+                            prop_assert_eq!(done.value, Some(Value::from_u64(request.0)));
+                        } else {
+                            prop_assert_eq!(done.value, None);
+                        }
+                        prop_assert!(completed.insert(request), "double completion");
+                    } else {
+                        // Duplicate or aborted: swallowed.
+                        prop_assert!(done.is_none(), "stale reply completed twice");
+                    }
+                }
+                Event::ForeignReply(raw) => {
+                    // Ids are issued from 1 upward; shift foreign ids out
+                    // of the issued range.
+                    let foreign = RequestId(1_000_000 + raw);
+                    prop_assert!(s.on_reply(&reply_for(foreign, true)).is_none());
+                }
+                Event::Timeout(i) => {
+                    if issued.is_empty() {
+                        continue;
+                    }
+                    let (request, _) = issued[i % issued.len()];
+                    let others: HashMap<RequestId, ServerId> = s
+                        .inflight_requests()
+                        .filter(|r| *r != request)
+                        .map(|r| (r, s.server_of(r).expect("in flight")))
+                        .collect();
+                    let resend = s.on_timeout(request);
+                    if completed.contains(&request) {
+                        prop_assert!(resend.is_none(), "completed request retried");
+                    } else {
+                        let (server, msg) = resend.expect("in-flight retry");
+                        prop_assert_eq!(s.server_of(request), Some(server));
+                        match msg {
+                            Message::ReadReq { request: r, .. }
+                            | Message::WriteReq { request: r, .. } => {
+                                prop_assert_eq!(r, request, "retry keeps the request id");
+                            }
+                            other => prop_assert!(false, "bad retry message: {:?}", other),
+                        }
+                    }
+                    // Retry independence: no other request moved.
+                    for (other, server) in others {
+                        prop_assert_eq!(s.server_of(other), Some(server));
+                    }
+                }
+                Event::Down(raw) => {
+                    let dead = ServerId(raw % N);
+                    let resends = s.on_server_down(dead);
+                    for (request, server, _) in resends {
+                        prop_assert!(!completed.contains(&request));
+                        prop_assert_ne!(server, dead, "re-sent straight back to the corpse");
+                        prop_assert_eq!(s.server_of(request), Some(server));
+                    }
+                }
+                Event::Up(raw) => s.on_server_up(ServerId(raw % N)),
+            }
+            // Window invariant holds at every step.
+            prop_assert!(s.in_flight() <= window);
+            let inflight_count = issued
+                .iter()
+                .filter(|(r, _)| !completed.contains(r))
+                .count();
+            prop_assert_eq!(s.in_flight(), inflight_count);
+        }
+
+        // Drain: every still-open request completes exactly once, in an
+        // arbitrary (here: reverse-issue) order.
+        for &(request, is_read) in issued.iter().rev() {
+            if completed.contains(&request) {
+                continue;
+            }
+            let done = s.on_reply(&reply_for(request, is_read));
+            prop_assert!(done.is_some());
+            completed.insert(request);
+        }
+        prop_assert_eq!(s.in_flight(), 0);
+        prop_assert_eq!(completed.len(), issued.len());
+    }
+
+    #[test]
+    fn routing_always_targets_a_valid_server(
+        window in 1usize..=8,
+        deaths in prop::collection::vec(0u16..N, 0..8),
+    ) {
+        // Whatever subset of servers is suspected (even all of them),
+        // launches and retries must keep naming valid ring members.
+        let mut s = SessionCore::new(ClientId(2), ObjectId::SINGLE, N, ServerId(1), window);
+        for d in deaths.clone() {
+            s.on_server_down(ServerId(d % N));
+        }
+        let (request, server, _) = s.begin_read();
+        prop_assert!(server.0 < N);
+        for _ in 0..usize::from(N) + 1 {
+            let (server, _) = s.on_timeout(request).expect("still in flight");
+            prop_assert!(server.0 < N);
+        }
+    }
+}

@@ -103,6 +103,7 @@ fn mixed_workload_is_linearizable() {
         op_limit: Some(8),
         start_delay: Nanos::ZERO,
         timeout: Nanos::from_millis(500),
+        window: 1,
     };
     let mut c = cluster(11, 3, 2, workload, Config::default());
     c.sim.run_to_quiescence();
@@ -119,6 +120,7 @@ fn write_heavy_contention_is_linearizable() {
         op_limit: Some(10),
         start_delay: Nanos::ZERO,
         timeout: Nanos::from_millis(500),
+        window: 1,
     };
     let mut c = cluster(13, 4, 2, workload, Config::default());
     c.sim.run_to_quiescence();
@@ -137,6 +139,7 @@ fn read_only_load_never_blocks() {
         op_limit: Some(20),
         start_delay: Nanos::ZERO,
         timeout: Nanos::from_millis(500),
+        window: 1,
     };
     let mut c = cluster(17, 3, 2, workload, Config::default());
     c.sim.run_to_quiescence();
@@ -158,6 +161,7 @@ fn server_crash_mid_run_preserves_atomicity_and_liveness() {
         op_limit: Some(12),
         start_delay: Nanos::ZERO,
         timeout: Nanos::from_millis(5),
+        window: 1,
     };
     let mut c = cluster(19, 3, 2, workload, Config::default());
     // Kill s1 while traffic is in flight.
@@ -179,6 +183,7 @@ fn cascading_crashes_down_to_one_server() {
         op_limit: Some(10),
         start_delay: Nanos::ZERO,
         timeout: Nanos::from_millis(5),
+        window: 1,
     };
     let mut c = cluster(23, 3, 1, workload, Config::default());
     c.sim
@@ -201,6 +206,7 @@ fn crash_restart_mid_run_preserves_atomicity_and_liveness() {
         op_limit: Some(14),
         start_delay: Nanos::ZERO,
         timeout: Nanos::from_millis(5),
+        window: 1,
     };
     let config = Config {
         durability: Durability::SyncAlways,
@@ -229,6 +235,7 @@ fn repeated_crash_restart_cycles_stay_linearizable() {
         op_limit: Some(16),
         start_delay: Nanos::ZERO,
         timeout: Nanos::from_millis(5),
+        window: 1,
     };
     let config = Config {
         durability: Durability::Buffered,
@@ -265,6 +272,7 @@ fn determinism_same_seed_same_history() {
             op_limit: Some(6),
             start_delay: Nanos::ZERO,
             timeout: Nanos::from_millis(500),
+            window: 1,
         };
         let mut c = cluster(seed, 3, 2, workload, Config::default());
         c.sim.run_to_quiescence();
@@ -284,6 +292,7 @@ fn fast_path_reads_remain_linearizable() {
         op_limit: Some(10),
         start_delay: Nanos::ZERO,
         timeout: Nanos::from_millis(500),
+        window: 1,
     };
     let config = Config {
         read_fast_path: true,
@@ -304,6 +313,7 @@ fn write_carries_value_remains_linearizable() {
         op_limit: Some(8),
         start_delay: Nanos::ZERO,
         timeout: Nanos::from_millis(500),
+        window: 1,
     };
     let config = Config {
         write_carries_value: true,
@@ -314,4 +324,67 @@ fn write_carries_value_remains_linearizable() {
     let (w, r) = total_completed(&c);
     assert_eq!(w + r, 6 * 8);
     assert_linearizable(&c);
+}
+
+#[test]
+fn pipelined_window_stays_linearizable() {
+    // Open-loop clients: each keeps 6 operations in flight concurrently
+    // over its one channel. Completions land out of order; the merged
+    // history must still be atomic and every issued op must finish.
+    let workload = WorkloadConfig {
+        mix: OpMix::Mixed { read_percent: 50 },
+        value_size: 256,
+        op_limit: Some(18),
+        start_delay: Nanos::ZERO,
+        timeout: Nanos::from_millis(500),
+        window: 6,
+    };
+    let mut c = cluster(33, 3, 2, workload, Config::default());
+    c.sim.run_to_quiescence();
+    let (w, r) = total_completed(&c);
+    assert_eq!(w + r, 6 * 18, "every pipelined op completed exactly once");
+    assert_linearizable(&c);
+}
+
+#[test]
+fn pipelined_window_survives_crash_mid_flight() {
+    // A server dies while every client's window is full: the stranded
+    // requests re-send independently and the run stays atomic.
+    let workload = WorkloadConfig {
+        mix: OpMix::Mixed { read_percent: 40 },
+        value_size: 128,
+        op_limit: Some(12),
+        start_delay: Nanos::ZERO,
+        timeout: Nanos::from_millis(200),
+        window: 8,
+    };
+    let mut c = cluster(35, 3, 2, workload, Config::default());
+    c.sim
+        .crash_at(NodeId::Server(ServerId(1)), Nanos::from_millis(1));
+    c.sim.run_to_quiescence();
+    let (w, r) = total_completed(&c);
+    assert_eq!(w + r, 6 * 12, "no pipelined op lost to the crash");
+    assert_linearizable(&c);
+}
+
+#[test]
+fn pipelined_and_sequential_complete_the_same_ops() {
+    // The window is a concurrency knob, not a semantics knob: both runs
+    // complete every op and both histories are linearizable (schedules
+    // differ — pipelining genuinely overlaps operations).
+    for window in [1usize, 8] {
+        let workload = WorkloadConfig {
+            mix: OpMix::WriteOnly,
+            value_size: 64,
+            op_limit: Some(16),
+            start_delay: Nanos::ZERO,
+            timeout: Nanos::from_millis(500),
+            window,
+        };
+        let mut c = cluster(37, 3, 2, workload, Config::default());
+        c.sim.run_to_quiescence();
+        let (w, _) = total_completed(&c);
+        assert_eq!(w, 6 * 16, "window {window}");
+        assert_linearizable(&c);
+    }
 }

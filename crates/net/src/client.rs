@@ -28,13 +28,45 @@ pub struct Client {
     scratch: BytesMut,
 }
 
+/// Retry budget shared by [`Client`] and [`Session`](crate::Session):
+/// an operation is abandoned after this many full cycles of attempts
+/// around the ring (`addrs.len() * RETRY_CYCLES` sends in total).
+pub(crate) const RETRY_CYCLES: usize = 8;
+
+/// Validates a cluster address map: non-empty, small enough to index by
+/// [`ServerId`], and containing `preferred`. Shared by [`Client`] and
+/// [`Session`](crate::Session) so a bad deployment description surfaces
+/// as a real connect error instead of a panic deep in a worker thread.
+pub(crate) fn validate_addrs(addrs: &[SocketAddr], preferred: ServerId) -> io::Result<()> {
+    if addrs.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "need at least one server address",
+        ));
+    }
+    if addrs.len() > usize::from(u16::MAX) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("{} servers exceed the u16 ServerId space", addrs.len()),
+        ));
+    }
+    if preferred.index() >= addrs.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("{preferred} outside the {}-server address map", addrs.len()),
+        ));
+    }
+    Ok(())
+}
+
 impl Client {
     /// Connects lazily to a cluster at `addrs` (indexed by [`ServerId`]).
     ///
     /// # Errors
     ///
-    /// Currently infallible at connect time (connections are opened on
-    /// first use); the signature leaves room for eager validation.
+    /// Returns [`io::ErrorKind::InvalidInput`] for an empty or oversized
+    /// address map. Connections themselves are opened on first use, so
+    /// unreachable servers surface from the operations, not from here.
     pub fn connect(id: u32, addrs: Vec<SocketAddr>) -> io::Result<Client> {
         Client::connect_preferring(id, addrs, ServerId(0))
     }
@@ -45,17 +77,14 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// As [`Client::connect`].
+    /// As [`Client::connect`], plus [`io::ErrorKind::InvalidInput`] when
+    /// `preferred` is outside the address map.
     pub fn connect_preferring(
         id: u32,
         addrs: Vec<SocketAddr>,
         preferred: ServerId,
     ) -> io::Result<Client> {
-        assert!(!addrs.is_empty(), "need at least one server address");
-        assert!(
-            preferred.index() < addrs.len(),
-            "{preferred} outside the address map"
-        );
+        validate_addrs(&addrs, preferred)?;
         let n = addrs.len() as u16;
         let id = ClientId(id);
         Ok(Client {
@@ -71,6 +100,13 @@ impl Client {
     /// Sets the per-attempt reply timeout (default 500 ms).
     pub fn set_timeout(&mut self, timeout: Duration) {
         self.timeout = timeout;
+    }
+
+    /// The alive-map the client routes by (test/diagnostic hook): entry
+    /// `s` is `false` while server `s` is suspected crashed. Suspicions
+    /// recover on successful reconnects and periodic re-probes.
+    pub fn believed_alive(&self) -> &[bool] {
+        self.core.believed_alive()
     }
 
     /// Writes `value` to the register, blocking until acknowledged.
@@ -123,9 +159,10 @@ impl Client {
     ) -> io::Result<Option<Value>> {
         // Each attempt: (re)connect, send, await the matching reply until
         // the timeout, else rotate to the next server via the core.
-        let max_attempts = self.addrs.len() * 8;
+        let max_attempts = self.addrs.len() * RETRY_CYCLES;
         for _ in 0..max_attempts {
-            match self.attempt(server, &msg) {
+            let outcome = self.attempt(server, &msg);
+            match outcome {
                 Ok(Some(value)) => return Ok(value),
                 Ok(None) | Err(_) => {
                     self.connections[server.index()] = None;
@@ -135,7 +172,19 @@ impl Client {
                         }
                         _ => unreachable!("clients only send requests"),
                     };
-                    match self.core.on_timeout(request) {
+                    // A socket-level error (refused, reset, broken pipe)
+                    // is the failure detector speaking: mark the server
+                    // suspect so future operations skip it, where a mere
+                    // silence (`Ok(None)`) only rotates this request. A
+                    // suspicion is never forever — reconnects, re-probes
+                    // and completions heal the alive-map.
+                    let resend = if outcome.is_err() {
+                        self.core.on_server_down(server)
+                    } else {
+                        None
+                    }
+                    .or_else(|| self.core.on_timeout(request));
+                    match resend {
                         Some((next_server, next_msg)) => {
                             server = next_server;
                             msg = next_msg;
@@ -214,6 +263,10 @@ impl Client {
             stream.set_read_timeout(Some(self.timeout))?;
             stream.write_all(&Hello::Client(self.id).encode())?;
             self.connections[server.index()] = Some(stream);
+            // A successful (re)connect is proof of life: clear any
+            // suspicion so routing may prefer this server again — this
+            // is how a restarted server stops being shunned forever.
+            self.core.on_server_up(server);
         }
         Ok(())
     }

@@ -20,7 +20,13 @@
 //!   instances (`hts_core::LaneMap` placement), each lane owning its own
 //!   event-loop thread, outbound coalescing writer, inbound stream and
 //!   WAL directory — one node then scales across cores instead of
-//!   serializing every object through one event loop.
+//!   serializing every object through one event loop;
+//! * clients come in two shapes: the sequential [`Client`] (one
+//!   operation in flight, the paper's §3 client) and the pipelined
+//!   [`Session`] (a window of many concurrent operations multiplexed
+//!   over one socket per server, replies matched out of order by a
+//!   dedicated reader thread, requests coalesced into one flush per
+//!   burst).
 //!
 //! Performance experiments live on the simulator (`hts-bench`), where
 //! bandwidth is controlled; this runtime demonstrates the protocol
@@ -48,8 +54,10 @@ mod client;
 mod cluster;
 mod framing;
 mod server;
+mod session;
 
 pub use client::Client;
 pub use cluster::Cluster;
 pub use framing::{read_message, write_message, MAX_FRAME_BYTES};
 pub use server::{Server, ServerConfig};
+pub use session::Session;

@@ -32,4 +32,4 @@ mod mapper;
 mod store;
 
 pub use mapper::KeyMapper;
-pub use store::{ShardedStore, ShardedStoreBuilder, StoreStats};
+pub use store::{OpHandle, ShardedStore, ShardedStoreBuilder, StoreStats};

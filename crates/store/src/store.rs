@@ -1,12 +1,13 @@
-//! The synchronous sharded store facade.
+//! The synchronous sharded store facade and its pipelined handles.
 
 use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
-use hts_core::{BatchConfig, ClientCore, Config, Durability, SimServer};
+use hts_core::{BatchConfig, Config, Durability, SessionCore, SimServer};
 use hts_sim::packet::{Ctx, NetworkConfig, PacketSim, Process, TimerId};
 use hts_sim::{DiskConfig, Nanos};
-use hts_types::{ClientId, Message, NodeId, ObjectId, ServerId, Value};
+use hts_types::{ClientId, Message, NodeId, ObjectId, RequestId, ServerId, Value};
 
 use crate::KeyMapper;
 
@@ -21,6 +22,13 @@ pub struct StoreStats {
     pub retries: u64,
 }
 
+/// A started-but-not-awaited operation of a [`ShardedStore`] — the
+/// concurrent-handle API: [`begin_put`](ShardedStore::begin_put) /
+/// [`begin_get`](ShardedStore::begin_get) return one, and
+/// [`wait`](ShardedStore::wait) redeems it, in any order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OpHandle(u64);
+
 #[derive(Debug)]
 enum PendingOp {
     Put(ObjectId, Value),
@@ -29,59 +37,87 @@ enum PendingOp {
 
 #[derive(Default)]
 struct CourierState {
-    outbox: Option<PendingOp>,
-    result: Option<Option<Value>>,
+    /// Operations admitted by the facade, waiting for window room.
+    outbox: VecDeque<(u64, PendingOp)>,
+    /// Finished operations by facade op number.
+    results: HashMap<u64, Option<Value>>,
     retries: u64,
 }
 
-/// The in-sim client that executes one operation at a time on behalf of
-/// the synchronous facade.
+/// The in-sim client that executes the facade's operations through a
+/// [`SessionCore`] pipeline: up to `window` concurrently, each with its
+/// own retry timer, completions keyed back to facade handles.
 struct Courier {
-    core: ClientCore,
+    core: SessionCore,
     state: Rc<RefCell<CourierState>>,
     client_net: hts_sim::NetworkId,
     timeout: Nanos,
-    timer: Option<(TimerId, hts_types::RequestId)>,
+    /// request → (facade op number, armed retry timer).
+    pending: HashMap<RequestId, (u64, TimerId)>,
+}
+
+impl Courier {
+    /// Dispatches queued operations while the window has room.
+    fn issue(&mut self, ctx: &mut Ctx<'_, Message>) {
+        loop {
+            if !self.core.has_capacity() {
+                return;
+            }
+            let next = self.state.borrow_mut().outbox.pop_front();
+            let Some((op, pending_op)) = next else { return };
+            let (request, server, message) = match pending_op {
+                PendingOp::Put(object, value) => self.core.begin_write_to(object, value),
+                PendingOp::Get(object) => self.core.begin_read_from(object),
+            };
+            ctx.send(self.client_net, NodeId::Server(server), message);
+            self.pending
+                .insert(request, (op, ctx.set_timer(self.timeout)));
+        }
+    }
 }
 
 impl Process<Message> for Courier {
-    fn on_message(&mut self, _ctx: &mut Ctx<'_, Message>, _from: NodeId, msg: Message) {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Message>, _from: NodeId, msg: Message) {
         if let Some(done) = self.core.on_reply(&msg) {
-            self.timer = None;
-            self.state.borrow_mut().result = Some(done.value);
+            let (op, timer) = self.pending.remove(&done.request).expect("tracked op");
+            ctx.cancel_timer(timer);
+            self.state.borrow_mut().results.insert(op, done.value);
+            // A completion freed a window slot: keep the pipeline full.
+            self.issue(ctx);
         }
     }
 
     fn on_poke(&mut self, ctx: &mut Ctx<'_, Message>) {
-        let op = self.state.borrow_mut().outbox.take();
-        let Some(op) = op else { return };
-        let (request, server, message) = match op {
-            PendingOp::Put(object, value) => self.core.begin_write_to(object, value),
-            PendingOp::Get(object) => self.core.begin_read_from(object),
-        };
-        ctx.send(self.client_net, NodeId::Server(server), message);
-        self.timer = Some((ctx.set_timer(self.timeout), request));
+        self.issue(ctx);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Message>, timer: TimerId) {
-        if let Some((armed, request)) = self.timer {
-            if armed == timer {
-                if let Some((server, message)) = self.core.on_timeout(request) {
-                    self.state.borrow_mut().retries += 1;
-                    ctx.send(self.client_net, NodeId::Server(server), message);
-                    self.timer = Some((ctx.set_timer(self.timeout), request));
-                }
-            }
+        let Some(request) = self
+            .pending
+            .iter()
+            .find(|(_, (_, armed))| *armed == timer)
+            .map(|(r, _)| *r)
+        else {
+            return; // stale timer
+        };
+        if let Some((server, message)) = self.core.on_timeout(request) {
+            self.state.borrow_mut().retries += 1;
+            ctx.send(self.client_net, NodeId::Server(server), message);
+            let entry = self.pending.get_mut(&request).expect("found above");
+            entry.1 = ctx.set_timer(self.timeout);
         }
     }
 
     fn on_crashed(&mut self, ctx: &mut Ctx<'_, Message>, node: NodeId) {
         if let Some(s) = node.as_server() {
-            if let Some((server, message)) = self.core.on_server_down(s) {
+            // Every in-flight request stranded on the crashed server
+            // re-sends immediately, each under a fresh timer.
+            for (request, server, message) in self.core.on_server_down(s) {
                 self.state.borrow_mut().retries += 1;
                 ctx.send(self.client_net, NodeId::Server(server), message);
-                if let Some((_, request)) = self.timer {
-                    self.timer = Some((ctx.set_timer(self.timeout), request));
+                if let Some(entry) = self.pending.get_mut(&request) {
+                    ctx.cancel_timer(entry.1);
+                    entry.1 = ctx.set_timer(self.timeout);
                 }
             }
         }
@@ -96,6 +132,7 @@ pub struct ShardedStoreBuilder {
     seed: u64,
     config: Config,
     disk: Option<DiskConfig>,
+    pipeline: usize,
 }
 
 impl ShardedStoreBuilder {
@@ -158,6 +195,17 @@ impl ShardedStoreBuilder {
         self
     }
 
+    /// Pipeline window of the store's session (default 1): how many
+    /// operations [`begin_put`](ShardedStore::begin_put) /
+    /// [`begin_get`](ShardedStore::begin_get) may keep in flight
+    /// concurrently before [`wait`](ShardedStore::wait) must drain one.
+    /// The synchronous `put`/`get` calls are unaffected (each is a
+    /// begin + wait); a window of 1 serializes even the handle API.
+    pub fn pipeline(mut self, window: usize) -> Self {
+        self.pipeline = window.max(1);
+        self
+    }
+
     /// Boots the simulated cluster and returns the store.
     pub fn build(&self) -> ShardedStore {
         let mut sim = PacketSim::new(self.seed);
@@ -187,11 +235,17 @@ impl ShardedStoreBuilder {
         let state = Rc::new(RefCell::new(CourierState::default()));
         let courier_id = NodeId::Client(ClientId(0));
         let courier = Courier {
-            core: ClientCore::new(ClientId(0), ObjectId::SINGLE, self.servers, ServerId(0)),
+            core: SessionCore::new(
+                ClientId(0),
+                ObjectId::SINGLE,
+                self.servers,
+                ServerId(0),
+                self.pipeline.max(1),
+            ),
             state: Rc::clone(&state),
             client_net,
             timeout: Nanos::from_millis(50),
-            timer: None,
+            pending: HashMap::new(),
         };
         sim.add_node(courier_id, Box::new(courier));
         sim.attach(courier_id, client_net);
@@ -201,16 +255,35 @@ impl ShardedStoreBuilder {
             state,
             courier: courier_id,
             stats: StoreStats::default(),
+            next_op: 0,
+            open: HashMap::new(),
         }
     }
+}
+
+/// What a [`wait`](ShardedStore::wait) must do with a finished
+/// operation's raw register value.
+enum OpKind {
+    Mutation,
+    Get { key: Vec<u8> },
 }
 
 /// A linearizable-per-key KV store over a simulated `hts` ring.
 ///
 /// Each key lives in its own register object (chosen by hashing); the
 /// stored register value embeds the key, so a hash collision behaves like
-/// an eviction rather than a wrong-value read. Calls are synchronous: each
-/// steps the deterministic simulator until the ring answers.
+/// an eviction rather than a wrong-value read.
+///
+/// Two call styles:
+///
+/// * **Synchronous** — [`put`](Self::put) / [`get`](Self::get) /
+///   [`delete`](Self::delete) step the deterministic simulator until the
+///   ring answers (one operation at a time).
+/// * **Pipelined** — [`begin_put`](Self::begin_put) /
+///   [`begin_get`](Self::begin_get) / [`begin_delete`](Self::begin_delete)
+///   start up to [`pipeline`](ShardedStoreBuilder::pipeline) concurrent
+///   operations and return [`OpHandle`]s; [`wait`](Self::wait) redeems
+///   them **in any order** (completions are keyed by handle, not arrival).
 ///
 /// See the [crate docs](crate) for an example.
 pub struct ShardedStore {
@@ -219,6 +292,9 @@ pub struct ShardedStore {
     state: Rc<RefCell<CourierState>>,
     courier: NodeId,
     stats: StoreStats,
+    next_op: u64,
+    /// Handles begun and not yet waited.
+    open: HashMap<u64, OpKind>,
 }
 
 impl ShardedStore {
@@ -230,32 +306,105 @@ impl ShardedStore {
             seed: 0,
             config: Config::default(),
             disk: None,
+            pipeline: 1,
         }
     }
 
     /// Stores `value` under `key`.
     pub fn put(&mut self, key: &[u8], value: Vec<u8>) {
-        let object = self.mapper.object_for(key);
-        let encoded = encode_entry(key, Some(&value));
-        self.execute(PendingOp::Put(object, encoded));
-        self.stats.puts += 1;
+        let handle = self.begin_put(key, value);
+        self.wait(handle);
     }
 
     /// Removes `key` (a tombstone write).
     pub fn delete(&mut self, key: &[u8]) {
-        let object = self.mapper.object_for(key);
-        let encoded = encode_entry(key, None);
-        self.execute(PendingOp::Put(object, encoded));
-        self.stats.puts += 1;
+        let handle = self.begin_delete(key);
+        self.wait(handle);
     }
 
     /// Fetches `key`, or `None` if absent (never written, deleted, or
     /// evicted by a colliding key).
     pub fn get(&mut self, key: &[u8]) -> Option<Vec<u8>> {
+        let handle = self.begin_get(key);
+        self.wait(handle)
+    }
+
+    /// Starts storing `value` under `key` without waiting; redeem the
+    /// handle with [`wait`](Self::wait). Up to the configured
+    /// [`pipeline`](ShardedStoreBuilder::pipeline) window of operations
+    /// proceed concurrently through the ring.
+    pub fn begin_put(&mut self, key: &[u8], value: Vec<u8>) -> OpHandle {
         let object = self.mapper.object_for(key);
-        let raw = self.execute(PendingOp::Get(object));
+        let encoded = encode_entry(key, Some(&value));
+        self.stats.puts += 1;
+        self.begin(PendingOp::Put(object, encoded), OpKind::Mutation)
+    }
+
+    /// Starts removing `key` (a tombstone write) without waiting.
+    pub fn begin_delete(&mut self, key: &[u8]) -> OpHandle {
+        let object = self.mapper.object_for(key);
+        let encoded = encode_entry(key, None);
+        self.stats.puts += 1;
+        self.begin(PendingOp::Put(object, encoded), OpKind::Mutation)
+    }
+
+    /// Starts fetching `key` without waiting; [`wait`](Self::wait)
+    /// returns the value (or `None` if absent at read time).
+    pub fn begin_get(&mut self, key: &[u8]) -> OpHandle {
+        let object = self.mapper.object_for(key);
         self.stats.gets += 1;
-        decode_entry(raw?.as_bytes(), key)
+        self.begin(PendingOp::Get(object), OpKind::Get { key: key.to_vec() })
+    }
+
+    /// Blocks until `handle` completes. Returns the fetched value for
+    /// gets, `None` for puts and deletes. Handles complete out of order:
+    /// waiting a younger handle first is fine.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a handle this store never issued or already waited.
+    pub fn wait(&mut self, handle: OpHandle) -> Option<Vec<u8>> {
+        let kind = self
+            .open
+            .remove(&handle.0)
+            .expect("unknown or already-waited OpHandle");
+        self.sim.poke(self.courier);
+        let raw = loop {
+            let done = self.state.borrow_mut().results.remove(&handle.0);
+            if let Some(result) = done {
+                break result;
+            }
+            assert!(self.sim.step(), "cluster quiesced without a reply");
+        };
+        match kind {
+            OpKind::Mutation => None,
+            OpKind::Get { key } => decode_entry(raw?.as_bytes(), &key),
+        }
+    }
+
+    /// Waits for every outstanding handle, discarding get results (use
+    /// [`wait`](Self::wait) per handle when the values matter).
+    pub fn drain(&mut self) {
+        let mut open: Vec<u64> = self.open.keys().copied().collect();
+        // Issue order (ids are monotone): HashMap iteration order must
+        // not leak into the deterministic simulation's timeline.
+        open.sort_unstable();
+        for raw in open {
+            self.wait(OpHandle(raw));
+        }
+    }
+
+    fn begin(&mut self, op: PendingOp, kind: OpKind) -> OpHandle {
+        self.next_op += 1;
+        let handle = OpHandle(self.next_op);
+        self.open.insert(handle.0, kind);
+        self.state.borrow_mut().outbox.push_back((handle.0, op));
+        // Schedule the courier to dispatch (up to its window): begun
+        // operations travel the ring concurrently once the sim steps —
+        // virtual time only advances under `wait`, so pipelining shows
+        // up as overlapped operations there.
+        self.sim.poke(self.courier);
+        handle
     }
 
     /// Crashes server `s` under the store (operations keep working while
@@ -284,18 +433,6 @@ impl ShardedStore {
     /// Virtual time consumed so far.
     pub fn elapsed(&self) -> Nanos {
         self.sim.now()
-    }
-
-    fn execute(&mut self, op: PendingOp) -> Option<Value> {
-        self.state.borrow_mut().outbox = Some(op);
-        self.sim.poke(self.courier);
-        loop {
-            let done = self.state.borrow_mut().result.take();
-            if let Some(result) = done {
-                return result;
-            }
-            assert!(self.sim.step(), "cluster quiesced without a reply");
-        }
     }
 }
 
@@ -524,6 +661,94 @@ mod tests {
         for (i, v) in single.iter().enumerate() {
             assert_eq!(v.as_deref(), Some(&(i as u32).to_be_bytes()[..]), "key-{i}");
         }
+    }
+
+    #[test]
+    fn pipelined_handles_complete_out_of_order() {
+        let mut store = ShardedStore::builder().seed(37).pipeline(8).build();
+        let puts: Vec<OpHandle> = (0..8u32)
+            .map(|i| store.begin_put(format!("key-{i}").as_bytes(), i.to_be_bytes().to_vec()))
+            .collect();
+        // Redeem in reverse: completions are keyed by handle.
+        for h in puts.into_iter().rev() {
+            assert_eq!(store.wait(h), None);
+        }
+        let gets: Vec<(u32, OpHandle)> = (0..8u32)
+            .map(|i| (i, store.begin_get(format!("key-{i}").as_bytes())))
+            .collect();
+        for (i, h) in gets.into_iter().rev() {
+            assert_eq!(store.wait(h), Some(i.to_be_bytes().to_vec()), "key-{i}");
+        }
+        let stats = store.stats();
+        assert_eq!((stats.puts, stats.gets), (8, 8));
+    }
+
+    #[test]
+    fn pipelined_and_sequential_answers_agree() {
+        // The pipeline window is a pure concurrency knob: per-key results
+        // match the sequential store's (distinct keys — same-key ops in
+        // one batch are concurrent by design and may order either way).
+        let run = |window: usize| {
+            let mut store = ShardedStore::builder().seed(41).pipeline(window).build();
+            let handles: Vec<OpHandle> = (0..16u32)
+                .map(|i| store.begin_put(format!("key-{i}").as_bytes(), vec![i as u8; 9]))
+                .collect();
+            for h in handles {
+                store.wait(h);
+            }
+            let gets: Vec<OpHandle> = (0..16u32)
+                .map(|i| store.begin_get(format!("key-{i}").as_bytes()))
+                .collect();
+            gets.into_iter().map(|h| store.wait(h)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    fn pipelined_store_survives_crash_mid_window() {
+        let mut store = ShardedStore::builder()
+            .servers(3)
+            .seed(43)
+            .pipeline(8)
+            .durability(Durability::SyncAlways, DiskConfig::nvme_ssd())
+            .build();
+        let first: Vec<OpHandle> = (0..8u32)
+            .map(|i| store.begin_put(format!("key-{i}").as_bytes(), i.to_be_bytes().to_vec()))
+            .collect();
+        // Crash the courier's preferred server with the window full: the
+        // stranded requests all reroute and complete.
+        store.crash_server(ServerId(0));
+        for h in first {
+            assert_eq!(store.wait(h), None);
+        }
+        store.restart_server(ServerId(0));
+        for i in 0..8u32 {
+            assert_eq!(
+                store.get(format!("key-{i}").as_bytes()),
+                Some(i.to_be_bytes().to_vec()),
+                "key-{i} after crash mid-window"
+            );
+        }
+        assert!(store.stats().retries > 0, "the crash forced re-sends");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown or already-waited OpHandle")]
+    fn double_wait_panics() {
+        let mut store = ShardedStore::builder().seed(47).pipeline(2).build();
+        let h = store.begin_put(b"k", b"v".to_vec());
+        store.wait(h);
+        store.wait(h);
+    }
+
+    #[test]
+    fn drain_settles_every_outstanding_handle() {
+        let mut store = ShardedStore::builder().seed(53).pipeline(4).build();
+        for i in 0..10u32 {
+            store.begin_put(format!("key-{i}").as_bytes(), vec![1, 2, 3]);
+        }
+        store.drain();
+        assert_eq!(store.get(b"key-9"), Some(vec![1, 2, 3]));
     }
 
     #[test]

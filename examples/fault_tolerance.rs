@@ -51,6 +51,7 @@ fn main() {
                 op_limit: Some(40),
                 start_delay: Nanos::ZERO,
                 timeout: Nanos::from_millis(40),
+                window: 1,
             },
             client_net,
             Some(Rc::clone(&history)),

@@ -116,6 +116,7 @@ fn run_scenario(s: &Scenario) -> (u64, History) {
                 op_limit: Some(s.ops_per_client),
                 start_delay: Nanos::ZERO,
                 timeout: Nanos::from_millis(8),
+                window: 1,
             },
             client_net,
             Some(Rc::clone(&history)),

@@ -69,6 +69,7 @@ fn simulated_contention_with_crash_is_linearizable() {
                 op_limit: Some(6),
                 start_delay: Nanos::ZERO,
                 timeout: Nanos::from_millis(10),
+                window: 1,
             },
             client_net,
             Some(Rc::clone(&history)),
