@@ -1,0 +1,211 @@
+//! The `lint-baseline.toml` ratchet.
+//!
+//! Existing debt is enumerated as per-(rule, file) violation **counts**
+//! and frozen: a file whose count for a rule exceeds its baseline fails
+//! the check, a file below baseline just notes that the ratchet can be
+//! tightened (`--update-baseline` rewrites the file from the current
+//! state). Counts — not line numbers — keep the ratchet stable across
+//! unrelated edits to the same file.
+//!
+//! The format is a minimal TOML subset written and parsed here (the
+//! analyzer is dependency-free):
+//!
+//! ```toml
+//! version = 1
+//!
+//! [L1]
+//! "crates/core/src/client.rs" = 12
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::rules::{Rule, Violation};
+
+/// Baselined violation counts per rule and file.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    /// (rule, file) → allowed count.
+    pub counts: BTreeMap<(Rule, String), usize>,
+}
+
+impl Baseline {
+    /// Builds a baseline freezing exactly the given violations.
+    pub fn from_violations(violations: &[Violation]) -> Baseline {
+        let mut counts = BTreeMap::new();
+        for v in violations {
+            *counts.entry((v.rule, v.file.clone())).or_insert(0) += 1;
+        }
+        Baseline { counts }
+    }
+
+    /// The allowed count for (rule, file); zero when absent.
+    pub fn allowed(&self, rule: Rule, file: &str) -> usize {
+        self.counts
+            .get(&(rule, file.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total baselined sites for one rule.
+    pub fn total(&self, rule: Rule) -> usize {
+        self.counts
+            .iter()
+            .filter(|((r, _), _)| *r == rule)
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// Serializes to the baseline file format.
+    pub fn to_toml(&self) -> String {
+        let mut out = String::from(
+            "# hts-check lint baseline: frozen per-file violation counts.\n\
+             # Regenerate with `cargo run -p hts-check -- --update-baseline`;\n\
+             # the ratchet only ever tightens — fix debt, rerun, commit.\n\
+             version = 1\n",
+        );
+        for rule in Rule::ALL {
+            let entries: Vec<_> = self
+                .counts
+                .iter()
+                .filter(|((r, _), n)| *r == rule && **n > 0)
+                .collect();
+            if entries.is_empty() {
+                continue;
+            }
+            let _ = write!(out, "\n[{rule}]\n");
+            for ((_, file), n) in entries {
+                let _ = writeln!(out, "\"{file}\" = {n}");
+            }
+        }
+        out
+    }
+
+    /// Parses the baseline file format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut counts = BTreeMap::new();
+        let mut section: Option<Rule> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = Some(
+                    Rule::parse(name)
+                        .ok_or_else(|| format!("line {}: unknown rule [{name}]", idx + 1))?,
+                );
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`", idx + 1))?;
+            let key = key.trim().trim_matches('"');
+            let value = value.trim();
+            if key == "version" {
+                if value != "1" {
+                    return Err(format!("unsupported baseline version {value}"));
+                }
+                continue;
+            }
+            let rule =
+                section.ok_or_else(|| format!("line {}: entry before any [rule]", idx + 1))?;
+            let n: usize = value
+                .parse()
+                .map_err(|_| format!("line {}: bad count {value:?}", idx + 1))?;
+            counts.insert((rule, key.to_string()), n);
+        }
+        Ok(Baseline { counts })
+    }
+}
+
+/// The verdict of diffing current violations against a baseline.
+#[derive(Debug, Default)]
+pub struct Diff {
+    /// Violations in (rule, file) groups that exceed their baseline —
+    /// every site in the offending group, since the linter cannot know
+    /// which one is new.
+    pub regressions: Vec<Violation>,
+    /// (rule, file, baseline, actual) groups now below baseline: the
+    /// ratchet can tighten.
+    pub improvements: Vec<(Rule, String, usize, usize)>,
+}
+
+/// Diffs `violations` against `baseline`.
+pub fn diff(violations: &[Violation], baseline: &Baseline) -> Diff {
+    let mut actual: BTreeMap<(Rule, String), Vec<&Violation>> = BTreeMap::new();
+    for v in violations {
+        actual.entry((v.rule, v.file.clone())).or_default().push(v);
+    }
+    let mut out = Diff::default();
+    for ((rule, file), group) in &actual {
+        let allowed = baseline.allowed(*rule, file);
+        if group.len() > allowed {
+            out.regressions.extend(group.iter().map(|v| (*v).clone()));
+        }
+    }
+    for ((rule, file), allowed) in &baseline.counts {
+        let have = actual.get(&(*rule, file.clone())).map_or(0, Vec::len);
+        if have < *allowed {
+            out.improvements.push((*rule, file.clone(), *allowed, have));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(rule: Rule, file: &str, line: u32) -> Violation {
+        Violation {
+            rule,
+            file: file.to_string(),
+            line,
+            what: "x".to_string(),
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_toml() {
+        let base = Baseline::from_violations(&[
+            v(Rule::L1, "a.rs", 1),
+            v(Rule::L1, "a.rs", 2),
+            v(Rule::L4, "b.rs", 9),
+        ]);
+        let text = base.to_toml();
+        assert_eq!(Baseline::parse(&text).unwrap(), base);
+        assert_eq!(base.total(Rule::L1), 2);
+    }
+
+    #[test]
+    fn diff_finds_regressions_and_improvements() {
+        let base = Baseline::from_violations(&[v(Rule::L1, "a.rs", 1), v(Rule::L2, "b.rs", 2)]);
+        // a.rs grew one L1; b.rs fixed its L2.
+        let now = [v(Rule::L1, "a.rs", 1), v(Rule::L1, "a.rs", 5)];
+        let d = diff(&now, &base);
+        assert_eq!(d.regressions.len(), 2); // the whole offending group
+        assert_eq!(d.improvements, vec![(Rule::L2, "b.rs".to_string(), 1, 0)]);
+    }
+
+    #[test]
+    fn within_baseline_is_clean() {
+        let base = Baseline::from_violations(&[v(Rule::L1, "a.rs", 1), v(Rule::L1, "a.rs", 2)]);
+        let now = [v(Rule::L1, "a.rs", 7)];
+        let d = diff(&now, &base);
+        assert!(d.regressions.is_empty());
+        assert_eq!(d.improvements.len(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_baselines() {
+        assert!(Baseline::parse("version = 2\n").is_err());
+        assert!(Baseline::parse("[L9]\n").is_err());
+        assert!(Baseline::parse("\"a.rs\" = 1\n").is_err()); // entry before section
+        assert!(Baseline::parse("[L1]\n\"a.rs\" = x\n").is_err());
+    }
+}

@@ -1,0 +1,359 @@
+//! A hand-rolled Rust lexer, just deep enough for linting.
+//!
+//! The rules in [`crate::rules`] operate on a token stream with comments
+//! and string/char literal *contents* stripped: a `panic!` inside a doc
+//! comment or an error message must never count as a violation. The lexer
+//! therefore distinguishes exactly three code token kinds — identifiers
+//! (keywords included), literals, and single-character punctuation — and
+//! returns comments separately with their line spans (rule L5 and the
+//! `// lint: allow(...)` suppressions need them).
+//!
+//! It is *not* a full Rust lexer: numeric literals are folded greedily,
+//! and token text is borrowed straight from the source. That is enough
+//! to track brace/paren nesting, `#[cfg(test)]` scopes and the specific
+//! call shapes the rules look for.
+
+/// What kind of code token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `match`, `unsafe`, `_`, ...).
+    Ident,
+    /// String/char/numeric literal (contents not preserved for strings).
+    Literal,
+    /// One punctuation character (`.`, `!`, `{`, `:`, ...).
+    Punct,
+}
+
+/// One code token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok<'a> {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Source text (`"\"str\""` literals are collapsed to `""`).
+    pub text: &'a str,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok<'_> {
+    /// Is this punctuation `c`?
+    pub fn is(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+
+    /// Is this the identifier/keyword `word`?
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == word
+    }
+}
+
+/// A comment with its line span and raw text (`//`/`/* */` markers kept).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (same as `line` for `//`).
+    pub end_line: u32,
+    /// The raw comment text.
+    pub text: String,
+}
+
+/// The lexer's output: code tokens and comments, both in source order.
+#[derive(Debug, Default)]
+pub struct Lexed<'a> {
+    /// Code tokens.
+    pub toks: Vec<Tok<'a>>,
+    /// Comments (doc comments included).
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src`, stripping comments and literal contents.
+pub fn lex(src: &str) -> Lexed<'_> {
+    let bytes = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    end_line: line,
+                    text: src[start..i].to_string(),
+                });
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let (start, start_line) = (i, line);
+                let mut depth = 0usize;
+                while i < bytes.len() {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    line: start_line,
+                    end_line: line,
+                    text: src[start..i].to_string(),
+                });
+            }
+            b'"' => {
+                i = skip_string(bytes, i, &mut line);
+                out.toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: "\"\"",
+                    line,
+                });
+            }
+            b'r' | b'b' if is_raw_string_start(bytes, i) => {
+                i = skip_raw_string(bytes, i, &mut line);
+                out.toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: "\"\"",
+                    line,
+                });
+            }
+            b'b' if bytes.get(i + 1) == Some(&b'"') => {
+                i = skip_string(bytes, i + 1, &mut line);
+                out.toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: "\"\"",
+                    line,
+                });
+            }
+            b'b' if bytes.get(i + 1) == Some(&b'\'') => {
+                i = skip_char(bytes, i + 1, &mut line);
+                out.toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: "''",
+                    line,
+                });
+            }
+            b'\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                let after = bytes.get(i + 1).copied().unwrap_or(0);
+                let is_lifetime = (after.is_ascii_alphabetic() || after == b'_')
+                    && bytes.get(i + 2) != Some(&b'\'');
+                if is_lifetime {
+                    i += 1;
+                    let start = i;
+                    while i < bytes.len() && is_ident_byte(bytes[i]) {
+                        i += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Literal,
+                        text: &src[start..i],
+                        line,
+                    });
+                } else {
+                    i = skip_char(bytes, i, &mut line);
+                    out.toks.push(Tok {
+                        kind: TokKind::Literal,
+                        text: "''",
+                        line,
+                    });
+                }
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' || !c.is_ascii() => {
+                let start = i;
+                while i < bytes.len() && is_ident_byte(bytes[i]) {
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: &src[start..i],
+                    line,
+                });
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len()
+                    && (is_ident_byte(bytes[i])
+                        || (bytes[i] == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)))
+                {
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: &src[start..i],
+                    line,
+                });
+            }
+            _ => {
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: &src[i..i + 1],
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || !b.is_ascii()
+}
+
+/// Does a raw (byte) string literal start at `i` (`r"`, `r#"`, `br"`, ...)?
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+        if bytes.get(j) != Some(&b'r') {
+            return false;
+        }
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return false;
+    }
+    j += 1;
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"')
+}
+
+/// Skips a `"..."` string starting at the opening quote; returns the index
+/// past the closing quote.
+fn skip_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1; // opening quote
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a raw string starting at `r`/`b`; returns the index past the
+/// closing quote + hashes.
+fn skip_raw_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    i += 1; // 'r'
+    let mut hashes = 0usize;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // opening quote
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            *line += 1;
+        }
+        if bytes[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while seen < hashes && bytes.get(j) == Some(&b'#') {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Skips a `'.'` char literal starting at the opening quote.
+fn skip_char(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1; // opening quote
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let src = r#"
+            // a panic! in a comment
+            /* and unwrap() in /* a nested */ block */
+            fn f() { let s = "panic!(\"quoted\")"; }
+        "#;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["fn", "f", "let", "s"]);
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("panic! in a comment"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let src = r##"let a = r#"unwrap()"#; let b = 'x'; let c: &'static str = b"z";"##;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "a", "let", "b", "let", "c", "str"]);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let src = "fn a() {}\nfn b() {}\n";
+        let lexed = lex(src);
+        let b = lexed.toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let ids = idents(src);
+        assert!(ids.contains(&"str".to_string()));
+        // The brace structure survives (a mis-lexed lifetime would swallow
+        // the rest of the file as a char literal).
+        let braces = lex(src).toks.iter().filter(|t| t.is('{')).count();
+        assert_eq!(braces, 1);
+    }
+}

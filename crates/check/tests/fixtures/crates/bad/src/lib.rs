@@ -1,0 +1,105 @@
+// Known-bad fixture for the hts-check linter. NEVER compiled — the
+// linter lexes it as text. Exact per-rule counts and line numbers are
+// asserted by tests/linter.rs: keep edits in sync with it.
+
+pub enum Message {
+    A,
+    B(u32),
+}
+
+// --- L1: panics in protocol code -----------------------------------
+
+pub fn l1_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap() // line 13: L1
+}
+
+pub fn l1_expect(x: Option<u32>) -> u32 {
+    x.expect("always here") // line 17: L1
+}
+
+pub fn l1_macros(a: u32) {
+    if a == 0 {
+        panic!("boom"); // line 22: L1
+    }
+    assert!(a > 0); // line 24: L1
+    assert_eq!(a, a); // line 25: L1
+    unreachable!(); // line 26: L1
+}
+
+pub fn l1_exempt(a: u32) {
+    debug_assert!(a > 0); // debug_assert is allowed: stripped in release
+    let unwrap = a; // an ident named `unwrap` is not a call
+    let _ = unwrap;
+}
+
+pub fn l1_suppressed(x: Option<u32>) -> u32 {
+    // lint: allow(panic): fixture-sanctioned invariant
+    x.unwrap() // covered by the allow comment above
+}
+
+// --- L2: sleeps ----------------------------------------------------
+
+pub fn l2_sleep() {
+    std::thread::sleep(std::time::Duration::from_millis(1)); // line 43: L2
+}
+
+// --- L3: guard live across a blocking write ------------------------
+
+pub fn l3_guard_across_write(
+    m: &std::sync::Mutex<Vec<u8>>,
+    w: &mut impl std::io::Write,
+) -> std::io::Result<()> {
+    let guard = m.lock().unwrap_or_else(|p| p.into_inner());
+    w.write_all(&guard)?; // line 53: L3 (guard still live)
+    Ok(())
+}
+
+pub fn l3_guard_dropped(
+    m: &std::sync::Mutex<Vec<u8>>,
+    w: &mut impl std::io::Write,
+) -> std::io::Result<()> {
+    let guard = m.lock().unwrap_or_else(|p| p.into_inner());
+    let data = guard.clone();
+    drop(guard); // released before the write: clean
+    w.write_all(&data)?;
+    Ok(())
+}
+
+// --- L4: catch-all over Message ------------------------------------
+
+pub fn l4_catch_all(m: &Message) -> u32 {
+    match m {
+        Message::A => 1,
+        _ => 0, // line 73: L4
+    }
+}
+
+pub fn l4_exhaustive(m: &Message) -> u32 {
+    match m {
+        Message::A => 1,
+        Message::B(n) => *n, // every variant by name: clean
+    }
+}
+
+// --- L5: unsafe without SAFETY -------------------------------------
+
+pub fn l5_unsafe_without_safety(p: *const u32) -> u32 {
+    unsafe { *p } // line 87: L5
+}
+
+pub fn l5_unsafe_with_safety(p: &u32) -> u32 {
+    // SAFETY: a shared reference is always valid to read.
+    unsafe { *(p as *const u32) }
+}
+
+// --- test scope: everything below is exempt ------------------------
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_in_tests() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        std::thread::sleep(std::time::Duration::from_millis(0));
+    }
+}

@@ -1,0 +1,135 @@
+//! End-to-end linter tests over the known-bad fixture tree, plus the
+//! baseline-ratchet behavior and a self-check of the real workspace
+//! against its committed `lint-baseline.toml`.
+
+use std::path::{Path, PathBuf};
+
+use hts_check::{check_workspace, diff, Baseline, Rule, Violation};
+
+/// Root of the fixture tree (`fixtures/crates/bad/src/lib.rs`).
+fn fixtures_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+}
+
+fn fixture_violations() -> Vec<Violation> {
+    check_workspace(&fixtures_root(), &["bad"]).expect("fixture tree exists")
+}
+
+fn count(violations: &[Violation], rule: Rule) -> usize {
+    violations.iter().filter(|v| v.rule == rule).count()
+}
+
+#[test]
+fn fixture_counts_are_exact() {
+    let v = fixture_violations();
+    assert_eq!(count(&v, Rule::L1), 6, "L1 sites: {v:?}");
+    assert_eq!(count(&v, Rule::L2), 1, "L2 sites: {v:?}");
+    assert_eq!(count(&v, Rule::L3), 1, "L3 sites: {v:?}");
+    assert_eq!(count(&v, Rule::L4), 1, "L4 sites: {v:?}");
+    assert_eq!(count(&v, Rule::L5), 1, "L5 sites: {v:?}");
+    assert_eq!(v.len(), 10);
+}
+
+#[test]
+fn violations_carry_file_and_line() {
+    let v = fixture_violations();
+    let lines: Vec<(Rule, u32)> = v.iter().map(|v| (v.rule, v.line)).collect();
+    // One witness per rule, pinned to the fixture's commented lines.
+    assert!(lines.contains(&(Rule::L1, 13)), "unwrap line: {lines:?}");
+    assert!(lines.contains(&(Rule::L2, 43)), "sleep line: {lines:?}");
+    assert!(lines.contains(&(Rule::L3, 53)), "guard line: {lines:?}");
+    assert!(lines.contains(&(Rule::L4, 73)), "catch-all line: {lines:?}");
+    assert!(lines.contains(&(Rule::L5, 87)), "unsafe line: {lines:?}");
+    for violation in &v {
+        assert_eq!(violation.file, "crates/bad/src/lib.rs");
+        let shown = violation.to_string();
+        assert!(
+            shown.starts_with("crates/bad/src/lib.rs:"),
+            "display leads with file:line: {shown}"
+        );
+    }
+}
+
+#[test]
+fn test_scope_and_allow_comments_are_exempt() {
+    let v = fixture_violations();
+    // The `#[cfg(test)]` module sleeps and unwraps on lines > 95; the
+    // allow-comment-covered unwrap sits on line 37. None may appear.
+    assert!(
+        v.iter().all(|v| v.line < 95),
+        "test-scope code leaked into the report: {v:?}"
+    );
+    assert!(
+        !v.iter().any(|v| (36..=38).contains(&v.line)),
+        "allow-comment suppression failed: {v:?}"
+    );
+}
+
+#[test]
+fn baseline_freezes_and_ratchets() {
+    let v = fixture_violations();
+    let frozen = Baseline::from_violations(&v);
+
+    // Frozen debt: everything allowed, nothing to report.
+    let d = diff(&v, &frozen);
+    assert!(d.regressions.is_empty());
+    assert!(d.improvements.is_empty());
+
+    // A new violation in the same file regresses the whole (rule, file)
+    // group past its count.
+    let mut more = v.clone();
+    more.push(Violation {
+        rule: Rule::L1,
+        file: "crates/bad/src/lib.rs".to_string(),
+        line: 999,
+        what: "synthetic regression".to_string(),
+    });
+    let d = diff(&more, &frozen);
+    assert_eq!(d.regressions.len(), 7, "the grown L1 group is re-reported");
+    assert!(d.regressions.iter().all(|r| r.rule == Rule::L1));
+
+    // Fixing sites leaves improvements: the ratchet can tighten.
+    let fewer: Vec<Violation> = v.iter().filter(|x| x.rule != Rule::L2).cloned().collect();
+    let d = diff(&fewer, &frozen);
+    assert!(d.regressions.is_empty());
+    assert_eq!(d.improvements.len(), 1);
+    let (rule, _, allowed, actual) = &d.improvements[0];
+    assert_eq!((*rule, *allowed, *actual), (Rule::L2, 1, 0));
+}
+
+#[test]
+fn baseline_toml_roundtrips() {
+    let v = fixture_violations();
+    let frozen = Baseline::from_violations(&v);
+    let text = frozen.to_toml();
+    let back = Baseline::parse(&text).expect("own output parses");
+    for rule in Rule::ALL {
+        assert_eq!(frozen.total(rule), back.total(rule), "{rule} differs");
+    }
+    assert!(Baseline::parse("version = 1\n[L9]\n").is_err());
+    assert!(Baseline::parse("not toml at all [").is_err());
+}
+
+/// The real workspace must be clean against its committed baseline —
+/// the same check CI's `lint` job runs, kept honest from the test suite.
+#[test]
+fn workspace_is_within_committed_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/check sits two levels below the workspace root")
+        .to_path_buf();
+    let baseline_path = root.join("lint-baseline.toml");
+    let text = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", baseline_path.display()));
+    let baseline = Baseline::parse(&text).expect("committed baseline parses");
+    let violations = check_workspace(&root, &hts_check::PROTOCOL_CRATES).expect("workspace lints");
+    let d = diff(&violations, &baseline);
+    assert!(
+        d.regressions.is_empty(),
+        "new lint violations beyond lint-baseline.toml: {:#?}",
+        d.regressions
+    );
+}

@@ -90,7 +90,12 @@ impl RoundProcess<Message> for RoundServer {
                         self.core.on_client_write(client, request, value)
                     }
                     Message::ReadReq { request, .. } => self.core.on_client_read(client, request),
-                    _ => Vec::new(),
+                    // Clients never send replies or ring traffic; dropped
+                    // by name so a new wire variant forces a decision.
+                    Message::WriteAck { .. }
+                    | Message::ReadAck { .. }
+                    | Message::Ring(_)
+                    | Message::RingBatch(_) => Vec::new(),
                 };
                 self.queue_actions(actions);
             }

@@ -225,7 +225,12 @@ impl SessionCore {
         let (request, value) = match reply {
             Message::WriteAck { request, .. } => (*request, None),
             Message::ReadAck { request, value, .. } => (*request, Some(value.clone())),
-            _ => return None,
+            // Requests and ring traffic are not replies; ignored by name
+            // so a new wire variant forces a decision here.
+            Message::WriteReq { .. }
+            | Message::ReadReq { .. }
+            | Message::Ring(_)
+            | Message::RingBatch(_) => return None,
         };
         self.inflight.remove(&request).map(|inflight| {
             // The answering server (almost surely the request's current

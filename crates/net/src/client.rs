@@ -59,6 +59,14 @@ pub(crate) fn validate_addrs(addrs: &[SocketAddr], preferred: ServerId) -> io::R
     Ok(())
 }
 
+/// Unwraps the value of a completed read: the core attaches one to every
+/// read completion, so its absence is a protocol bug — reported to the
+/// caller, not panicked on the client thread. Shared by [`Client`] and
+/// [`Session`](crate::Session).
+pub(crate) fn require_read_value(value: Option<Value>) -> io::Result<Value> {
+    value.ok_or_else(|| io::Error::other("read completed without a value"))
+}
+
 impl Client {
     /// Connects lazily to a cluster at `addrs` (indexed by [`ServerId`]).
     ///
@@ -138,7 +146,7 @@ impl Client {
     pub fn read(&mut self) -> io::Result<Value> {
         let (_, server, msg) = self.core.begin_read();
         self.run_to_completion(server, msg)
-            .map(|v| v.expect("read completion carries a value"))
+            .and_then(require_read_value)
     }
 
     /// Reads register `object`.
@@ -149,7 +157,7 @@ impl Client {
     pub fn read_from(&mut self, object: ObjectId) -> io::Result<Value> {
         let (_, server, msg) = self.core.begin_read_from(object);
         self.run_to_completion(server, msg)
-            .map(|v| v.expect("read completion carries a value"))
+            .and_then(require_read_value)
     }
 
     fn run_to_completion(
@@ -170,7 +178,15 @@ impl Client {
                         Message::WriteReq { request, .. } | Message::ReadReq { request, .. } => {
                             *request
                         }
-                        _ => unreachable!("clients only send requests"),
+                        // ClientCore only ever hands out requests; a reply
+                        // or ring frame here is a core bug, surfaced as an
+                        // error rather than a client-thread panic.
+                        Message::WriteAck { .. }
+                        | Message::ReadAck { .. }
+                        | Message::Ring(_)
+                        | Message::RingBatch(_) => {
+                            return Err(io::Error::other("client core produced a non-request"))
+                        }
                     };
                     // A socket-level error (refused, reset, broken pipe)
                     // is the failure detector speaking: mark the server
@@ -220,10 +236,13 @@ impl Client {
             timeout,
             ..
         } = self;
-        let stream = connections[server.index()].as_mut().expect("ensured");
+        let Some(stream) = connections[server.index()].as_mut() else {
+            return Err(io::Error::other("connection lost between ensure and send"));
+        };
         // A previous attempt's stale-reply handling may have left a
         // shrunken read timeout on this reused connection.
         stream.set_read_timeout(Some(*timeout))?;
+        hts_types::sync::blocking_syscall("client request send");
         write_message_with(stream, msg, scratch)?;
         loop {
             match read_message(stream) {

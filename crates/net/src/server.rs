@@ -15,13 +15,14 @@ use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use bytes::BytesMut;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use hts_core::{Action, BatchConfig, Config, Durability, LaneMap, MultiObjectServer};
+use hts_types::sync::{blocking_syscall, DebugCondvar, DebugMutex, DebugMutexGuard};
 use hts_types::{codec, codec::Hello, ClientId, Message, RingFrame, ServerId};
 use hts_wal::{recover, FsyncPolicy, Recovery, Wal, WalOptions, WalRecord};
 
@@ -225,6 +226,10 @@ fn accept_loop(listener: TcpListener, router: Arc<LaneRouter>, alive: Arc<Atomic
                 });
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                // 10ms accept poll on the acceptor thread only — never
+                // an event-loop, writer or client attempt path, and
+                // shutdown flips `alive` to end it.
+                // lint: allow(sleep): accept poll, not a protocol path
                 thread::sleep(Duration::from_millis(10));
             }
             Err(_) => break,
@@ -294,6 +299,7 @@ fn handle_connection(mut stream: TcpStream, router: Arc<LaneRouter>) -> io::Resu
                             Err(_) => break,
                         }
                     }
+                    blocking_syscall("client reply send");
                     if writer
                         .write_all(&scratch)
                         .and_then(|()| writer.flush())
@@ -346,7 +352,12 @@ fn ring_in_loop(mut reader: TcpStream, s: ServerId, events: &Sender<Event>) -> i
                     }
                 }
             }
-            Ok(_) => {} // only ring traffic is expected here
+            // Requests and replies never arrive on a ring stream; drop
+            // them by name so a new wire variant forces a decision here.
+            Ok(Message::WriteReq { .. })
+            | Ok(Message::ReadReq { .. })
+            | Ok(Message::WriteAck { .. })
+            | Ok(Message::ReadAck { .. }) => {}
             Err(_) => {
                 let _ = events.send(Event::RingInDown(s));
                 return Ok(());
@@ -360,8 +371,8 @@ fn ring_in_loop(mut reader: TcpStream, s: ServerId, events: &Sender<Event>) -> i
 /// Pushes and shutdown both signal it, so a linger never outlives the
 /// work it was waiting for (see [`ring_writer`]).
 struct RingShared {
-    queue: Mutex<RingQueue>,
-    ready: Condvar,
+    queue: DebugMutex<RingQueue>,
+    ready: DebugCondvar,
 }
 
 struct RingQueue {
@@ -370,8 +381,8 @@ struct RingQueue {
 }
 
 impl RingShared {
-    fn lock(&self) -> std::sync::MutexGuard<'_, RingQueue> {
-        self.queue.lock().expect("ring queue poisoned")
+    fn lock(&self) -> DebugMutexGuard<'_, RingQueue> {
+        self.queue.lock()
     }
 }
 
@@ -435,11 +446,14 @@ fn connect_ring_out(
     batching: BatchConfig,
 ) -> RingOut {
     let shared = Arc::new(RingShared {
-        queue: Mutex::new(RingQueue {
-            frames: VecDeque::new(),
-            shutdown: false,
-        }),
-        ready: Condvar::new(),
+        queue: DebugMutex::new(
+            "net.ring_writer.queue",
+            RingQueue {
+                frames: VecDeque::new(),
+                shutdown: false,
+            },
+        ),
+        ready: DebugCondvar::new(),
     });
     {
         let shared = Arc::clone(&shared);
@@ -473,7 +487,7 @@ fn drain_batch(
         if !batch.is_empty() && *bytes + frame_bytes > HARD_CAP {
             break;
         }
-        let frame = q.pop_front().expect("peeked");
+        let Some(frame) = q.pop_front() else { break };
         *bytes += frame_bytes;
         batch.push(frame);
     }
@@ -500,7 +514,7 @@ fn ring_writer(
     let fail = |swallowed: Vec<RingFrame>| {
         let _ = events.send(Event::RingWriteFailed(to, swallowed));
     };
-    let mut stream = match connect_with_retry(addr, attempts) {
+    let mut stream = match connect_with_retry(addr, attempts, &shared) {
         Ok(s) => s,
         Err(_) => return fail(Vec::new()),
     };
@@ -512,6 +526,7 @@ fn ring_writer(
     } else {
         Hello::ServerLane(me, lane)
     };
+    blocking_syscall("ring handshake send");
     if stream.write_all(&hello.encode()).is_err() {
         return fail(Vec::new());
     }
@@ -541,7 +556,7 @@ fn ring_writer(
                 if q.shutdown {
                     return;
                 }
-                q = shared.ready.wait(q).expect("ring queue poisoned");
+                q = shared.ready.wait(q);
             }
             drain_batch(
                 &mut q.frames,
@@ -563,10 +578,7 @@ fn ring_writer(
                     if remaining.is_zero() {
                         break;
                     }
-                    let (guard, _) = shared
-                        .ready
-                        .wait_timeout(q, remaining)
-                        .expect("ring queue poisoned");
+                    let (guard, _) = shared.ready.wait_timeout(q, remaining);
                     q = guard;
                     drain_batch(
                         &mut q.frames,
@@ -581,6 +593,7 @@ fn ring_writer(
                 }
             }
         } // release the queue lock before touching the socket
+        blocking_syscall("ring successor send");
         if write_ring_frames(&mut stream, &batch, &mut scratch).is_err() {
             return fail(batch);
         }
@@ -590,18 +603,35 @@ fn ring_writer(
     }
 }
 
-fn connect_with_retry(addr: SocketAddr, attempts: u32) -> io::Result<TcpStream> {
+fn connect_with_retry(
+    addr: SocketAddr,
+    attempts: u32,
+    shared: &RingShared,
+) -> io::Result<TcpStream> {
     let mut last = None;
     for attempt in 0..attempts {
+        blocking_syscall("ring successor connect");
         match TcpStream::connect(addr) {
             Ok(s) => return Ok(s),
             Err(e) => {
                 last = Some(e);
-                // No point sleeping after the last attempt. (These sleeps
-                // run on the writer thread — the event loop keeps serving
-                // client traffic throughout a reconnect storm.)
+                // No point waiting after the last attempt. The backoff
+                // runs on the writer thread (the event loop keeps serving
+                // client traffic throughout a reconnect storm) and waits
+                // on the queue condvar, NOT a hard sleep: dropping the
+                // RingOut flags shutdown and signals it, so a writer
+                // stuck retrying a dead peer aborts immediately instead
+                // of sleeping out the rest of its backoff.
                 if attempt + 1 < attempts {
-                    thread::sleep(Duration::from_millis(50));
+                    let (q, _) = shared
+                        .ready
+                        .wait_timeout(shared.lock(), Duration::from_millis(50));
+                    if q.shutdown {
+                        return Err(io::Error::new(
+                            io::ErrorKind::Interrupted,
+                            "ring writer shut down during connect retry",
+                        ));
+                    }
                 }
             }
         }
@@ -826,7 +856,12 @@ fn event_loop(
                     value,
                 } => core.on_client_write(object, c, request, value),
                 Message::ReadReq { object, request } => core.on_client_read(object, c, request),
-                _ => Vec::new(),
+                // Clients never send replies or ring traffic; drop them
+                // by name so a new wire variant forces a decision here.
+                Message::WriteAck { .. }
+                | Message::ReadAck { .. }
+                | Message::Ring(_)
+                | Message::RingBatch(_) => Vec::new(),
             },
             Event::FromRing(frame) => core.on_frame(frame),
             Event::RingInDown(s) => {

@@ -231,7 +231,10 @@ impl Session {
             }
             self.pump()?;
         }
-        self.completed.remove(&request).expect("checked above")
+        match self.completed.remove(&request) {
+            Some(result) => result,
+            None => Err(io::Error::other("completion vanished before wait")),
+        }
     }
 
     /// Convenience: writes `value`, blocking until acknowledged (a
@@ -253,7 +256,7 @@ impl Session {
     pub fn read(&mut self) -> io::Result<Value> {
         let request = self.begin_read()?;
         self.wait(request)
-            .map(|v| v.expect("read completion carries a value"))
+            .and_then(crate::client::require_read_value)
     }
 
     /// Waits for every outstanding operation, returning the first error
@@ -304,7 +307,9 @@ impl Session {
             .insert(request, Instant::now() + self.timeout);
         match self.ensure_connection(server) {
             Ok(()) => {
-                let conn = self.conns[server.index()].as_mut().expect("ensured");
+                let Some(conn) = self.conns[server.index()].as_mut() else {
+                    return self.fail_server(server);
+                };
                 frame_into(&mut conn.outbuf, msg);
                 conn.buffered.push(request);
                 if conn.outbuf.len() >= SEND_FLUSH_BYTES {
@@ -333,6 +338,7 @@ impl Session {
                 buffered,
                 ..
             } = conn;
+            hts_types::sync::blocking_syscall("session coalesced send");
             let result = stream.write_all(outbuf).and_then(|()| stream.flush());
             outbuf.clear();
             (result, std::mem::take(buffered))
@@ -379,8 +385,10 @@ impl Session {
         match self.events_rx.recv_timeout(budget) {
             Ok(event) => self.absorb(event)?,
             Err(RecvTimeoutError::Timeout) => {}
+            // The session holds its own event sender, so this cannot
+            // fire; report it rather than panic the caller thread.
             Err(RecvTimeoutError::Disconnected) => {
-                unreachable!("session holds its own event sender")
+                return Err(io::Error::other("session event channel closed"))
             }
         }
         // Drain whatever else already arrived — a burst of replies is

@@ -42,6 +42,7 @@ pub mod codec;
 mod error;
 mod id;
 mod message;
+pub mod sync;
 mod tag;
 mod value;
 

@@ -1,0 +1,474 @@
+//! Lock wrappers with an optional runtime lock-order race detector.
+//!
+//! [`DebugMutex`], [`DebugRwLock`] and [`DebugCondvar`] are drop-in
+//! stand-ins for their `std::sync` counterparts, used by the runtime
+//! crates (`hts-net`'s ring-writer queues foremost). Two differences:
+//!
+//! * **Poison recovery** — a poisoned lock is recovered with
+//!   [`PoisonError::into_inner`] instead of a second panic: the thread
+//!   that poisoned it already failed the test run, and the protocol
+//!   state behind these locks (frame queues) stays structurally valid.
+//! * **Lock-order detection** — with the `lock-order` cargo feature, every
+//!   acquisition is recorded into a process-global lock-order graph keyed
+//!   by lock instance, and every thread tracks the locks it holds:
+//!
+//!   * acquiring a lock that closes a **cycle** in the order graph (an
+//!     A→B order on one path, B→A on another — a latent deadlock even if
+//!     the schedule never hit it) panics with both lock names;
+//!   * calling [`blocking_syscall`] — placed before the runtime's socket
+//!     writes, flushes and fsyncs — panics if the thread still **holds
+//!     any lock**, the "guard held across a blocking syscall" stall that
+//!     PR 3 and PR 4 each fixed once by hand.
+//!
+//! Without the feature (the default) all tracking code compiles away;
+//! the wrappers are plain newtypes over `std::sync` and
+//! [`blocking_syscall`] is an empty inline function. The CI `lockorder`
+//! job runs the hts-net TCP integration tests with the feature enabled;
+//! see EXPERIMENTS.md.
+//!
+//! [`Condvar::wait`](DebugCondvar::wait) releases the lock, so the held
+//! set is maintained across waits: the entry is removed for the duration
+//! of the wait and re-checked (order edges included) on re-acquisition.
+
+use std::sync::PoisonError;
+use std::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Duration;
+
+#[cfg(feature = "lock-order")]
+mod track {
+    use std::cell::RefCell;
+    use std::collections::{HashMap, HashSet};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Mutex, OnceLock, PoisonError};
+
+    static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+    /// A fresh instance id for a tracked lock.
+    pub fn new_id() -> u64 {
+        NEXT_ID.fetch_add(1, Ordering::Relaxed)
+    }
+
+    #[derive(Default)]
+    struct Graph {
+        /// held-lock id → ids acquired while it was held.
+        edges: HashMap<u64, HashSet<u64>>,
+        names: HashMap<u64, &'static str>,
+    }
+
+    impl Graph {
+        /// Is `to` reachable from `from` over recorded order edges?
+        fn reaches(&self, from: u64, to: u64) -> bool {
+            let mut stack = vec![from];
+            let mut seen = HashSet::new();
+            while let Some(n) = stack.pop() {
+                if n == to {
+                    return true;
+                }
+                if !seen.insert(n) {
+                    continue;
+                }
+                if let Some(next) = self.edges.get(&n) {
+                    stack.extend(next.iter().copied());
+                }
+            }
+            false
+        }
+    }
+
+    fn graph() -> &'static Mutex<Graph> {
+        static GRAPH: OnceLock<Mutex<Graph>> = OnceLock::new();
+        GRAPH.get_or_init(Mutex::default)
+    }
+
+    thread_local! {
+        /// Locks this thread currently holds, oldest first.
+        static HELD: RefCell<Vec<(u64, &'static str)>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Records the intent to acquire (id, name): adds order edges from
+    /// every held lock and panics if one of them closes a cycle.
+    pub fn pre_acquire(id: u64, name: &'static str) {
+        let held: Vec<(u64, &'static str)> = HELD.with(|h| h.borrow().clone());
+        if held.is_empty() {
+            return;
+        }
+        let mut g = graph().lock().unwrap_or_else(PoisonError::into_inner);
+        g.names.insert(id, name);
+        for (hid, hname) in &held {
+            g.names.insert(*hid, hname);
+            // A cycle exists if the lock being acquired already orders
+            // BEFORE a lock we hold, somewhere else in the program.
+            if *hid != id && g.reaches(id, *hid) {
+                // lint: allow(panic): the detector's verdict IS a panic
+                panic!(
+                    "lock-order cycle: thread {:?} acquiring `{name}` (#{id}) while holding \
+                     `{hname}` (#{hid}), but `{name}` -> ... -> `{hname}` was already \
+                     established elsewhere — latent deadlock",
+                    std::thread::current().id(),
+                );
+            }
+            g.edges.entry(*hid).or_default().insert(id);
+        }
+    }
+
+    /// Marks (id, name) as held by this thread.
+    pub fn acquired(id: u64, name: &'static str) {
+        HELD.with(|h| h.borrow_mut().push((id, name)));
+    }
+
+    /// Releases this thread's most recent hold of `id`.
+    pub fn released(id: u64) {
+        HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|(hid, _)| *hid == id) {
+                held.remove(pos);
+            }
+        });
+    }
+
+    /// Panics if this thread holds any tracked lock.
+    pub fn assert_unlocked(what: &str) {
+        HELD.with(|h| {
+            let held = h.borrow();
+            if let Some((_, name)) = held.last() {
+                // lint: allow(panic): the detector's verdict IS a panic
+                panic!(
+                    "blocking syscall `{what}` on thread {:?} with lock guard `{name}` held \
+                     ({} total) — a slow peer would stall every sibling of this lock",
+                    std::thread::current().id(),
+                    held.len(),
+                );
+            }
+        });
+    }
+}
+
+/// Declares a blocking syscall (socket write/flush, fsync, connect) is
+/// about to run on this thread. With the `lock-order` feature, panics if
+/// the thread still holds any [`DebugMutex`]/[`DebugRwLock`] guard; a
+/// no-op otherwise.
+#[inline]
+pub fn blocking_syscall(what: &str) {
+    #[cfg(feature = "lock-order")]
+    track::assert_unlocked(what);
+    #[cfg(not(feature = "lock-order"))]
+    let _ = what;
+}
+
+/// A [`Mutex`] that recovers from poisoning and participates in the
+/// `lock-order` detector. See the [module docs](self).
+pub struct DebugMutex<T> {
+    inner: Mutex<T>,
+    name: &'static str,
+    #[cfg(feature = "lock-order")]
+    id: u64,
+}
+
+/// Guard of a [`DebugMutex`]; releases the hold record on drop.
+pub struct DebugMutexGuard<'a, T> {
+    // `Option` so a condvar wait can take the std guard out without
+    // running the release bookkeeping twice.
+    inner: Option<MutexGuard<'a, T>>,
+    #[cfg(feature = "lock-order")]
+    id: u64,
+}
+
+impl<T> DebugMutex<T> {
+    /// Creates a named mutex (the name appears in detector panics).
+    pub fn new(name: &'static str, value: T) -> Self {
+        DebugMutex {
+            inner: Mutex::new(value),
+            name,
+            #[cfg(feature = "lock-order")]
+            id: track::new_id(),
+        }
+    }
+
+    /// The lock's diagnostic name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Acquires the lock, recovering from poison (see the module docs).
+    pub fn lock(&self) -> DebugMutexGuard<'_, T> {
+        #[cfg(feature = "lock-order")]
+        track::pre_acquire(self.id, self.name);
+        let guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        #[cfg(feature = "lock-order")]
+        track::acquired(self.id, self.name);
+        DebugMutexGuard {
+            inner: Some(guard),
+            #[cfg(feature = "lock-order")]
+            id: self.id,
+        }
+    }
+}
+
+impl<T> std::ops::Deref for DebugMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // `inner` is only None inside a condvar wait, during which the
+        // guard is moved into the wait and cannot be dereferenced.
+        // lint: allow(panic): unobservable by construction, Deref cannot fail
+        self.inner.as_ref().expect("guard not in a condvar wait")
+    }
+}
+
+impl<T> std::ops::DerefMut for DebugMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // lint: allow(panic): unobservable by construction, DerefMut cannot fail
+        self.inner.as_mut().expect("guard not in a condvar wait")
+    }
+}
+
+impl<T> Drop for DebugMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        #[cfg(feature = "lock-order")]
+        if self.inner.is_some() {
+            track::released(self.id);
+        }
+    }
+}
+
+/// A [`Condvar`] paired with [`DebugMutex`]: waits keep the detector's
+/// held-set accurate (the lock is released for the wait's duration).
+pub struct DebugCondvar {
+    inner: Condvar,
+}
+
+impl DebugCondvar {
+    /// Creates a condvar.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        DebugCondvar {
+            inner: Condvar::new(),
+        }
+    }
+
+    /// Blocks until notified, releasing `guard` for the duration.
+    pub fn wait<'a, T>(&self, mut guard: DebugMutexGuard<'a, T>) -> DebugMutexGuard<'a, T> {
+        #[cfg(feature = "lock-order")]
+        let id = guard.id;
+        // lint: allow(panic): unobservable, the wait consumes the guard
+        let std_guard = guard.inner.take().expect("guard not already waiting");
+        #[cfg(feature = "lock-order")]
+        track::released(id);
+        let std_guard = self
+            .inner
+            .wait(std_guard)
+            .unwrap_or_else(PoisonError::into_inner);
+        #[cfg(feature = "lock-order")]
+        track::acquired(id, "condvar re-acquire");
+        guard.inner = Some(std_guard);
+        guard
+    }
+
+    /// Blocks until notified or `timeout` elapses; the boolean reports a
+    /// timeout.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        mut guard: DebugMutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> (DebugMutexGuard<'a, T>, bool) {
+        #[cfg(feature = "lock-order")]
+        let id = guard.id;
+        // lint: allow(panic): unobservable, the wait consumes the guard
+        let std_guard = guard.inner.take().expect("guard not already waiting");
+        #[cfg(feature = "lock-order")]
+        track::released(id);
+        let (std_guard, result) = match self.inner.wait_timeout(std_guard, timeout) {
+            Ok((g, r)) => (g, r.timed_out()),
+            Err(poisoned) => {
+                let (g, r) = poisoned.into_inner();
+                (g, r.timed_out())
+            }
+        };
+        #[cfg(feature = "lock-order")]
+        track::acquired(id, "condvar re-acquire");
+        guard.inner = Some(std_guard);
+        (guard, result)
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+/// An [`RwLock`] that recovers from poisoning and participates in the
+/// `lock-order` detector (readers and writers share one graph node).
+pub struct DebugRwLock<T> {
+    inner: RwLock<T>,
+    name: &'static str,
+    #[cfg(feature = "lock-order")]
+    id: u64,
+}
+
+/// Read guard of a [`DebugRwLock`].
+pub struct DebugReadGuard<'a, T> {
+    inner: RwLockReadGuard<'a, T>,
+    #[cfg(feature = "lock-order")]
+    id: u64,
+}
+
+/// Write guard of a [`DebugRwLock`].
+pub struct DebugWriteGuard<'a, T> {
+    inner: RwLockWriteGuard<'a, T>,
+    #[cfg(feature = "lock-order")]
+    id: u64,
+}
+
+impl<T> DebugRwLock<T> {
+    /// Creates a named rwlock (the name appears in detector panics).
+    pub fn new(name: &'static str, value: T) -> Self {
+        DebugRwLock {
+            inner: RwLock::new(value),
+            name,
+            #[cfg(feature = "lock-order")]
+            id: track::new_id(),
+        }
+    }
+
+    /// The lock's diagnostic name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Acquires a shared read guard.
+    pub fn read(&self) -> DebugReadGuard<'_, T> {
+        #[cfg(feature = "lock-order")]
+        track::pre_acquire(self.id, self.name);
+        let guard = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+        #[cfg(feature = "lock-order")]
+        track::acquired(self.id, self.name);
+        DebugReadGuard {
+            inner: guard,
+            #[cfg(feature = "lock-order")]
+            id: self.id,
+        }
+    }
+
+    /// Acquires the exclusive write guard.
+    pub fn write(&self) -> DebugWriteGuard<'_, T> {
+        #[cfg(feature = "lock-order")]
+        track::pre_acquire(self.id, self.name);
+        let guard = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+        #[cfg(feature = "lock-order")]
+        track::acquired(self.id, self.name);
+        DebugWriteGuard {
+            inner: guard,
+            #[cfg(feature = "lock-order")]
+            id: self.id,
+        }
+    }
+}
+
+impl<T> std::ops::Deref for DebugReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> std::ops::Deref for DebugWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> std::ops::DerefMut for DebugWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T> Drop for DebugReadGuard<'_, T> {
+    fn drop(&mut self) {
+        #[cfg(feature = "lock-order")]
+        track::released(self.id);
+    }
+}
+
+impl<T> Drop for DebugWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        #[cfg(feature = "lock-order")]
+        track::released(self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // These run in BOTH feature modes: the wrappers must behave as plain
+    // locks regardless of whether tracking is compiled in.
+
+    #[test]
+    fn mutex_guards_data() {
+        let m = DebugMutex::new("test.m", 1u32);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.name(), "test.m");
+    }
+
+    #[test]
+    fn condvar_wait_timeout_times_out() {
+        let m = DebugMutex::new("test.cv", ());
+        let cv = DebugCondvar::new();
+        let guard = m.lock();
+        let (guard, timed_out) = cv.wait_timeout(guard, Duration::from_millis(1));
+        assert!(timed_out);
+        drop(guard);
+    }
+
+    #[test]
+    fn condvar_wakes_a_waiter() {
+        use std::sync::Arc;
+        struct Shared {
+            m: DebugMutex<bool>,
+            cv: DebugCondvar,
+        }
+        let shared = Arc::new(Shared {
+            m: DebugMutex::new("test.wake", false),
+            cv: DebugCondvar::new(),
+        });
+        let other = Arc::clone(&shared);
+        let t = std::thread::spawn(move || {
+            let mut ready = other.m.lock();
+            while !*ready {
+                ready = other.cv.wait(ready);
+            }
+        });
+        *shared.m.lock() = true;
+        shared.cv.notify_all();
+        t.join().expect("waiter exits");
+    }
+
+    #[test]
+    fn rwlock_guards_data() {
+        let l = DebugRwLock::new("test.rw", 7u32);
+        assert_eq!(*l.read(), 7);
+        *l.write() = 9;
+        assert_eq!(*l.read(), 9);
+    }
+
+    #[test]
+    fn consistent_lock_order_is_quiet() {
+        // a -> b on every path: never a cycle.
+        let a = DebugMutex::new("test.order.a", ());
+        let b = DebugMutex::new("test.order.b", ());
+        for _ in 0..3 {
+            let ga = a.lock();
+            let gb = b.lock();
+            drop(gb);
+            drop(ga);
+        }
+        blocking_syscall("no locks held here");
+    }
+}

@@ -1,0 +1,164 @@
+//! Tests for the `lock-order` runtime race detector.
+//!
+//! Only meaningful with the feature on (`cargo test -p hts-types
+//! --features lock-order`); without it the wrappers are passthrough and
+//! the whole file compiles to nothing.
+//!
+//! The detector state (order graph, thread-local held stacks) is
+//! process-global, so each panicking scenario runs on its own spawned
+//! thread with locks no other test touches — a cycle recorded by one
+//! test must not leak into another's graph via shared lock instances.
+#![cfg(feature = "lock-order")]
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use hts_types::sync::{blocking_syscall, DebugCondvar, DebugMutex, DebugRwLock};
+
+/// Runs `f` on a fresh thread and reports whether it panicked.
+fn panics(f: impl FnOnce() + Send + 'static) -> bool {
+    std::thread::spawn(f).join().is_err()
+}
+
+#[test]
+fn inverted_lock_order_panics() {
+    assert!(panics(|| {
+        let a = DebugMutex::new("t.invert.a", ());
+        let b = DebugMutex::new("t.invert.b", ());
+        {
+            let _ga = a.lock();
+            let _gb = b.lock(); // establishes a -> b
+        }
+        let _gb = b.lock();
+        let _ga = a.lock(); // b -> a closes the cycle
+    }));
+}
+
+#[test]
+fn consistent_order_across_threads_is_quiet() {
+    let a = Arc::new(DebugMutex::new("t.consistent.a", 0u32));
+    let b = Arc::new(DebugMutex::new("t.consistent.b", 0u32));
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+            std::thread::spawn(move || {
+                for _ in 0..50 {
+                    let mut ga = a.lock();
+                    let mut gb = b.lock();
+                    *ga += 1;
+                    *gb += 1;
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        assert!(h.join().is_ok(), "same order everywhere must not panic");
+    }
+    assert_eq!(*a.lock(), 200);
+}
+
+#[test]
+fn three_lock_cycle_panics() {
+    // a -> b, b -> c recorded; acquiring a under c closes the loop
+    // transitively, not through any single edge.
+    assert!(panics(|| {
+        let a = DebugMutex::new("t.tri.a", ());
+        let b = DebugMutex::new("t.tri.b", ());
+        let c = DebugMutex::new("t.tri.c", ());
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        {
+            let _gb = b.lock();
+            let _gc = c.lock();
+        }
+        let _gc = c.lock();
+        let _ga = a.lock();
+    }));
+}
+
+#[test]
+fn blocking_syscall_with_guard_held_panics() {
+    assert!(panics(|| {
+        let m = DebugMutex::new("t.sys.held", ());
+        let _g = m.lock();
+        blocking_syscall("fake socket write");
+    }));
+}
+
+#[test]
+fn blocking_syscall_after_drop_is_quiet() {
+    let m = DebugMutex::new("t.sys.dropped", ());
+    let g = m.lock();
+    drop(g);
+    blocking_syscall("fake socket write");
+}
+
+#[test]
+fn condvar_wait_releases_the_hold() {
+    // During a wait the mutex is unlocked, so a blocking syscall from the
+    // *notifying* side while the waiter sleeps is legal — and after the
+    // wait returns the hold is re-registered.
+    struct Shared {
+        m: DebugMutex<bool>,
+        cv: DebugCondvar,
+    }
+    let shared = Arc::new(Shared {
+        m: DebugMutex::new("t.cv.release", false),
+        cv: DebugCondvar::new(),
+    });
+    let waiter = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            let mut ready = shared.m.lock();
+            while !*ready {
+                ready = shared.cv.wait(ready);
+            }
+            // Re-acquired: the hold must be live again.
+            assert!(*ready);
+            true
+        })
+    };
+    std::thread::sleep(Duration::from_millis(20));
+    *shared.m.lock() = true;
+    shared.cv.notify_all();
+    blocking_syscall("notify side holds nothing");
+    assert!(waiter.join().expect("waiter must not panic"));
+}
+
+#[test]
+fn guard_held_across_wait_timeout_then_syscall_panics() {
+    assert!(panics(|| {
+        let m = DebugMutex::new("t.cv.timeout", ());
+        let cv = DebugCondvar::new();
+        let (guard, timed_out) = cv.wait_timeout(m.lock(), Duration::from_millis(1));
+        assert!(timed_out);
+        // The wait returned, the guard is held again: syscall is illegal.
+        let _g = guard;
+        blocking_syscall("fake fsync");
+    }));
+}
+
+#[test]
+fn rwlock_participates_in_ordering() {
+    assert!(panics(|| {
+        let m = DebugMutex::new("t.rw.m", ());
+        let l = DebugRwLock::new("t.rw.l", ());
+        {
+            let _gm = m.lock();
+            let _gl = l.read(); // m -> l
+        }
+        let _gl = l.write();
+        let _gm = m.lock(); // l -> m closes the cycle
+    }));
+}
+
+#[test]
+fn rwlock_guard_blocks_syscall() {
+    assert!(panics(|| {
+        let l = DebugRwLock::new("t.rw.sys", ());
+        let _g = l.read();
+        blocking_syscall("fake write under read guard");
+    }));
+}

@@ -230,6 +230,7 @@ impl Wal {
     ///
     /// Propagates the `fsync` failure.
     pub fn sync(&mut self) -> io::Result<()> {
+        hts_types::sync::blocking_syscall("wal fsync");
         self.active.sync_data()?;
         self.stats.fsyncs += 1;
         self.appends_since_sync = 0;
