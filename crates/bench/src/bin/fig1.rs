@@ -17,9 +17,10 @@
 //! tiny measurement windows.
 
 use hts_baselines::fig1::run_fig1;
-use hts_bench::report::{json_f64, latency_object, write_report};
+use hts_bench::report::{histogram_latency_object, json_f64, latency_object, write_report};
 use hts_bench::{run_ring_detailed, Params};
 use hts_core::BatchConfig;
+use hts_metrics::HistogramSnapshot;
 use hts_sim::Nanos;
 
 /// One batching-ablation row: the ring under a saturated small-value
@@ -29,6 +30,63 @@ struct AblationRow {
     writes: u64,
     write_mbps: f64,
     latency_json: String,
+    server: ServerWindow,
+}
+
+/// Opens a window over the server-side observables of one run: the
+/// `hts_sim_server_*_nanos` ack-latency histograms (the process-global
+/// metrics registry is cumulative across the runs in this binary, so each
+/// run is isolated by a snapshot diff) plus the real CPU this process
+/// burns. Metrics-off builds see empty snapshots and render `null`s.
+struct ServerProbe {
+    write0: HistogramSnapshot,
+    read0: HistogramSnapshot,
+    cpu0: Option<u64>,
+}
+
+/// One run's server-side window: ack-latency distributions (virtual
+/// nanos, same clock as the client latencies) and real CPU per completed
+/// operation (whole-process, whole-run — warmup and simulator machinery
+/// included, so it is a trend column, not a microbenchmark).
+struct ServerWindow {
+    write: HistogramSnapshot,
+    read: HistogramSnapshot,
+    cpu_us_per_op: f64,
+}
+
+impl ServerProbe {
+    fn begin() -> ServerProbe {
+        ServerProbe {
+            write0: hts_metrics::histogram("hts_sim_server_write_nanos").snapshot(),
+            read0: hts_metrics::histogram("hts_sim_server_read_nanos").snapshot(),
+            cpu0: hts_metrics::process_cpu_nanos(),
+        }
+    }
+
+    /// Closes the window; `ops` is the run's completed operation count
+    /// (measurement window), over which the CPU delta is apportioned.
+    fn end(self, ops: u64) -> ServerWindow {
+        let cpu_us_per_op = match (self.cpu0, hts_metrics::process_cpu_nanos()) {
+            (Some(before), Some(after)) if ops > 0 => {
+                after.saturating_sub(before) as f64 / ops as f64 / 1e3
+            }
+            _ => f64::NAN,
+        };
+        ServerWindow {
+            write: hts_metrics::histogram("hts_sim_server_write_nanos")
+                .snapshot()
+                .since(&self.write0),
+            read: hts_metrics::histogram("hts_sim_server_read_nanos")
+                .snapshot()
+                .since(&self.read0),
+            cpu_us_per_op,
+        }
+    }
+}
+
+/// A histogram quantile of nanosecond samples, in ms (`NaN` when empty).
+fn quantile_ms(q: Option<u64>) -> f64 {
+    q.map_or(f64::NAN, |n| n as f64 / 1e6)
 }
 
 fn main() {
@@ -70,11 +128,22 @@ fn main() {
         measure,
         ..Params::default()
     };
+    let probe = ServerProbe::begin();
     let (m, mut read_lat, mut write_lat) = run_ring_detailed(&params);
+    let baseline_server = probe.end(m.reads + m.writes);
     println!();
     println!(
         "ring baseline (packet model, n={}, 64 KiB): reads {:.1} Mbit/s, writes {:.1} Mbit/s",
         params.n, m.read_mbps, m.write_mbps
+    );
+    println!(
+        "  server-side ack latency: write p50 {:.2} / p99 {:.2} ms, read p50 {:.2} / p99 {:.2} ms; \
+         cpu {:.1} us/op",
+        quantile_ms(baseline_server.write.p50()),
+        quantile_ms(baseline_server.write.p99()),
+        quantile_ms(baseline_server.read.p50()),
+        quantile_ms(baseline_server.read.p99()),
+        baseline_server.cpu_us_per_op,
     );
 
     // Batching ablation: a saturated small-value write workload, where
@@ -90,8 +159,11 @@ fn main() {
          {ablation_value_size} B values)"
     );
     println!();
-    println!("| batch cap (frames) | writes completed | write Mbit/s | p50 ms | p99 ms |");
-    println!("|---|---|---|---|---|");
+    println!(
+        "| batch cap (frames) | writes completed | write Mbit/s | p50 ms | p99 ms | \
+         srv p50 ms | srv p99 ms | cpu us/op |"
+    );
+    println!("|---|---|---|---|---|---|---|---|");
     let mut ablation = Vec::new();
     for max_frames in [1usize, 8, 64] {
         let config = hts_core::Config {
@@ -108,19 +180,25 @@ fn main() {
             config,
             ..Params::default()
         };
+        let ab_probe = ServerProbe::begin();
         let (am, _, mut ab_write_lat) = run_ring_detailed(&ab_params);
+        let server = ab_probe.end(am.writes);
         println!(
-            "| {max_frames} | {} | {:.2} | {:.2} | {:.2} |",
+            "| {max_frames} | {} | {:.2} | {:.2} | {:.2} | {:.2} | {:.2} | {:.1} |",
             am.writes,
             am.write_mbps,
             hts_bench::percentile_ms(&mut ab_write_lat, 50.0),
             hts_bench::percentile_ms(&mut ab_write_lat, 99.0),
+            quantile_ms(server.write.p50()),
+            quantile_ms(server.write.p99()),
+            server.cpu_us_per_op,
         );
         ablation.push(AblationRow {
             max_frames,
             writes: am.writes,
             write_mbps: am.write_mbps,
             latency_json: latency_object(&mut ab_write_lat),
+            server,
         });
     }
     let cap1 = ablation.first().expect("cap-1 row");
@@ -142,8 +220,11 @@ fn main() {
          {ablation_value_size} B values, one object per writer)"
     );
     println!();
-    println!("| ring lanes | writes completed | write Mbit/s | p50 ms | p99 ms |");
-    println!("|---|---|---|---|---|");
+    println!(
+        "| ring lanes | writes completed | write Mbit/s | p50 ms | p99 ms | \
+         srv p50 ms | srv p99 ms | cpu us/op |"
+    );
+    println!("|---|---|---|---|---|---|---|---|");
     let mut lane_ablation = Vec::new();
     for lanes in [1u16, 2, 4] {
         let config = hts_core::Config {
@@ -161,19 +242,25 @@ fn main() {
             config,
             ..Params::default()
         };
+        let lane_probe = ServerProbe::begin();
         let (lm, _, mut lane_write_lat) = run_ring_detailed(&lane_params);
+        let server = lane_probe.end(lm.writes);
         println!(
-            "| {lanes} | {} | {:.2} | {:.2} | {:.2} |",
+            "| {lanes} | {} | {:.2} | {:.2} | {:.2} | {:.2} | {:.2} | {:.1} |",
             lm.writes,
             lm.write_mbps,
             hts_bench::percentile_ms(&mut lane_write_lat, 50.0),
             hts_bench::percentile_ms(&mut lane_write_lat, 99.0),
+            quantile_ms(server.write.p50()),
+            quantile_ms(server.write.p99()),
+            server.cpu_us_per_op,
         );
         lane_ablation.push(AblationRow {
             max_frames: usize::from(lanes), // reused row shape: the knob value
             writes: lm.writes,
             write_mbps: lm.write_mbps,
             latency_json: latency_object(&mut lane_write_lat),
+            server,
         });
     }
     let lanes1 = lane_ablation.first().expect("1-lane row");
@@ -198,8 +285,11 @@ fn main() {
          {ablation_value_size} B values, window 1/8/64)"
     );
     println!();
-    println!("| session window | writes completed | write Mbit/s | p50 ms | p99 ms |");
-    println!("|---|---|---|---|---|");
+    println!(
+        "| session window | writes completed | write Mbit/s | p50 ms | p99 ms | \
+         srv p50 ms | srv p99 ms | cpu us/op |"
+    );
+    println!("|---|---|---|---|---|---|---|---|");
     let mut pipeline_ablation = Vec::new();
     for window in [1usize, 8, 64] {
         let win_params = Params {
@@ -212,19 +302,25 @@ fn main() {
             client_window: window,
             ..Params::default()
         };
+        let win_probe = ServerProbe::begin();
         let (wm, _, mut win_write_lat) = run_ring_detailed(&win_params);
+        let server = win_probe.end(wm.writes);
         println!(
-            "| {window} | {} | {:.2} | {:.2} | {:.2} |",
+            "| {window} | {} | {:.2} | {:.2} | {:.2} | {:.2} | {:.2} | {:.1} |",
             wm.writes,
             wm.write_mbps,
             hts_bench::percentile_ms(&mut win_write_lat, 50.0),
             hts_bench::percentile_ms(&mut win_write_lat, 99.0),
+            quantile_ms(server.write.p50()),
+            quantile_ms(server.write.p99()),
+            server.cpu_us_per_op,
         );
         pipeline_ablation.push(AblationRow {
             max_frames: window, // reused row shape: the knob value
             writes: wm.writes,
             write_mbps: wm.write_mbps,
             latency_json: latency_object(&mut win_write_lat),
+            server,
         });
     }
     let window1 = pipeline_ablation.first().expect("window-1 row");
@@ -237,41 +333,28 @@ fn main() {
         window64.write_mbps / window1.write_mbps
     );
 
+    let ablation_row_json = |knob: &str, row: &AblationRow| {
+        format!(
+            r#"    {{"{knob}": {}, "writes_completed": {}, "write_throughput_mbps": {}, "write_latency": {}, "server_write_latency": {}, "cpu_us_per_op": {}}}"#,
+            row.max_frames,
+            row.writes,
+            json_f64(row.write_mbps),
+            row.latency_json,
+            histogram_latency_object(&row.server.write),
+            json_f64(row.server.cpu_us_per_op),
+        )
+    };
     let ablation_rows: Vec<String> = ablation
         .iter()
-        .map(|row| {
-            format!(
-                r#"    {{"max_frames": {}, "writes_completed": {}, "write_throughput_mbps": {}, "write_latency": {}}}"#,
-                row.max_frames,
-                row.writes,
-                json_f64(row.write_mbps),
-                row.latency_json,
-            )
-        })
+        .map(|row| ablation_row_json("max_frames", row))
         .collect();
     let lane_rows: Vec<String> = lane_ablation
         .iter()
-        .map(|row| {
-            format!(
-                r#"    {{"lanes": {}, "writes_completed": {}, "write_throughput_mbps": {}, "write_latency": {}}}"#,
-                row.max_frames,
-                row.writes,
-                json_f64(row.write_mbps),
-                row.latency_json,
-            )
-        })
+        .map(|row| ablation_row_json("lanes", row))
         .collect();
     let pipeline_rows: Vec<String> = pipeline_ablation
         .iter()
-        .map(|row| {
-            format!(
-                r#"    {{"window": {}, "writes_completed": {}, "write_throughput_mbps": {}, "write_latency": {}}}"#,
-                row.max_frames,
-                row.writes,
-                json_f64(row.write_mbps),
-                row.latency_json,
-            )
-        })
+        .map(|row| ablation_row_json("window", row))
         .collect();
 
     let body = format!(
@@ -294,7 +377,10 @@ fn main() {
     "reads_completed": {},
     "writes_completed": {},
     "read_latency": {},
-    "write_latency": {}
+    "write_latency": {},
+    "server_write_latency": {},
+    "server_read_latency": {},
+    "cpu_us_per_op": {}
   }},
   "batching_ablation": {{
     "n": 4,
@@ -342,6 +428,9 @@ fn main() {
         m.writes,
         latency_object(&mut read_lat),
         latency_object(&mut write_lat),
+        histogram_latency_object(&baseline_server.write),
+        histogram_latency_object(&baseline_server.read),
+        json_f64(baseline_server.cpu_us_per_op),
         ablation_value_size,
         ablation_writers,
         json_f64(measure.as_secs_f64()),
@@ -378,4 +467,31 @@ fn main() {
         window8.write_mbps,
         window1.write_mbps
     );
+    // The server-side columns must carry real samples whenever metrics are
+    // compiled in — smoke mode included, so CI catches silently-dead
+    // instrumentation. (Metrics off: snapshots are empty by construction.)
+    if cfg!(feature = "metrics") {
+        assert!(
+            baseline_server.write.count() > 0 && baseline_server.read.count() > 0,
+            "server-side ack-latency histograms are empty: the \
+             hts_sim_server_*_nanos instrumentation went dead"
+        );
+        for row in ablation
+            .iter()
+            .chain(&lane_ablation)
+            .chain(&pipeline_ablation)
+        {
+            assert!(
+                row.server.write.count() > 0,
+                "ablation row (knob {}) has an empty server-side write histogram",
+                row.max_frames
+            );
+        }
+        if cfg!(target_os = "linux") {
+            assert!(
+                baseline_server.cpu_us_per_op.is_finite(),
+                "cpu_us_per_op must be measurable on linux"
+            );
+        }
+    }
 }

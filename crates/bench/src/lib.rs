@@ -33,5 +33,6 @@ pub use harness::{
     Protocol,
 };
 pub use report::{
-    json_f64, json_string, json_string_array, latency_object, percentile_ms, write_report,
+    histogram_latency_object, json_f64, json_string, json_string_array, latency_object,
+    percentile_ms, write_report,
 };

@@ -9,6 +9,8 @@
 use std::io;
 use std::path::PathBuf;
 
+use hts_metrics::HistogramSnapshot;
+
 /// Formats an `f64` for JSON: finite numbers with enough precision to
 /// diff, non-finite as `null`.
 pub fn json_f64(x: f64) -> String {
@@ -70,6 +72,23 @@ pub fn latency_object(latencies: &mut [u64]) -> String {
     )
 }
 
+/// A JSON object for a latency histogram snapshot of nanosecond samples
+/// (e.g. a server-side `hts_sim_server_write_nanos` window): count, mean,
+/// p50, p99, p99.9 in ms. Quantiles render `null` when the snapshot is
+/// empty — including every metrics-off build, where snapshots have no
+/// samples by construction.
+pub fn histogram_latency_object(snap: &HistogramSnapshot) -> String {
+    let to_ms = |v: Option<u64>| json_f64(v.map_or(f64::NAN, |n| n as f64 / 1e6));
+    format!(
+        r#"{{"count": {}, "mean_ms": {}, "p50_ms": {}, "p99_ms": {}, "p999_ms": {}}}"#,
+        snap.count(),
+        json_f64(snap.mean().map_or(f64::NAN, |m| m / 1e6)),
+        to_ms(snap.p50()),
+        to_ms(snap.p99()),
+        to_ms(snap.p999()),
+    )
+}
+
 /// Writes `BENCH_<name>.json` into the current directory and returns the
 /// path.
 ///
@@ -102,6 +121,24 @@ mod tests {
             r#"["x", "y"]"#
         );
         assert_eq!(json_string_array(&[]), "[]");
+    }
+
+    #[test]
+    fn histogram_latency_object_renders_quantiles_or_null() {
+        let h = hts_metrics::Histogram::new();
+        for _ in 0..100 {
+            h.record(2_000_000); // 2 ms
+        }
+        let obj = histogram_latency_object(&h.snapshot());
+        assert!(obj.starts_with('{') && obj.ends_with('}'));
+        assert!(obj.contains("\"p999_ms\""));
+        if cfg!(feature = "metrics") {
+            assert!(obj.contains("\"count\": 100"));
+        }
+        // Empty snapshots (and every metrics-off build) render null.
+        let empty = histogram_latency_object(&HistogramSnapshot::empty());
+        assert!(empty.contains("\"count\": 0"));
+        assert!(empty.contains("null"));
     }
 
     #[test]

@@ -6,8 +6,8 @@
 //! caught before review: a `thread::sleep` stalling the ring writer, an
 //! `assert!` where an `io::Error` belonged, and a silent catch-all match
 //! arm hiding an alive-map recovery bug. This crate is that check — a
-//! dependency-free, token-level linter enforcing five rules over the
-//! protocol crates (`crates/{types,core,net,wal,sim}`):
+//! dependency-free, token-level linter enforcing six rules over the
+//! protocol crates (`crates/{types,core,net,wal,sim,metrics}`):
 //!
 //! * **L1 `no_panic`** — no `unwrap`/`expect`/`panic!`/`assert!`-family
 //!   in non-test protocol code; errors must propagate.
@@ -19,6 +19,9 @@
 //!   [`Message`] wire variants; every variant is dispatched by name.
 //! * **L5 `unsafe_safety`** — every `unsafe` block carries a
 //!   `// SAFETY:` comment.
+//! * **L6 `ring_hot_loop`** — no `Instant::now()` or allocation
+//!   constructors inside the per-frame ring hot functions (the
+//!   `hts_metrics` helpers are alloc-free and exempt by construction).
 //!
 //! Existing debt is frozen in `lint-baseline.toml` (see [`baseline`]):
 //! new violations fail CI, fixed ones shrink the ratchet. Run with
@@ -39,8 +42,9 @@ use std::path::{Path, PathBuf};
 pub use baseline::{diff, Baseline, Diff};
 pub use rules::{check_file, Rule, Violation};
 
-/// The protocol crates the workspace lint covers.
-pub const PROTOCOL_CRATES: [&str; 5] = ["types", "core", "net", "wal", "sim"];
+/// The protocol crates the workspace lint covers. `metrics` is included
+/// because its primitives sit on the data path of every other crate.
+pub const PROTOCOL_CRATES: [&str; 6] = ["types", "core", "net", "wal", "sim", "metrics"];
 
 /// Lints `crates/<crate>/src/**/*.rs` under `root` for each named crate.
 ///

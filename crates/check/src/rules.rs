@@ -1,4 +1,4 @@
-//! The five protocol-safety rules, run over one file's token stream.
+//! The six protocol-safety rules, run over one file's token stream.
 //!
 //! | Rule | Guards against |
 //! |------|----------------|
@@ -7,6 +7,7 @@
 //! | L3 `guard_across_io` | a lock guard bound live across a `write`/`flush`/`sync` call in the same block |
 //! | L4 `message_catch_all` | `_ =>` catch-alls in a `match` dispatching [`Message`] wire variants |
 //! | L5 `unsafe_safety` | an `unsafe` block without a `// SAFETY:` comment |
+//! | L6 `ring_hot_loop` | `Instant::now()` / allocation constructors inside the per-frame ring hot functions |
 //!
 //! All rules skip test scope (`#[cfg(test)]` items and `#[test]` fns) and
 //! honor `// lint: allow(<rule>): reason` suppressions on the violating
@@ -29,11 +30,14 @@ pub enum Rule {
     L4,
     /// Every `unsafe` block carries a `// SAFETY:` comment.
     L5,
+    /// No `Instant::now()` or allocation constructors in the per-frame
+    /// ring hot functions.
+    L6,
 }
 
 impl Rule {
     /// Every rule, in order.
-    pub const ALL: [Rule; 5] = [Rule::L1, Rule::L2, Rule::L3, Rule::L4, Rule::L5];
+    pub const ALL: [Rule; 6] = [Rule::L1, Rule::L2, Rule::L3, Rule::L4, Rule::L5, Rule::L6];
 
     /// The rule's short id (`"L1"`).
     pub fn id(self) -> &'static str {
@@ -43,6 +47,7 @@ impl Rule {
             Rule::L3 => "L3",
             Rule::L4 => "L4",
             Rule::L5 => "L5",
+            Rule::L6 => "L6",
         }
     }
 
@@ -55,6 +60,7 @@ impl Rule {
             Rule::L3 => "guard_across_io",
             Rule::L4 => "message_catch_all",
             Rule::L5 => "unsafe_safety",
+            Rule::L6 => "ring_hot_loop",
         }
     }
 
@@ -108,6 +114,7 @@ pub fn check_file(file: &str, src: &str) -> Vec<Violation> {
     rule_l3(file, toks, &mut out);
     rule_l4(file, toks, &mut out);
     rule_l5(file, toks, &lexed.comments, &mut out);
+    rule_l6(file, toks, &mut out);
     out.retain(|v| {
         let tested = tok_in_test(toks, &test, v.line);
         let allowed = allows
@@ -513,6 +520,123 @@ fn rule_l5(file: &str, toks: &[Tok<'_>], comments: &[Comment], out: &mut Vec<Vio
     }
 }
 
+/// The per-frame ring hot functions: every ring frame (and with small
+/// values, every committed write) passes through these on the data path,
+/// so a stray `Instant::now()` syscall or heap allocation here is a
+/// throughput regression, not a style nit. The metrics helpers
+/// (`hts_metrics::now_nanos`, the `counter!`-family macros) are designed
+/// alloc-free and are not in the flagged construct set.
+const HOT_FUNCTIONS: [&str; 8] = [
+    "ring_writer",
+    "ring_in_loop",
+    "drain_batch",
+    "next_frame",
+    "drain_frames",
+    "drain_frames_with",
+    "next_object_frame",
+    "pump",
+];
+
+/// `Type::new()` constructors that heap-allocate.
+const ALLOC_TYPES: [&str; 4] = ["Vec", "VecDeque", "String", "Box"];
+/// Macros that heap-allocate.
+const ALLOC_MACROS: [&str; 2] = ["vec", "format"];
+/// Allocating methods/associated fns flagged by bare name.
+const ALLOC_CALLS: [&str; 2] = ["to_vec", "with_capacity"];
+
+fn rule_l6(file: &str, toks: &[Tok<'_>], out: &mut Vec<Violation>) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        let hot = toks[i].is_ident("fn")
+            && toks
+                .get(i + 1)
+                .is_some_and(|t| HOT_FUNCTIONS.contains(&t.text));
+        if !hot {
+            i += 1;
+            continue;
+        }
+        // The body: first `{` at bracket depth 0 past the signature.
+        let mut j = i + 2;
+        let mut depth = 0i32;
+        let mut open = None;
+        while let Some(t) = toks.get(j) {
+            if t.is('(') || t.is('[') || t.is('<') {
+                depth += 1;
+            } else if t.is(')') || t.is(']') || t.is('>') {
+                depth -= 1;
+            } else if depth <= 0 && t.is('{') {
+                open = Some(j);
+                break;
+            } else if depth <= 0 && t.is(';') {
+                break; // trait method declaration: no body
+            }
+            j += 1;
+        }
+        let Some(open) = open else {
+            i += 2;
+            continue;
+        };
+        let close = matching(toks, open, '{', '}').unwrap_or(toks.len() - 1);
+        let fn_name = toks[i + 1].text;
+        for k in open + 1..close {
+            let t = &toks[k];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let next = toks.get(k + 1);
+            // `Instant::now()` — a syscall per frame.
+            if t.is_ident("now")
+                && k >= 3
+                && toks[k - 1].is(':')
+                && toks[k - 2].is(':')
+                && toks[k - 3].is_ident("Instant")
+                && next.is_some_and(|n| n.is('('))
+            {
+                out.push(Violation {
+                    rule: Rule::L6,
+                    file: file.to_string(),
+                    line: t.line,
+                    what: format!(
+                        "Instant::now() in ring hot function `{fn_name}`; hoist it out of the \
+                         per-frame path (or use hts_metrics::now_nanos, which is free when \
+                         metrics are off)"
+                    ),
+                });
+                continue;
+            }
+            // `Vec::new()` / `String::new()` / ... — a heap allocation
+            // per frame.
+            let alloc_new = t.is_ident("new")
+                && k >= 3
+                && toks[k - 1].is(':')
+                && toks[k - 2].is(':')
+                && ALLOC_TYPES.contains(&toks[k - 3].text)
+                && next.is_some_and(|n| n.is('('));
+            let alloc_macro = ALLOC_MACROS.contains(&t.text) && next.is_some_and(|n| n.is('!'));
+            let alloc_call = ALLOC_CALLS.contains(&t.text) && next.is_some_and(|n| n.is('('));
+            if alloc_new || alloc_macro || alloc_call {
+                let shown = if alloc_macro {
+                    format!("{}!", t.text)
+                } else if alloc_new {
+                    format!("{}::new", toks[k - 3].text)
+                } else {
+                    t.text.to_string()
+                };
+                out.push(Violation {
+                    rule: Rule::L6,
+                    file: file.to_string(),
+                    line: t.line,
+                    what: format!(
+                        "`{shown}` allocates in ring hot function `{fn_name}`; reuse a \
+                         caller-provided buffer instead"
+                    ),
+                });
+            }
+        }
+        i = close + 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -575,6 +699,25 @@ mod tests {
         let src = "fn f(m: R) {\n    match m {\n        Ok(Message::Ring(f)) => a(),\n        \
                    Ok(_) => b(),\n        Err(e) => c(e),\n    }\n}\n";
         assert_eq!(rules_of(src), vec![(Rule::L4, 4)]);
+    }
+
+    #[test]
+    fn l6_flags_clocks_and_allocs_in_hot_functions_only() {
+        let src =
+            "fn ring_writer() {\n    let d = Instant::now();\n    let mut b = Vec::new();\n    \
+                   let s = format!(\"x\");\n    let v = slice.to_vec();\n}\n\
+                   fn cold_path() {\n    let d = Instant::now();\n    let b = Vec::new();\n}\n";
+        assert_eq!(
+            rules_of(src),
+            vec![(Rule::L6, 2), (Rule::L6, 3), (Rule::L6, 4), (Rule::L6, 5)]
+        );
+    }
+
+    #[test]
+    fn l6_permits_metrics_helpers_and_nonallocating_code() {
+        let src = "fn next_frame() {\n    let t0 = hts_metrics::now_nanos();\n    \
+                   hts_metrics::histogram!(\"hts_x\").record(t0);\n    q.pop_front();\n}\n";
+        assert!(rules_of(src).is_empty());
     }
 
     #[test]

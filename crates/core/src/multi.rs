@@ -44,6 +44,8 @@ pub struct MultiObjectServer {
     /// Restart resync in progress: every core queues reads and holds
     /// local writes until our own announcement completes its circuit.
     syncing: bool,
+    /// [`hts_metrics::now_nanos`] when the resync began (0 outside one).
+    sync_begun_at: u64,
 }
 
 impl MultiObjectServer {
@@ -59,6 +61,7 @@ impl MultiObjectServer {
             crashed: Vec::new(),
             announce: VecDeque::new(),
             syncing: false,
+            sync_begun_at: 0,
         }
     }
 
@@ -199,6 +202,7 @@ impl MultiObjectServer {
             return;
         }
         self.syncing = true;
+        self.sync_begun_at = hts_metrics::now_nanos();
         for core in self.objects.values_mut() {
             core.begin_sync();
         }
@@ -241,6 +245,10 @@ impl MultiObjectServer {
             // Clean certificate — or a whole-cluster cold start, where
             // the recovery logs are collectively all there is.
             self.syncing = false;
+            hts_metrics::histogram!("hts_core_resync_nanos")
+                .record(hts_metrics::now_nanos().saturating_sub(self.sync_begun_at));
+            hts_metrics::counter!("hts_core_resyncs_total").inc();
+            self.sync_begun_at = 0;
             let mut actions = Vec::new();
             for core in self.objects.values_mut() {
                 actions.extend(core.finish_sync());
@@ -315,7 +323,8 @@ impl MultiObjectServer {
         };
         for k in 0..ids.len() {
             let id = ids[(start + k) % ids.len()];
-            if let Some(frame) = self.objects.get_mut(&id).expect("known id").next_frame() {
+            let core = self.objects.get_mut(&id)?; // ids came from the map
+            if let Some(frame) = core.next_frame() {
                 self.cursor = Some(id);
                 return Some(frame);
             }

@@ -90,10 +90,23 @@ impl RoundProcess<Message> for RoundServer {
                         self.core.on_client_write(client, request, value)
                     }
                     Message::ReadReq { request, .. } => self.core.on_client_read(client, request),
+                    Message::StatsRequest { request } => {
+                        // Answered from the process-wide registry, outside
+                        // the protocol core: stats are observational.
+                        self.replies.push_back((
+                            client,
+                            Message::StatsReply {
+                                request,
+                                text: Value::from(hts_metrics::render().into_bytes()),
+                            },
+                        ));
+                        Vec::new()
+                    }
                     // Clients never send replies or ring traffic; dropped
                     // by name so a new wire variant forces a decision.
                     Message::WriteAck { .. }
                     | Message::ReadAck { .. }
+                    | Message::StatsReply { .. }
                     | Message::Ring(_)
                     | Message::RingBatch(_) => Vec::new(),
                 };

@@ -91,6 +91,12 @@ enum Phase {
 struct Outstanding {
     client: Option<(ClientId, RequestId)>,
     phase: Phase,
+    /// [`hts_metrics::now_nanos`] when the pre-write was framed (0 with
+    /// metrics off — the phase histograms then record nothing).
+    begun_at: u64,
+    /// When the own pre-write returned and the write phase started; 0
+    /// while still in [`Phase::PreWrite`].
+    prewrite_done_at: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -100,6 +106,8 @@ struct WaitingRead {
     /// The read unblocks on the first write notice with tag >= target
     /// (paper line 81).
     target: Tag,
+    /// [`hts_metrics::now_nanos`] when the read blocked.
+    begun_at: u64,
 }
 
 /// The per-object server state machine. See the [module docs](self).
@@ -328,6 +336,7 @@ impl ServerCore {
             }];
         }
         self.write_queue.push_back((Some((client, request)), value));
+        hts_metrics::histogram!("hts_core_write_queue_depth").record(self.write_queue.len() as u64);
         Vec::new()
     }
 
@@ -363,6 +372,7 @@ impl ServerCore {
             client,
             request,
             target: highest_pending.expect("blocked read requires a pending write"),
+            begun_at: hts_metrics::now_nanos(),
         });
         Vec::new()
     }
@@ -495,11 +505,19 @@ impl ServerCore {
                         .expect("InitiateLocal offered only when a write is queued");
                     let tag = self.next_tag();
                     self.pending.insert(tag, value.clone());
+                    hts_metrics::flight::record(
+                        hts_metrics::flight::KIND_OP_BEGIN,
+                        client.map_or(0, |(_, r)| r.0),
+                        tag.ts,
+                        u64::from(tag.origin.0),
+                    );
                     self.outstanding.insert(
                         tag,
                         Outstanding {
                             client,
                             phase: Phase::PreWrite,
+                            begun_at: hts_metrics::now_nanos(),
+                            prewrite_done_at: 0,
                         },
                     );
                     self.note_prewrite_seen(tag);
@@ -617,6 +635,15 @@ impl ServerCore {
             match self.outstanding.get_mut(&tag) {
                 Some(out) if out.phase == Phase::PreWrite => {
                     out.phase = Phase::Write;
+                    out.prewrite_done_at = hts_metrics::now_nanos();
+                    hts_metrics::histogram!("hts_core_write_prewrite_nanos")
+                        .record(out.prewrite_done_at.saturating_sub(out.begun_at));
+                    hts_metrics::flight::record(
+                        hts_metrics::flight::KIND_OP_PHASE,
+                        out.client.map_or(0, |(_, r)| r.0),
+                        tag.ts,
+                        u64::from(tag.origin.0),
+                    );
                     self.apply(tag, pw.value.clone());
                     self.pending.remove(tag);
                     let value = (self.config.write_carries_value
@@ -727,6 +754,19 @@ impl ServerCore {
         let acked = std::mem::replace(&mut self.outstanding, still_out);
         for (t, out) in acked {
             debug_assert!(t <= tag);
+            let done = hts_metrics::now_nanos();
+            if out.prewrite_done_at != 0 {
+                hts_metrics::histogram!("hts_core_write_commit_nanos")
+                    .record(done.saturating_sub(out.prewrite_done_at));
+            }
+            hts_metrics::histogram!("hts_core_write_total_nanos")
+                .record(done.saturating_sub(out.begun_at));
+            hts_metrics::flight::record(
+                hts_metrics::flight::KIND_OP_COMPLETE,
+                out.client.map_or(0, |(_, r)| r.0),
+                t.ts,
+                u64::from(t.origin.0),
+            );
             if let Some((client, request)) = out.client {
                 actions.push(Action::WriteAck {
                     object: self.object,
@@ -783,6 +823,8 @@ impl ServerCore {
         let object = self.object;
         for wr in self.waiting_reads.drain(..) {
             if wr.target <= tag {
+                hts_metrics::histogram!("hts_core_read_block_nanos")
+                    .record(hts_metrics::now_nanos().saturating_sub(wr.begun_at));
                 actions.push(Action::ReadReply {
                     object,
                     client: wr.client,

@@ -225,10 +225,14 @@ impl SessionCore {
         let (request, value) = match reply {
             Message::WriteAck { request, .. } => (*request, None),
             Message::ReadAck { request, value, .. } => (*request, Some(value.clone())),
-            // Requests and ring traffic are not replies; ignored by name
-            // so a new wire variant forces a decision here.
+            // Requests, ring traffic and stats exchanges are not register
+            // replies; ignored by name so a new wire variant forces a
+            // decision here. (Stats run outside the session window — the
+            // transport answers them without consuming an op slot.)
             Message::WriteReq { .. }
             | Message::ReadReq { .. }
+            | Message::StatsRequest { .. }
+            | Message::StatsReply { .. }
             | Message::Ring(_)
             | Message::RingBatch(_) => return None,
         };
@@ -258,16 +262,26 @@ impl SessionCore {
     /// livelock.
     pub fn on_timeout(&mut self, request: RequestId) -> Option<(ServerId, Message)> {
         let n = self.n;
-        let inflight = self.inflight.get_mut(&request)?;
-        let from = inflight.server;
-        inflight.attempts += 1;
-        if inflight.attempts % u32::from(n) == 0 {
+        let (from, attempts) = {
+            let inflight = self.inflight.get_mut(&request)?;
+            inflight.attempts += 1;
+            (inflight.server, inflight.attempts)
+        };
+        if attempts % u32::from(n) == 0 {
             // A full cycle of silence: our suspicions bought nothing.
             // Start probing everyone again.
             self.alive.iter_mut().for_each(|a| *a = true);
         }
         let next = self.next_server_after(from);
-        let inflight = self.inflight.get_mut(&request).expect("checked above");
+        hts_metrics::counter!("hts_session_retries_total").inc();
+        hts_metrics::flight::record(
+            hts_metrics::flight::KIND_OP_RETRY,
+            request.0,
+            u64::from(from.0),
+            u64::from(next.0),
+        );
+        // Still present: nothing between the two lookups removes entries.
+        let inflight = self.inflight.get_mut(&request)?;
         inflight.server = next;
         Some((next, inflight.message.clone()))
     }
@@ -278,6 +292,15 @@ impl SessionCore {
     /// oldest request first.
     pub fn on_server_down(&mut self, s: ServerId) -> Vec<(RequestId, ServerId, Message)> {
         if let Some(a) = self.alive.get_mut(s.index()) {
+            if *a {
+                hts_metrics::counter!("hts_session_server_down_total").inc();
+                hts_metrics::flight::record(
+                    hts_metrics::flight::KIND_ALIVE_TRANSITION,
+                    u64::from(s.0),
+                    0,
+                    u64::from(self.id.0),
+                );
+            }
             *a = false;
         }
         let stranded: Vec<RequestId> = self
@@ -301,6 +324,15 @@ impl SessionCore {
     /// targets.
     pub fn on_server_up(&mut self, s: ServerId) {
         if let Some(a) = self.alive.get_mut(s.index()) {
+            if !*a {
+                hts_metrics::counter!("hts_session_server_up_total").inc();
+                hts_metrics::flight::record(
+                    hts_metrics::flight::KIND_ALIVE_TRANSITION,
+                    u64::from(s.0),
+                    1,
+                    u64::from(self.id.0),
+                );
+            }
             *a = true;
         }
     }
@@ -346,6 +378,9 @@ impl SessionCore {
                 attempts: 0,
             },
         );
+        // Occupancy *after* the insert: how full the window runs when ops
+        // launch, the pipelining signal the fig1 window ablation varies.
+        hts_metrics::histogram!("hts_session_window_inflight").record(self.inflight.len() as u64);
         (request, server, message)
     }
 

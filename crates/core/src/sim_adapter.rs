@@ -75,6 +75,10 @@ pub struct SimServer {
     deferred_acks: Vec<(Nanos, (NodeId, Message))>,
     /// Crash-restarts survived.
     restarts: u64,
+    /// Virtual-time arrival of each client request still awaiting its
+    /// reply: the server-side latency histograms (what fig1's
+    /// `srv_write_p50/p99` columns report) measure ack-send minus this.
+    arrivals: HashMap<(ClientId, RequestId), Nanos>,
 }
 
 impl SimServer {
@@ -144,6 +148,7 @@ impl SimServer {
             prefer_reply: true,
             deferred_acks: Vec::new(),
             restarts: 0,
+            arrivals: HashMap::new(),
         }
     }
 
@@ -211,8 +216,13 @@ impl SimServer {
                 Durability::Buffered | Durability::Volatile => false,
             };
             let done = disk.append(now, batch_bytes, sync);
+            if sync {
+                hts_metrics::histogram!("hts_sim_fsync_nanos")
+                    .record(done.saturating_sub(now).as_nanos());
+            }
             lane.durable_horizon = lane.durable_horizon.max(done);
         }
+        hts_metrics::histogram!("hts_sim_group_commit_records").record(commits.len() as u64);
         for (object, tag, value) in commits {
             let entry = lane
                 .persisted
@@ -260,6 +270,13 @@ impl SimServer {
                     client,
                     request,
                 } => {
+                    // Server-side latency in *virtual* time: arrival to
+                    // the instant the ack leaves (the fsync gate counts —
+                    // durability is part of what the client waits for).
+                    if let Some(arrived) = self.arrivals.remove(&(client, request)) {
+                        hts_metrics::histogram!("hts_sim_server_write_nanos")
+                            .record(gate.unwrap_or(now).saturating_sub(arrived).as_nanos());
+                    }
                     let reply = (
                         NodeId::Client(client),
                         Message::WriteAck { object, request },
@@ -278,14 +295,20 @@ impl SimServer {
                     request,
                     value,
                     tag: _,
-                } => self.replies.push_back((
-                    NodeId::Client(client),
-                    Message::ReadAck {
-                        object,
-                        request,
-                        value,
-                    },
-                )),
+                } => {
+                    if let Some(arrived) = self.arrivals.remove(&(client, request)) {
+                        hts_metrics::histogram!("hts_sim_server_read_nanos")
+                            .record(now.saturating_sub(arrived).as_nanos());
+                    }
+                    self.replies.push_back((
+                        NodeId::Client(client),
+                        Message::ReadAck {
+                            object,
+                            request,
+                            value,
+                        },
+                    ));
+                }
             }
         }
     }
@@ -328,26 +351,24 @@ impl SimServer {
                 }
             }
         }
-        match frames.len() {
-            0 => false,
-            1 => {
-                let frame = frames.pop().expect("len checked");
-                ctx.send(
-                    lane.ring_net,
-                    NodeId::Server(successor),
-                    Message::Ring(frame),
-                );
-                true
-            }
-            _ => {
-                ctx.send(
-                    lane.ring_net,
-                    NodeId::Server(successor),
-                    Message::RingBatch(frames),
-                );
-                true
-            }
+        if frames.is_empty() {
+            return false;
         }
+        // Only wire messages that actually ship are measured — idle polls
+        // would drown the batch-size distribution in zeros.
+        hts_metrics::histogram!("hts_sim_ring_batch_frames").record(frames.len() as u64);
+        // A single ready frame travels as a plain `Ring`; more coalesce
+        // into one `RingBatch` wire message.
+        let msg = match frames.pop() {
+            Some(frame) if frames.is_empty() => Message::Ring(frame),
+            Some(frame) => {
+                frames.push(frame);
+                Message::RingBatch(frames)
+            }
+            None => return false,
+        };
+        ctx.send(lane.ring_net, NodeId::Server(successor), msg);
+        true
     }
 
     fn send_reply(&mut self, ctx: &mut Ctx<'_, Message>) -> bool {
@@ -407,6 +428,7 @@ impl Process<Message> for SimServer {
                 value,
             } => {
                 if let Some(client) = from.as_client() {
+                    self.arrivals.insert((client, request), ctx.now());
                     let lane_idx = usize::from(self.map.lane_of(object));
                     self.integrate(ctx, lane_idx, |server| {
                         server.on_client_write(object, client, request, value)
@@ -415,6 +437,7 @@ impl Process<Message> for SimServer {
             }
             Message::ReadReq { object, request } => {
                 if let Some(client) = from.as_client() {
+                    self.arrivals.insert((client, request), ctx.now());
                     let lane_idx = usize::from(self.map.lane_of(object));
                     self.integrate(ctx, lane_idx, |server| {
                         server.on_client_read(object, client, request)
@@ -449,9 +472,21 @@ impl Process<Message> for SimServer {
                     }
                 }
             }
+            Message::StatsRequest { request } => {
+                // Stats bypass the protocol core entirely: answered from
+                // the process-wide registry and paced through the ordinary
+                // reply queue like any other client-bound frame.
+                self.replies.push_back((
+                    from,
+                    Message::StatsReply {
+                        request,
+                        text: Value::from(hts_metrics::render().into_bytes()),
+                    },
+                ));
+            }
             // Acks are client-bound; a server receiving one is a routing
             // bug in the harness.
-            Message::WriteAck { .. } | Message::ReadAck { .. } => {}
+            Message::WriteAck { .. } | Message::ReadAck { .. } | Message::StatsReply { .. } => {}
         }
         self.pump(ctx);
     }
@@ -768,26 +803,33 @@ impl Process<Message> for SimClient {
         let Some(completion) = self.core.on_reply(&msg) else {
             return; // stale or duplicate reply
         };
-        let op = self
-            .pending
-            .remove(&completion.request)
-            .expect("completion without op");
+        let Some(op) = self.pending.remove(&completion.request) else {
+            // The session core only completes requests it launched, and
+            // every launch registers an op — but a bookkeeping mismatch
+            // should drop a sample, not crash the simulation.
+            return;
+        };
         ctx.cancel_timer(op.timer);
         let now = ctx.now();
         let latency = now.saturating_sub(op.issued_at);
         {
             let mut stats = self.stats.borrow_mut();
-            if op.is_read {
-                let value = completion.value.as_ref().expect("read returns a value");
-                stats.reads_done += 1;
-                stats.read_payload_bytes += value.len() as u64;
-                stats.read_latency_total += latency;
-                stats.read_latencies.push(latency.as_nanos());
-            } else {
-                stats.writes_done += 1;
-                stats.write_payload_bytes += self.workload.value_size as u64;
-                stats.write_latency_total += latency;
-                stats.write_latencies.push(latency.as_nanos());
+            match (op.is_read, completion.value.as_ref()) {
+                (true, Some(value)) => {
+                    stats.reads_done += 1;
+                    stats.read_payload_bytes += value.len() as u64;
+                    stats.read_latency_total += latency;
+                    stats.read_latencies.push(latency.as_nanos());
+                }
+                // A read completing without a value is a session-core
+                // contract breach; drop the sample rather than panic.
+                (true, None) => {}
+                (false, _) => {
+                    stats.writes_done += 1;
+                    stats.write_payload_bytes += self.workload.value_size as u64;
+                    stats.write_latency_total += latency;
+                    stats.write_latencies.push(latency.as_nanos());
+                }
             }
         }
         if let (Some(h), Some(op_id)) = (&self.history, op.op_id) {
@@ -819,8 +861,9 @@ impl Process<Message> for SimClient {
         if let Some((server, message)) = self.core.on_timeout(request) {
             self.stats.borrow_mut().retries += 1;
             ctx.send(self.client_net, NodeId::Server(server), message);
-            let op = self.pending.get_mut(&request).expect("found above");
-            op.timer = ctx.set_timer(self.workload.timeout);
+            if let Some(op) = self.pending.get_mut(&request) {
+                op.timer = ctx.set_timer(self.workload.timeout);
+            }
         } else {
             self.pending.remove(&request);
         }

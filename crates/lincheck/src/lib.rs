@@ -44,10 +44,45 @@ mod history;
 mod wg;
 mod witness;
 
-pub use conditions::{check_conditions, Violation};
+pub use conditions::Violation;
 pub use history::{History, Op, OpId, OpRecord};
-pub use wg::{check_exhaustive, check_exhaustive_bounded};
-pub use witness::check_witnessed;
+
+/// Exhaustive Wing–Gong search; additionally dumps the
+/// process-wide per-op flight recorder to stderr on a non-linearizable
+/// verdict, so the trace of recent protocol events survives next to the
+/// witness (a no-op when the recorder is empty or metrics are off).
+pub fn check_exhaustive(history: &History) -> Outcome {
+    dump_flight_on_violation(wg::check_exhaustive(history))
+}
+
+/// Bounded Wing–Gong search; flight-dumps like
+/// [`check_exhaustive`].
+pub fn check_exhaustive_bounded(history: &History, max_states: usize) -> Outcome {
+    dump_flight_on_violation(wg::check_exhaustive_bounded(history, max_states))
+}
+
+/// Witness-guided check; flight-dumps like
+/// [`check_exhaustive`].
+pub fn check_witnessed(history: &History) -> Outcome {
+    dump_flight_on_violation(witness::check_witnessed(history))
+}
+
+/// Necessary-condition scan; flight-dumps when any
+/// violation is found, like [`check_exhaustive`].
+pub fn check_conditions(history: &History) -> Vec<Violation> {
+    let violations = conditions::check_conditions(history);
+    if !violations.is_empty() {
+        hts_metrics::flight::dump_to_stderr("linearizability condition violated");
+    }
+    violations
+}
+
+fn dump_flight_on_violation(outcome: Outcome) -> Outcome {
+    if let Outcome::NotLinearizable(_) = &outcome {
+        hts_metrics::flight::dump_to_stderr("non-linearizable history");
+    }
+    outcome
+}
 
 /// The verdict of a linearizability check.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -6,7 +6,7 @@ use std::time::{Duration, Instant};
 
 use bytes::BytesMut;
 use hts_core::ClientCore;
-use hts_types::{codec::Hello, ClientId, Message, ObjectId, ServerId, Value};
+use hts_types::{codec::Hello, ClientId, Message, ObjectId, RequestId, ServerId, Value};
 
 use crate::framing::{read_message, write_message_with};
 
@@ -26,6 +26,10 @@ pub struct Client {
     /// Reusable encode buffer: one allocation for the client's lifetime
     /// instead of one per request.
     scratch: BytesMut,
+    /// Stats requests issued so far; their ids count *down* from
+    /// `u64::MAX` so they can never collide with the core's op request
+    /// ids (which count up from 1).
+    stats_seq: u64,
 }
 
 /// Retry budget shared by [`Client`] and [`Session`](crate::Session):
@@ -102,6 +106,7 @@ impl Client {
             id,
             timeout: Duration::from_millis(500),
             scratch: BytesMut::new(),
+            stats_seq: 0,
         })
     }
 
@@ -178,11 +183,15 @@ impl Client {
                         Message::WriteReq { request, .. } | Message::ReadReq { request, .. } => {
                             *request
                         }
-                        // ClientCore only ever hands out requests; a reply
-                        // or ring frame here is a core bug, surfaced as an
-                        // error rather than a client-thread panic.
+                        // ClientCore only ever hands out register requests
+                        // (stats go through [`Client::stats`], not the
+                        // core); a reply or ring frame here is a core bug,
+                        // surfaced as an error rather than a client-thread
+                        // panic.
                         Message::WriteAck { .. }
                         | Message::ReadAck { .. }
+                        | Message::StatsRequest { .. }
+                        | Message::StatsReply { .. }
                         | Message::Ring(_)
                         | Message::RingBatch(_) => {
                             return Err(io::Error::other("client core produced a non-request"))
@@ -269,6 +278,48 @@ impl Client {
         }
     }
 
+    /// Fetches `server`'s live metrics registry as Prometheus-style text
+    /// exposition (the server-side [`hts_metrics::render`]; empty when
+    /// the server was built with the `metrics` feature off).
+    ///
+    /// Stats deliberately bypass the retry rotation: the caller asks ONE
+    /// server for ITS process-wide registry — a different server
+    /// answering would silently report the wrong process. The exchange
+    /// still runs under the ordinary per-attempt timeout and tolerates
+    /// stale op replies arriving on the shared connection.
+    ///
+    /// # Errors
+    ///
+    /// Connect, send and timeout errors against that specific server.
+    pub fn stats(&mut self, server: ServerId) -> io::Result<String> {
+        if server.index() >= self.addrs.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "{server} outside the {}-server address map",
+                    self.addrs.len()
+                ),
+            ));
+        }
+        self.ensure_connection(server)?;
+        self.stats_seq += 1;
+        let request = RequestId(u64::MAX - self.stats_seq);
+        let deadline = Instant::now() + self.timeout;
+        let result = await_stats_reply(
+            self.connections[server.index()].as_mut(),
+            &mut self.scratch,
+            self.timeout,
+            deadline,
+            request,
+        );
+        if result.is_err() {
+            // Socket-level failures poison the connection exactly like a
+            // failed op attempt; the next call reconnects.
+            self.connections[server.index()] = None;
+        }
+        result
+    }
+
     /// (Re)opens the connection to `server`, bounding the TCP connect by
     /// the same per-attempt timeout as replies: a SYN-blackholed server
     /// (dead host, dropped packets, full accept backlog) must cost one
@@ -288,5 +339,48 @@ impl Client {
             self.core.on_server_up(server);
         }
         Ok(())
+    }
+}
+
+/// One send-and-await round for [`Client::stats`]: writes the request,
+/// then reads until the matching [`Message::StatsReply`] arrives. Stale
+/// replies (from earlier timed-out ops or stats attempts) only spend the
+/// remaining attempt budget — they never reset it.
+fn await_stats_reply(
+    stream: Option<&mut TcpStream>,
+    scratch: &mut BytesMut,
+    timeout: Duration,
+    deadline: Instant,
+    request: RequestId,
+) -> io::Result<String> {
+    let Some(stream) = stream else {
+        return Err(io::Error::other("connection lost between ensure and send"));
+    };
+    stream.set_read_timeout(Some(timeout))?;
+    hts_types::sync::blocking_syscall("client stats send");
+    write_message_with(stream, &Message::StatsRequest { request }, scratch)?;
+    let timed_out = || io::Error::new(io::ErrorKind::TimedOut, "no stats reply within the timeout");
+    loop {
+        match read_message(stream) {
+            Ok(Message::StatsReply { request: r, text }) if r == request => {
+                return Ok(String::from_utf8_lossy(text.as_bytes()).into_owned());
+            }
+            // Every non-matching message is equally stale here: it only
+            // spends budget, nothing dispatches on its variant.
+            // lint: allow(message_catch_all): no per-variant behavior
+            Ok(_) => {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(timed_out());
+                }
+                stream.set_read_timeout(Some(remaining))?;
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Err(timed_out());
+            }
+            Err(e) => return Err(e),
+        }
     }
 }

@@ -154,6 +154,20 @@ impl Cluster {
         Ok(())
     }
 
+    /// Fetches server `s`'s live metrics registry (Prometheus-style text
+    /// exposition) over a throwaway [`Client`](crate::Client) connection.
+    /// The caller's client id space is untouched: the probe uses the
+    /// reserved id `u32::MAX`.
+    ///
+    /// # Errors
+    ///
+    /// Connect/timeout errors against that server — including when it is
+    /// currently crashed.
+    pub fn stats(&self, s: ServerId) -> io::Result<String> {
+        let mut probe = crate::Client::connect_preferring(u32::MAX, self.addrs(), s)?;
+        probe.stats(s)
+    }
+
     /// Number of servers still running.
     pub fn alive(&self) -> usize {
         self.servers.iter().flatten().count()

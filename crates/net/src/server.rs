@@ -23,7 +23,7 @@ use bytes::BytesMut;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use hts_core::{Action, BatchConfig, Config, Durability, LaneMap, MultiObjectServer};
 use hts_types::sync::{blocking_syscall, DebugCondvar, DebugMutex, DebugMutexGuard};
-use hts_types::{codec, codec::Hello, ClientId, Message, RingFrame, ServerId};
+use hts_types::{codec, codec::Hello, ClientId, Message, RingFrame, ServerId, Value};
 use hts_wal::{recover, FsyncPolicy, Recovery, Wal, WalOptions, WalRecord};
 
 use crate::framing::{frame_into, read_message, write_ring_frames};
@@ -352,12 +352,15 @@ fn ring_in_loop(mut reader: TcpStream, s: ServerId, events: &Sender<Event>) -> i
                     }
                 }
             }
-            // Requests and replies never arrive on a ring stream; drop
-            // them by name so a new wire variant forces a decision here.
+            // Requests, replies and stats never arrive on a ring stream;
+            // drop them by name so a new wire variant forces a decision
+            // here.
             Ok(Message::WriteReq { .. })
             | Ok(Message::ReadReq { .. })
             | Ok(Message::WriteAck { .. })
-            | Ok(Message::ReadAck { .. }) => {}
+            | Ok(Message::ReadAck { .. })
+            | Ok(Message::StatsRequest { .. })
+            | Ok(Message::StatsReply { .. }) => {}
             Err(_) => {
                 let _ = events.send(Event::RingInDown(s));
                 return Ok(());
@@ -405,6 +408,7 @@ impl RingOut {
         {
             let mut q = self.shared.lock();
             q.frames.extend(frames);
+            hts_metrics::histogram!("hts_net_ring_queue_depth").record(q.frames.len() as u64);
         }
         self.shared.ready.notify_all();
     }
@@ -593,10 +597,14 @@ fn ring_writer(
                 }
             }
         } // release the queue lock before touching the socket
+        hts_metrics::histogram!("hts_net_ring_batch_frames").record(batch.len() as u64);
+        hts_metrics::histogram!("hts_net_ring_batch_bytes").record(bytes as u64);
         blocking_syscall("ring successor send");
+        let t0 = hts_metrics::now_nanos();
         if write_ring_frames(&mut stream, &batch, &mut scratch).is_err() {
             return fail(batch);
         }
+        hts_metrics::histogram!("hts_net_ring_write_nanos").record(hts_metrics::now_nanos() - t0);
         if events.send(Event::TxDone(to, batch.len() as u32)).is_err() {
             return;
         }
@@ -637,6 +645,24 @@ fn connect_with_retry(
         }
     }
     Err(last.unwrap_or_else(|| io::Error::other("no attempts made")))
+}
+
+/// Records a crash verdict against `peer` (counter + flight event), and
+/// — when `HTS_FLIGHT_DUMP` is set in the environment — dumps the flight
+/// recorder to stderr so the events leading up to the verdict survive
+/// for post-mortem. Env-gated because verdicts are *routine* in the
+/// kill/restart tests; an unconditional dump would bury their output.
+fn note_crash_verdict(me: ServerId, lane: u16, peer: ServerId) {
+    hts_metrics::counter!("hts_net_crash_verdicts_total").inc();
+    hts_metrics::flight::record(
+        hts_metrics::flight::KIND_CRASH_VERDICT,
+        u64::from(peer.0),
+        u64::from(me.0),
+        u64::from(lane),
+    );
+    if std::env::var_os("HTS_FLIGHT_DUMP").is_some() {
+        hts_metrics::flight::dump_to_stderr("crash verdict");
+    }
 }
 
 /// How a [`Durability`] setting maps onto the WAL's fsync policy
@@ -856,10 +882,23 @@ fn event_loop(
                     value,
                 } => core.on_client_write(object, c, request, value),
                 Message::ReadReq { object, request } => core.on_client_read(object, c, request),
+                Message::StatsRequest { request } => {
+                    // Answered from the process-wide registry without
+                    // touching the protocol core: stats are observational
+                    // and never consume an op slot.
+                    if let Some(tx) = clients.get(&c) {
+                        let _ = tx.send(Message::StatsReply {
+                            request,
+                            text: Value::from(hts_metrics::render().into_bytes()),
+                        });
+                    }
+                    Vec::new()
+                }
                 // Clients never send replies or ring traffic; drop them
                 // by name so a new wire variant forces a decision here.
                 Message::WriteAck { .. }
                 | Message::ReadAck { .. }
+                | Message::StatsReply { .. }
                 | Message::Ring(_)
                 | Message::RingBatch(_) => Vec::new(),
             },
@@ -869,6 +908,7 @@ fn event_loop(
                 // parked entry must not be reused after a rejoin.
                 ring_outs.remove(&s);
                 retried.remove(&s);
+                note_crash_verdict(lc.id, lc.lane, s);
                 core.on_server_crashed(s)
             }
             Event::RingWriteFailed(s, mut lost) => {
@@ -909,6 +949,7 @@ fn event_loop(
                     // really gone. The lost frames are covered by the
                     // splice-retransmission in `on_server_crashed`.
                     retried.remove(&s);
+                    note_crash_verdict(lc.id, lc.lane, s);
                     core.on_server_crashed(s)
                 }
             }

@@ -33,6 +33,8 @@ const D_WRITE_ACK: u8 = 0x03;
 const D_READ_ACK: u8 = 0x04;
 const D_RING: u8 = 0x05;
 const D_RING_BATCH: u8 = 0x06;
+const D_STATS_REQ: u8 = 0x07;
+const D_STATS_REPLY: u8 = 0x08;
 
 /// Most frames one [`Message::RingBatch`] can carry (the count prefix is
 /// 16-bit). Writers coalesce far below this; the cap bounds what a decoder
@@ -96,6 +98,15 @@ pub fn encode_into(msg: &Message, buf: &mut BytesMut) {
         }
         Message::Ring(frame) => encode_ring_into(frame, buf),
         Message::RingBatch(frames) => encode_ring_batch_into(frames, buf),
+        Message::StatsRequest { request } => {
+            buf.put_u8(D_STATS_REQ);
+            put_request(buf, *request);
+        }
+        Message::StatsReply { request, text } => {
+            buf.put_u8(D_STATS_REPLY);
+            put_request(buf, *request);
+            put_value(buf, text);
+        }
     }
 }
 
@@ -175,6 +186,8 @@ pub fn wire_size(msg: &Message) -> usize {
         Message::ReadAck { value, .. } => OBJECT_SIZE + REQUEST_SIZE + LEN_PREFIX + value.len(),
         Message::Ring(frame) => frame_wire_size(frame),
         Message::RingBatch(frames) => 2 + frames.iter().map(frame_wire_size).sum::<usize>(),
+        Message::StatsRequest { .. } => REQUEST_SIZE,
+        Message::StatsReply { text, .. } => REQUEST_SIZE + LEN_PREFIX + text.len(),
     }
 }
 
@@ -251,6 +264,13 @@ pub fn decode_partial(buf: &mut &[u8]) -> Result<Message, DecodeError> {
             }
             Ok(Message::RingBatch(frames))
         }
+        D_STATS_REQ => Ok(Message::StatsRequest {
+            request: get_request(buf)?,
+        }),
+        D_STATS_REPLY => Ok(Message::StatsReply {
+            request: get_request(buf)?,
+            text: get_value(buf)?,
+        }),
         other => Err(DecodeError::UnknownDiscriminant(other)),
     }
 }
@@ -504,6 +524,13 @@ mod tests {
                 RingFrame::write(ObjectId(2), tag),
                 RingFrame::announce_rejoin(Rejoin::announce(ServerId(1))),
             ]),
+            Message::StatsRequest {
+                request: RequestId(11),
+            },
+            Message::StatsReply {
+                request: RequestId(11),
+                text: Value::from(b"hts_up 1\n".to_vec()),
+            },
         ]
     }
 

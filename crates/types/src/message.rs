@@ -230,6 +230,23 @@ pub enum Message {
     /// more than one frame is ready for the same link; a single ready
     /// frame still travels as [`Message::Ring`].
     RingBatch(Vec<RingFrame>),
+    /// Client → server: dump the server's metrics registry (observability
+    /// side channel; never touches register state).
+    StatsRequest {
+        /// Client-chosen correlation id.
+        request: RequestId,
+    },
+    /// Server → client: the metrics registry in Prometheus-style text
+    /// exposition, answering a [`Message::StatsRequest`]. The payload
+    /// rides in a [`Value`] so the codec's length-prefixed byte-slab
+    /// machinery applies unchanged; servers built without the `metrics`
+    /// feature answer with an empty payload.
+    StatsReply {
+        /// Correlation id of the answered request.
+        request: RequestId,
+        /// UTF-8 exposition text.
+        text: Value,
+    },
 }
 
 impl Message {
@@ -244,6 +261,9 @@ impl Message {
             | Message::ReadAck { object, .. } => *object,
             Message::Ring(frame) => frame.object,
             Message::RingBatch(frames) => frames.first().map_or(ObjectId::SINGLE, |f| f.object),
+            // Stats traffic is register-agnostic; report the default
+            // object so object-keyed routing (lane demux) has a home.
+            Message::StatsRequest { .. } | Message::StatsReply { .. } => ObjectId::SINGLE,
         }
     }
 
@@ -280,6 +300,10 @@ impl fmt::Display for Message {
                     f.write_str("}")?;
                 }
                 Ok(())
+            }
+            Message::StatsRequest { request } => write!(f, "stats_req({request})"),
+            Message::StatsReply { request, text } => {
+                write!(f, "stats_reply({request},{} bytes)", text.len())
             }
         }
     }

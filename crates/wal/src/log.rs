@@ -201,6 +201,7 @@ impl Wal {
         if records.is_empty() {
             return Ok(());
         }
+        let t0 = hts_metrics::now_nanos();
         self.scratch.clear();
         for record in records {
             encode_record(&mut self.scratch, record);
@@ -221,6 +222,10 @@ impl Wal {
             }
             FsyncPolicy::OsDefault => {}
         }
+        // The whole group commit, fsync (per policy) included: what one
+        // event-loop iteration's durability actually cost.
+        hts_metrics::histogram!("hts_wal_append_nanos").record(hts_metrics::now_nanos() - t0);
+        hts_metrics::histogram!("hts_wal_group_commit_records").record(records.len() as u64);
         Ok(())
     }
 
@@ -231,7 +236,9 @@ impl Wal {
     /// Propagates the `fsync` failure.
     pub fn sync(&mut self) -> io::Result<()> {
         hts_types::sync::blocking_syscall("wal fsync");
+        let t0 = hts_metrics::now_nanos();
         self.active.sync_data()?;
+        hts_metrics::histogram!("hts_wal_fsync_nanos").record(hts_metrics::now_nanos() - t0);
         self.stats.fsyncs += 1;
         self.appends_since_sync = 0;
         Ok(())
