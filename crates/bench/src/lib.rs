@@ -27,6 +27,7 @@
 
 pub mod harness;
 pub mod report;
+pub mod tcp;
 
 pub use harness::{
     latency_ring, run_abd, run_chain, run_ring, run_ring_detailed, run_tob, Measurement, Params,
@@ -36,3 +37,4 @@ pub use report::{
     histogram_latency_object, json_f64, json_string, json_string_array, latency_object,
     percentile_ms, write_report,
 };
+pub use tcp::{run_tcp, TcpMeasurement, TcpParams};

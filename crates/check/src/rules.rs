@@ -526,7 +526,7 @@ fn rule_l5(file: &str, toks: &[Tok<'_>], comments: &[Comment], out: &mut Vec<Vio
 /// throughput regression, not a style nit. The metrics helpers
 /// (`hts_metrics::now_nanos`, the `counter!`-family macros) are designed
 /// alloc-free and are not in the flagged construct set.
-const HOT_FUNCTIONS: [&str; 8] = [
+const HOT_FUNCTIONS: [&str; 11] = [
     "ring_writer",
     "ring_in_loop",
     "drain_batch",
@@ -535,6 +535,11 @@ const HOT_FUNCTIONS: [&str; 8] = [
     "drain_frames_with",
     "next_object_frame",
     "pump",
+    // The zero-copy decode and the seqlock read fast path: a per-call
+    // allocation here is exactly what the zero-copy PR removed.
+    "decode_shared",
+    "publish",
+    "try_read",
 ];
 
 /// `Type::new()` constructors that heap-allocate.

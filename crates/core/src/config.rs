@@ -146,7 +146,11 @@ pub struct Config {
     pub write_carries_value: bool,
     /// Let a read return immediately when the locally stored tag already
     /// dominates every pending pre-write (ablation A2). The paper always
-    /// waits for the next `write` message.
+    /// waits for the next `write` message. The TCP runtime additionally
+    /// gates its reader-thread snapshot shortcut on this: with the flag
+    /// on, an unblocked read is answered from the seqlock snapshot cell
+    /// right on the connection's reader thread; off, every read takes
+    /// the event-loop hop.
     pub read_fast_path: bool,
     /// Scheduling of local writes vs. forwarded traffic.
     pub fairness: FairnessMode,
@@ -170,6 +174,15 @@ pub struct Config {
     /// up to 64 frames per wire message; this changes scheduling
     /// granularity only, never protocol semantics.
     pub batching: BatchConfig,
+    /// Zero-copy inbound decode in the `hts-net` runtime (default on).
+    /// Each received wire message lands in one refcounted buffer and its
+    /// values are decoded as **views** of it; with this off, the server
+    /// re-decodes through the copying path (one fresh allocation and
+    /// copy per value) — the pre-zero-copy runtime, kept as the fig1
+    /// ablation baseline. Wire format and protocol semantics are
+    /// identical either way; simulators ignore the flag (they pass
+    /// values by refcount already).
+    pub zero_copy: bool,
     /// Parallel ring **lanes** (default 1). Objects are partitioned
     /// across `lanes` fully independent ring instances
     /// ([`LaneMap`](crate::LaneMap) placement): each lane owns its own
@@ -195,6 +208,7 @@ impl Default for Config {
             client_timeout: Nanos::from_millis(250),
             durability: Durability::Volatile,
             batching: BatchConfig::default(),
+            zero_copy: true,
             lanes: 1,
         }
     }
@@ -221,6 +235,7 @@ mod tests {
         assert!(c.adopt_orphans);
         assert_eq!(c.durability, Durability::Volatile);
         assert!(!c.durability.is_persistent());
+        assert!(c.zero_copy);
         assert_eq!(c.lanes, 1);
         assert_eq!(c, Config::paper());
     }

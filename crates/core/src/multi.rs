@@ -8,10 +8,11 @@
 //! *within* the object).
 
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 
 use hts_types::{ClientId, ObjectId, Rejoin, RequestId, RingFrame, ServerId, Tag, Value};
 
-use crate::{Action, Config, ServerCore};
+use crate::{Action, Config, ReadCellRegistry, ServerCore};
 
 /// A ring server hosting many independent atomic registers.
 ///
@@ -46,6 +47,10 @@ pub struct MultiObjectServer {
     syncing: bool,
     /// [`hts_metrics::now_nanos`] when the resync began (0 outside one).
     sync_begun_at: u64,
+    /// Snapshot cells for the transport's lock-free read fast path
+    /// (attached by the runtime; `None` in simulators). Each core gets
+    /// its object's cell when created.
+    cells: Option<Arc<ReadCellRegistry>>,
 }
 
 impl MultiObjectServer {
@@ -62,7 +67,19 @@ impl MultiObjectServer {
             announce: VecDeque::new(),
             syncing: false,
             sync_begun_at: 0,
+            cells: None,
         }
+    }
+
+    /// Attaches the read-cell registry consulted by the transport's
+    /// lock-free read fast path: every current and future object core
+    /// publishes its snapshot into the registry's cell for that object.
+    /// The thread driving this server is the cells' single writer.
+    pub fn attach_read_cells(&mut self, cells: Arc<ReadCellRegistry>) {
+        for (object, core) in self.objects.iter_mut() {
+            core.attach_read_cell(cells.cell(*object));
+        }
+        self.cells = Some(cells);
     }
 
     /// This server's id.
@@ -102,6 +119,7 @@ impl MultiObjectServer {
         let config = self.config.clone();
         let crashed = self.crashed.clone();
         let syncing = self.syncing;
+        let cells = self.cells.clone();
         self.objects.entry(object).or_insert_with(|| {
             let mut core = ServerCore::new(me, n, object, config);
             // Late-created objects must share the ring view.
@@ -112,6 +130,10 @@ impl MultiObjectServer {
             // seen may still have history elsewhere in the ring.
             if syncing {
                 core.begin_sync();
+            }
+            // ...and publish into the fast-path cell from birth.
+            if let Some(cells) = cells {
+                core.attach_read_cell(cells.cell(object));
             }
             core
         })

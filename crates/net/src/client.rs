@@ -8,7 +8,7 @@ use bytes::BytesMut;
 use hts_core::ClientCore;
 use hts_types::{codec::Hello, ClientId, Message, ObjectId, RequestId, ServerId, Value};
 
-use crate::framing::{read_message, write_message_with};
+use crate::framing::{write_message_with, MessageReader};
 
 /// A synchronous client of a TCP `hts` cluster.
 ///
@@ -26,6 +26,9 @@ pub struct Client {
     /// Reusable encode buffer: one allocation for the client's lifetime
     /// instead of one per request.
     scratch: BytesMut,
+    /// Reusable decode buffer, same deal: value-free replies (write
+    /// acks) recycle one receive allocation across messages.
+    reader: MessageReader,
     /// Stats requests issued so far; their ids count *down* from
     /// `u64::MAX` so they can never collide with the core's op request
     /// ids (which count up from 1).
@@ -106,6 +109,7 @@ impl Client {
             id,
             timeout: Duration::from_millis(500),
             scratch: BytesMut::new(),
+            reader: MessageReader::new(),
             stats_seq: 0,
         })
     }
@@ -242,6 +246,7 @@ impl Client {
             connections,
             core,
             scratch,
+            reader,
             timeout,
             ..
         } = self;
@@ -254,7 +259,7 @@ impl Client {
         hts_types::sync::blocking_syscall("client request send");
         write_message_with(stream, msg, scratch)?;
         loop {
-            match read_message(stream) {
+            match reader.read(stream) {
                 Ok(reply) => {
                     if let Some(done) = core.on_reply(&reply) {
                         return Ok(Some(done.value));
@@ -308,6 +313,7 @@ impl Client {
         let result = await_stats_reply(
             self.connections[server.index()].as_mut(),
             &mut self.scratch,
+            &mut self.reader,
             self.timeout,
             deadline,
             request,
@@ -349,6 +355,7 @@ impl Client {
 fn await_stats_reply(
     stream: Option<&mut TcpStream>,
     scratch: &mut BytesMut,
+    reader: &mut MessageReader,
     timeout: Duration,
     deadline: Instant,
     request: RequestId,
@@ -361,7 +368,7 @@ fn await_stats_reply(
     write_message_with(stream, &Message::StatsRequest { request }, scratch)?;
     let timed_out = || io::Error::new(io::ErrorKind::TimedOut, "no stats reply within the timeout");
     loop {
-        match read_message(stream) {
+        match reader.read(stream) {
             Ok(Message::StatsReply { request: r, text }) if r == request => {
                 return Ok(String::from_utf8_lossy(text.as_bytes()).into_owned());
             }

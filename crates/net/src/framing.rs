@@ -90,11 +90,27 @@ pub fn write_ring_frames<W: Write>(
 
 /// Reads one message framed by [`write_message`].
 ///
+/// One-shot form of [`MessageReader`]; loops should hold a
+/// `MessageReader` so value-free messages recycle their read buffer.
+///
 /// # Errors
 ///
 /// `UnexpectedEof` on clean peer shutdown, `InvalidData` on oversized or
 /// undecodable frames, otherwise the underlying socket error.
 pub fn read_message<R: Read>(reader: &mut R) -> io::Result<Message> {
+    MessageReader::new().read(reader)
+}
+
+/// The pre-zero-copy inbound path, kept verbatim as the
+/// `Config::zero_copy = false` ablation baseline: a fresh allocation
+/// per message and a copying decode (one more allocation + copy per
+/// contained value). Benchmarked against [`MessageReader`] by fig1.
+///
+/// # Errors
+///
+/// `UnexpectedEof` on clean peer shutdown, `InvalidData` on oversized or
+/// undecodable frames, otherwise the underlying socket error.
+pub fn read_message_copied<R: Read>(reader: &mut R) -> io::Result<Message> {
     let mut len_bytes = [0u8; 4];
     reader.read_exact(&mut len_bytes)?;
     let len = u32::from_be_bytes(len_bytes) as usize;
@@ -107,6 +123,63 @@ pub fn read_message<R: Read>(reader: &mut R) -> io::Result<Message> {
     let mut body = vec![0u8; len];
     reader.read_exact(&mut body)?;
     codec::decode(&body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// The zero-copy inbound path: reads each length-prefixed message into a
+/// single [`Bytes`] allocation and decodes it with
+/// [`codec::decode_shared`], so every contained [`Value`] is a
+/// refcounted **view** of the receive buffer — no per-value copy.
+///
+/// The reader keeps one spare buffer: when a decoded message carries no
+/// value views (acks, read requests, tag-only ring notices — the
+/// majority of wire traffic), the buffer's refcount drops back to one
+/// and it is reclaimed for the next read, mirroring the write side's
+/// scratch framing. Value-bearing messages keep their buffer alive for
+/// exactly as long as the values do.
+///
+/// [`Value`]: hts_types::Value
+#[derive(Default)]
+pub struct MessageReader {
+    spare: BytesMut,
+}
+
+impl MessageReader {
+    /// An empty reader (no buffer until the first read needs one).
+    pub fn new() -> MessageReader {
+        MessageReader::default()
+    }
+
+    /// Reads one message framed by [`write_message`].
+    ///
+    /// # Errors
+    ///
+    /// `UnexpectedEof` on clean peer shutdown, `InvalidData` on
+    /// oversized or undecodable frames, otherwise the underlying socket
+    /// error.
+    pub fn read<R: Read>(&mut self, reader: &mut R) -> io::Result<Message> {
+        let mut len_bytes = [0u8; 4];
+        reader.read_exact(&mut len_bytes)?;
+        let len = u32::from_be_bytes(len_bytes) as usize;
+        if len > MAX_FRAME_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"),
+            ));
+        }
+        let mut body = std::mem::take(&mut self.spare);
+        body.clear();
+        body.resize(len, 0);
+        reader.read_exact(&mut body)?;
+        let bytes = body.freeze();
+        let msg =
+            codec::decode_shared(&bytes).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e));
+        // No value view took a reference (or the decode failed): take
+        // the allocation back for the next message.
+        if let Ok(reclaimed) = bytes.try_into_mut() {
+            self.spare = reclaimed;
+        }
+        msg
+    }
 }
 
 #[cfg(test)]
@@ -175,6 +248,41 @@ mod tests {
         let mut buf = Vec::new();
         write_ring_frames(&mut buf, &[], &mut scratch).unwrap();
         assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn reader_hands_out_views_and_recycles_value_free_buffers() {
+        let with_value = Message::WriteReq {
+            object: ObjectId(1),
+            request: RequestId(2),
+            value: Value::filled(9, 4096),
+        };
+        let value_free = Message::WriteAck {
+            object: ObjectId(1),
+            request: RequestId(2),
+        };
+        let mut buf = Vec::new();
+        write_message(&mut buf, &with_value).unwrap();
+        write_message(&mut buf, &value_free).unwrap();
+        write_message(&mut buf, &value_free).unwrap();
+
+        let mut reader = MessageReader::new();
+        let mut cursor = &buf[..];
+        let decoded = reader.read(&mut cursor).unwrap();
+        match &decoded {
+            Message::WriteReq { value, .. } => assert_eq!(value.len(), 4096),
+            other => panic!("wrong message: {other}"),
+        }
+        // The value pinned its buffer: the reader had to give it up.
+        assert_eq!(reader.spare.len(), 0);
+
+        assert_eq!(reader.read(&mut cursor).unwrap(), value_free);
+        // A value-free message returns its buffer to the reader...
+        let recycled = reader.spare.as_ptr();
+        assert!(!reader.spare.is_empty() || reader.spare.capacity() > 0);
+        assert_eq!(reader.read(&mut cursor).unwrap(), value_free);
+        // ...and the next read reuses that same allocation.
+        assert_eq!(reader.spare.as_ptr(), recycled);
     }
 
     #[test]

@@ -58,6 +58,8 @@ mod session;
 
 pub use client::Client;
 pub use cluster::Cluster;
-pub use framing::{read_message, write_message, MAX_FRAME_BYTES};
+pub use framing::{
+    read_message, read_message_copied, write_message, MessageReader, MAX_FRAME_BYTES,
+};
 pub use server::{Server, ServerConfig};
 pub use session::Session;

@@ -21,12 +21,14 @@ use std::time::{Duration, Instant};
 
 use bytes::BytesMut;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use hts_core::{Action, BatchConfig, Config, Durability, LaneMap, MultiObjectServer};
+use hts_core::{
+    Action, BatchConfig, Config, Durability, LaneMap, MultiObjectServer, ReadCellRegistry,
+};
 use hts_types::sync::{blocking_syscall, DebugCondvar, DebugMutex, DebugMutexGuard};
-use hts_types::{codec, codec::Hello, ClientId, Message, RingFrame, ServerId, Value};
+use hts_types::{codec, codec::Hello, ClientId, Message, ObjectId, RingFrame, ServerId, Value};
 use hts_wal::{recover, FsyncPolicy, Recovery, Wal, WalOptions, WalRecord};
 
-use crate::framing::{frame_into, read_message, write_ring_frames};
+use crate::framing::{frame_into, read_message_copied, write_ring_frames, MessageReader};
 
 /// Coalesced client replies flush once this many buffered bytes
 /// accumulate (bounds the scratch buffer under a burst of 64 KiB reads).
@@ -92,6 +94,17 @@ enum Event {
 struct LaneRouter {
     senders: Vec<Sender<Event>>,
     map: LaneMap,
+    /// Per-lane published-snapshot cells: lets a client reader thread
+    /// answer an unblocked read right where it was received, skipping
+    /// the event-loop hop (see [`try_fast_read`]).
+    cells: Vec<Arc<ReadCellRegistry>>,
+    /// `Config::read_fast_path`: consult the snapshot cells at all.
+    /// Off, every read takes the event-loop hop — the ablation
+    /// baseline and the paper's always-wait behaviour.
+    read_fast_path: bool,
+    /// `Config::zero_copy`: decode inbound messages as views of one
+    /// shared receive buffer (default), or through the copying baseline.
+    zero_copy: bool,
 }
 
 /// A running storage server (per-lane event loops + connection threads).
@@ -154,7 +167,12 @@ impl Server {
         listener.set_nonblocking(true)?;
         let accept_alive = Arc::new(AtomicBool::new(true));
 
-        // One event loop per lane, each with its own channel and WAL.
+        // One event loop per lane, each with its own channel, WAL and
+        // read-fast-path cell registry (the loop is the cells' single
+        // writer; client reader threads only consult them).
+        let cells: Vec<Arc<ReadCellRegistry>> = (0..lanes)
+            .map(|_| Arc::new(ReadCellRegistry::new()))
+            .collect();
         let mut senders = Vec::with_capacity(usize::from(lanes));
         let mut handles = Vec::with_capacity(usize::from(lanes));
         for (lane, wal_state) in wal_states.into_iter().enumerate() {
@@ -166,8 +184,9 @@ impl Server {
                 addrs: config.addrs.clone(),
                 config: config.config.clone(),
             };
+            let lane_cells = Arc::clone(&cells[lane]);
             handles.push(thread::spawn(move || {
-                event_loop(lane_config, events_rx, events_tx, wal_state)
+                event_loop(lane_config, events_rx, events_tx, wal_state, lane_cells)
             }));
         }
 
@@ -176,6 +195,9 @@ impl Server {
             let router = Arc::new(LaneRouter {
                 senders: senders.clone(),
                 map: LaneMap::new(lanes),
+                cells,
+                zero_copy: config.config.zero_copy,
+                read_fast_path: config.config.read_fast_path,
             });
             let alive = Arc::clone(&accept_alive);
             thread::spawn(move || accept_loop(listener, router, alive));
@@ -263,7 +285,7 @@ fn handle_connection(mut stream: TcpStream, router: Arc<LaneRouter>) -> io::Resu
     .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
 
     match peer {
-        Hello::Server(s) => ring_in_loop(stream, s, &router.senders[0]),
+        Hello::Server(s) => ring_in_loop(stream, s, &router.senders[0], router.zero_copy),
         Hello::ServerLane(s, lane) => {
             let Some(sender) = router.senders.get(usize::from(lane)) else {
                 return Err(io::Error::new(
@@ -271,7 +293,7 @@ fn handle_connection(mut stream: TcpStream, router: Arc<LaneRouter>) -> io::Resu
                     format!("ring lane {lane} outside this server's lane count"),
                 ));
             };
-            ring_in_loop(stream, s, sender)
+            ring_in_loop(stream, s, sender, router.zero_copy)
         }
         Hello::Client(c) => {
             let (reply_tx, reply_rx) = unbounded::<Message>();
@@ -280,8 +302,10 @@ fn handle_connection(mut stream: TcpStream, router: Arc<LaneRouter>) -> io::Resu
                     return Ok(());
                 }
             }
-            // The lanes now own every reply sender; the writer below
-            // exits once they all drop theirs.
+            // The reader below keeps one sender for fast-path read
+            // replies; the lanes own the rest. The writer exits once
+            // they all drop (reader exit + ClientDown processing).
+            let fast_reply = reply_tx.clone();
             drop(reply_tx);
             // Writer half: coalesce every reply already queued into one
             // buffer fill and one flush (a burst of acks costs one
@@ -309,10 +333,21 @@ fn handle_connection(mut stream: TcpStream, router: Arc<LaneRouter>) -> io::Resu
                     }
                 }
             });
-            // Reader half: route each request to its object's lane.
+            // Reader half: route each request to its object's lane —
+            // except reads the published snapshot can answer right here
+            // (see `try_fast_read`), which never enter the event loop.
             let mut reader = stream;
+            let mut scratch = MessageReader::new();
             loop {
-                match read_message(&mut reader) {
+                let next = if router.zero_copy {
+                    scratch.read(&mut reader)
+                } else {
+                    read_message_copied(&mut reader)
+                };
+                match next {
+                    Ok(Message::ReadReq { object, request })
+                        if router.read_fast_path
+                            && try_fast_read(&router, &fast_reply, object, request) => {}
                     Ok(msg) => {
                         let lane = usize::from(router.map.lane_of(msg.object()));
                         if router.senders[lane]
@@ -334,12 +369,62 @@ fn handle_connection(mut stream: TcpStream, router: Arc<LaneRouter>) -> io::Resu
     }
 }
 
+/// The lock-free read fast path: answers a client read **on the reader
+/// thread** from the object's published snapshot cell when it is
+/// unblocked — the common case of a read-mostly register — skipping the
+/// event-loop hop entirely. Only consulted when `Config::read_fast_path`
+/// is on; off, every read routes to the event loop (the paper's
+/// always-wait behaviour and the fig1 ablation baseline). Returns
+/// `false` (caller routes to the event loop, which is always correct)
+/// when the cell is blocked by a pending pre-write or resync,
+/// contended, or not yet published.
+///
+/// Semantics match the event-loop path exactly: the cell's blocked bit
+/// is maintained by [`ServerCore`](hts_core::ServerCore) under the same
+/// predicate `on_client_read` uses, and a core republishes *before* its
+/// acks flush, so any value a client could have already observed is in
+/// the cell by the time the client's next read arrives.
+fn try_fast_read(
+    router: &LaneRouter,
+    reply: &Sender<Message>,
+    object: ObjectId,
+    request: hts_types::RequestId,
+) -> bool {
+    let lane = usize::from(router.map.lane_of(object));
+    let Some((_, value)) = router.cells[lane].try_read(object) else {
+        hts_metrics::counter!("hts_net_read_fastpath_fallbacks_total").inc();
+        return false;
+    };
+    hts_metrics::counter!("hts_net_read_fastpath_hits_total").inc();
+    reply
+        .send(Message::ReadAck {
+            object,
+            request,
+            value,
+        })
+        .is_ok()
+}
+
 /// Pumps one inbound ring connection (one lane's FIFO stream from server
 /// `s`) into its lane's event loop until it dies, unpacking frame
-/// batches in order.
-fn ring_in_loop(mut reader: TcpStream, s: ServerId, events: &Sender<Event>) -> io::Result<()> {
+/// batches in order. With `zero_copy` (the default), every batch lands
+/// in one shared receive buffer and its values are refcounted views of
+/// it — a 64 KiB pre-write costs zero value copies between the socket
+/// and the store.
+fn ring_in_loop(
+    mut reader: TcpStream,
+    s: ServerId,
+    events: &Sender<Event>,
+    zero_copy: bool,
+) -> io::Result<()> {
+    let mut scratch = MessageReader::new();
     loop {
-        match read_message(&mut reader) {
+        let next = if zero_copy {
+            scratch.read(&mut reader)
+        } else {
+            read_message_copied(&mut reader)
+        };
+        match next {
             Ok(Message::Ring(frame)) => {
                 if events.send(Event::FromRing(frame)).is_err() {
                     return Ok(());
@@ -690,6 +775,7 @@ fn event_loop(
     events: Receiver<Event>,
     events_tx: Sender<Event>,
     wal_state: Option<(Wal, Recovery)>,
+    cells: Arc<ReadCellRegistry>,
 ) {
     let n = lc.addrs.len() as u16;
     let batching = lc.config.batching.normalized();
@@ -716,6 +802,10 @@ fn event_loop(
         }
         wal = Some(w);
     }
+    // Attach the fast-path cells only now: a restarted server's restored
+    // state must not be readable before `begin_rejoin` gates it (the
+    // attach republishes every core with its resync bit already set).
+    core.attach_read_cells(cells);
     let mut clients: HashMap<ClientId, Sender<Message>> = HashMap::new();
     // Outbound ring connections by peer. The active one is the current
     // successor; older ones stay **parked**, not dropped — closing a
@@ -972,6 +1062,7 @@ fn event_loop(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::framing::read_message;
     use hts_sim::Nanos;
     use hts_types::{ObjectId, Tag, Value};
 

@@ -24,7 +24,7 @@ use hts_core::SessionCore;
 use hts_types::{codec::Hello, ClientId, Message, ObjectId, RequestId, ServerId, Value};
 
 use crate::client::{validate_addrs, RETRY_CYCLES};
-use crate::framing::{frame_into, read_message};
+use crate::framing::{frame_into, MessageReader};
 
 /// Coalesced requests flush once this many buffered bytes accumulate
 /// (bounds the scratch buffers under a pipeline of large writes).
@@ -534,10 +534,13 @@ impl Drop for Session {
 }
 
 /// Pumps decoded replies from one connection into the session's event
-/// channel until the connection dies.
+/// channel until the connection dies. The [`MessageReader`] decodes each
+/// reply in place: a read's 64 KiB value is a view of the receive
+/// buffer, and value-free acks recycle theirs.
 fn reader_loop(mut stream: TcpStream, server: ServerId, gen: u64, events: Sender<SessionEvent>) {
+    let mut scratch = MessageReader::new();
     loop {
-        match read_message(&mut stream) {
+        match scratch.read(&mut stream) {
             Ok(msg) => {
                 if events.send(SessionEvent::Reply(msg)).is_err() {
                     return; // session gone

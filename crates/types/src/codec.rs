@@ -223,6 +223,29 @@ pub fn decode(mut buf: &[u8]) -> Result<Message, DecodeError> {
     Ok(msg)
 }
 
+/// Decodes a message from a complete refcounted buffer, materializing
+/// every contained [`Value`] as a [`Bytes::slice`] **view** of `bytes`
+/// instead of a copy — the zero-copy receive path. The buffer's
+/// allocation stays alive for as long as any decoded value does; a
+/// decode of a value-free message takes no reference, so callers may
+/// reclaim the buffer (`Bytes::try_into_mut`) for the next read.
+///
+/// Byte-for-byte equivalent to [`decode`] (property-tested).
+///
+/// # Errors
+///
+/// As [`decode`].
+pub fn decode_shared(bytes: &Bytes) -> Result<Message, DecodeError> {
+    let mut buf: &[u8] = bytes;
+    let msg = decode_one(&mut buf, ValueSrc::Shared(bytes))?;
+    if !buf.is_empty() {
+        return Err(DecodeError::TrailingBytes {
+            remaining: buf.len(),
+        });
+    }
+    Ok(msg)
+}
+
 /// Decodes one message from the front of `buf`, advancing it past the
 /// consumed bytes. Useful for transports that batch several messages into
 /// one segment.
@@ -232,12 +255,40 @@ pub fn decode(mut buf: &[u8]) -> Result<Message, DecodeError> {
 /// Returns [`DecodeError`] if the buffer does not start with a complete,
 /// well-formed message.
 pub fn decode_partial(buf: &mut &[u8]) -> Result<Message, DecodeError> {
+    decode_one(buf, ValueSrc::Copied)
+}
+
+/// Where decoded [`Value`] bytes come from: copied out of the transient
+/// input slice, or sliced as refcounted views of a shared buffer the
+/// cursor is reading (the cursor must always be a suffix of that buffer
+/// for the offset arithmetic to hold).
+#[derive(Clone, Copy)]
+enum ValueSrc<'a> {
+    Copied,
+    Shared(&'a Bytes),
+}
+
+impl ValueSrc<'_> {
+    fn take(self, buf: &mut &[u8], len: usize) -> Value {
+        let value = match self {
+            ValueSrc::Copied => Value::from(&buf[..len]),
+            ValueSrc::Shared(bytes) => {
+                let off = bytes.len() - buf.len();
+                Value::from(bytes.slice(off..off + len))
+            }
+        };
+        buf.advance(len);
+        value
+    }
+}
+
+fn decode_one(buf: &mut &[u8], src: ValueSrc<'_>) -> Result<Message, DecodeError> {
     let disc = get_u8(buf)?;
     match disc {
         D_WRITE_REQ => Ok(Message::WriteReq {
             object: get_object(buf)?,
             request: get_request(buf)?,
-            value: get_value(buf)?,
+            value: get_value(buf, src)?,
         }),
         D_READ_REQ => Ok(Message::ReadReq {
             object: get_object(buf)?,
@@ -250,9 +301,9 @@ pub fn decode_partial(buf: &mut &[u8]) -> Result<Message, DecodeError> {
         D_READ_ACK => Ok(Message::ReadAck {
             object: get_object(buf)?,
             request: get_request(buf)?,
-            value: get_value(buf)?,
+            value: get_value(buf, src)?,
         }),
-        D_RING => Ok(Message::Ring(get_frame(buf)?)),
+        D_RING => Ok(Message::Ring(get_frame(buf, src)?)),
         D_RING_BATCH => {
             need(buf, 2)?;
             let count = usize::from(buf.get_u16());
@@ -260,7 +311,7 @@ pub fn decode_partial(buf: &mut &[u8]) -> Result<Message, DecodeError> {
             // megabytes before the truncation error surfaces.
             let mut frames = Vec::with_capacity(count.min(1024));
             for _ in 0..count {
-                frames.push(get_frame(buf)?);
+                frames.push(get_frame(buf, src)?);
             }
             Ok(Message::RingBatch(frames))
         }
@@ -269,18 +320,18 @@ pub fn decode_partial(buf: &mut &[u8]) -> Result<Message, DecodeError> {
         }),
         D_STATS_REPLY => Ok(Message::StatsReply {
             request: get_request(buf)?,
-            text: get_value(buf)?,
+            text: get_value(buf, src)?,
         }),
         other => Err(DecodeError::UnknownDiscriminant(other)),
     }
 }
 
-fn get_frame(buf: &mut &[u8]) -> Result<RingFrame, DecodeError> {
+fn get_frame(buf: &mut &[u8], src: ValueSrc<'_>) -> Result<RingFrame, DecodeError> {
     let object = get_object(buf)?;
     let pre_write = if get_flag(buf)? {
         let tag = get_tag(buf)?;
         let recovery = get_flag(buf)?;
-        let value = get_value(buf)?;
+        let value = get_value(buf, src)?;
         Some(PreWrite {
             tag,
             value,
@@ -292,7 +343,7 @@ fn get_frame(buf: &mut &[u8]) -> Result<RingFrame, DecodeError> {
     let write = if get_flag(buf)? {
         let tag = get_tag(buf)?;
         let value = if get_flag(buf)? {
-            Some(get_value(buf)?)
+            Some(get_value(buf, src)?)
         } else {
             None
         };
@@ -383,13 +434,11 @@ fn get_tag(buf: &mut &[u8]) -> Result<Tag, DecodeError> {
     Ok(Tag { ts, origin })
 }
 
-fn get_value(buf: &mut &[u8]) -> Result<Value, DecodeError> {
+fn get_value(buf: &mut &[u8], src: ValueSrc<'_>) -> Result<Value, DecodeError> {
     need(buf, 4)?;
     let len = buf.get_u32() as usize;
     need(buf, len)?;
-    let value = Value::from(&buf[..len]);
-    buf.advance(len);
-    Ok(value)
+    Ok(src.take(buf, len))
 }
 
 /// Identifies the sender on a freshly accepted `hts-net` connection; see
@@ -409,26 +458,26 @@ pub enum Hello {
 }
 
 impl Hello {
-    /// Encodes the handshake (3 or 5 bytes).
-    pub fn encode(self) -> Vec<u8> {
+    /// Encodes the handshake (3 or 5 bytes) as a refcounted buffer, so
+    /// connection setup paths hand the writer the same allocation.
+    pub fn encode(self) -> Bytes {
+        let mut v = BytesMut::with_capacity(5);
         match self {
             Hello::Server(s) => {
-                let mut v = vec![0x01];
-                v.extend_from_slice(&s.0.to_be_bytes());
-                v
+                v.put_u8(0x01);
+                v.put_u16(s.0);
             }
             Hello::Client(c) => {
-                let mut v = vec![0x02];
-                v.extend_from_slice(&c.0.to_be_bytes());
-                v
+                v.put_u8(0x02);
+                v.put_u32(c.0);
             }
             Hello::ServerLane(s, lane) => {
-                let mut v = vec![0x03];
-                v.extend_from_slice(&s.0.to_be_bytes());
-                v.extend_from_slice(&lane.to_be_bytes());
-                v
+                v.put_u8(0x03);
+                v.put_u16(s.0);
+                v.put_u16(lane);
             }
         }
+        v.freeze()
     }
 
     /// Decodes a handshake produced by [`Hello::encode`].
@@ -564,6 +613,8 @@ mod tests {
             object: ObjectId(0),
             request: RequestId(1),
         };
+        // Deliberate copy (`to_vec`): the test mutates the encoding,
+        // which needs an owned, growable buffer.
         let mut bytes = encode(&msg).to_vec();
         bytes.push(0);
         assert_eq!(
@@ -596,6 +647,8 @@ mod tests {
             object: ObjectId(3),
             request: RequestId(4),
         };
+        // Deliberate copy (`to_vec`): the test concatenates two
+        // messages, which needs an owned, growable buffer.
         let mut bytes = encode(&a).to_vec();
         bytes.extend_from_slice(&encode(&b));
         let mut cursor = &bytes[..];
@@ -690,10 +743,81 @@ mod tests {
     fn lane_zero_hello_is_the_legacy_server_encoding() {
         // A single-lane deployment must stay byte-identical to the
         // pre-lane wire protocol: lane 0 travels as Hello::Server.
-        assert_eq!(Hello::Server(ServerId(4)).encode(), vec![0x01, 0x00, 0x04]);
+        assert_eq!(&Hello::Server(ServerId(4)).encode()[..], [0x01, 0x00, 0x04]);
         assert_eq!(
-            Hello::ServerLane(ServerId(4), 1).encode(),
-            vec![0x03, 0x00, 0x04, 0x00, 0x01]
+            &Hello::ServerLane(ServerId(4), 1).encode()[..],
+            [0x03, 0x00, 0x04, 0x00, 0x01]
+        );
+    }
+
+    #[test]
+    fn decode_shared_agrees_on_every_sample() {
+        for msg in sample_messages() {
+            let bytes = encode(&msg);
+            assert_eq!(decode_shared(&bytes).expect("decode_shared"), msg);
+            assert_eq!(
+                decode_shared(&bytes).expect("decode_shared"),
+                decode(&bytes).expect("decode"),
+                "shared/copied divergence for {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_shared_rejects_trailing_bytes_and_truncation() {
+        let msg = Message::ReadReq {
+            object: ObjectId(0),
+            request: RequestId(1),
+        };
+        // Deliberate copy: the test appends a trailing byte, which needs
+        // an owned, growable buffer.
+        let mut bytes = encode(&msg).to_vec();
+        bytes.push(0);
+        assert_eq!(
+            decode_shared(&Bytes::from(bytes.clone())),
+            Err(DecodeError::TrailingBytes { remaining: 1 })
+        );
+        bytes.truncate(3);
+        assert!(matches!(
+            decode_shared(&Bytes::from(bytes)),
+            Err(DecodeError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_shared_values_are_views_not_copies() {
+        let value = Value::filled(0x5A, 64 * 1024);
+        let msg = Message::WriteReq {
+            object: ObjectId(7),
+            request: RequestId(9),
+            value,
+        };
+        let bytes = encode(&msg);
+        let start = bytes.as_ptr() as usize;
+        let end = start + bytes.len();
+        match decode_shared(&bytes).expect("decode_shared") {
+            Message::WriteReq { value, .. } => {
+                let p = value.as_bytes().as_ptr() as usize;
+                assert!(
+                    p >= start && p + value.len() <= end,
+                    "decoded value was copied out of the input buffer"
+                );
+            }
+            other => panic!("decoded wrong variant: {other}"),
+        }
+    }
+
+    #[test]
+    fn max_size_batch_roundtrips_through_decode_shared() {
+        let frame = RingFrame::write(ObjectId(7), Tag::new(9, ServerId(1)));
+        let msg = Message::RingBatch(vec![frame; MAX_BATCH_FRAMES]);
+        let bytes = encode(&msg);
+        assert_eq!(decode_shared(&bytes).expect("decode_shared"), msg);
+        // And the empty edge.
+        let empty = Message::RingBatch(Vec::new());
+        assert_eq!(
+            decode_shared(&encode(&empty)).expect("decode_shared"),
+            empty
         );
     }
 }

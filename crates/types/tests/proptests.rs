@@ -62,6 +62,33 @@ fn arb_message() -> impl Strategy<Value = Message> {
     ]
 }
 
+/// Every value carried by `msg`, in encoding order.
+fn values_of(msg: &Message) -> Vec<&Value> {
+    fn frame_values<'a>(frame: &'a RingFrame, out: &mut Vec<&'a Value>) {
+        if let Some(pw) = &frame.pre_write {
+            out.push(&pw.value);
+        }
+        if let Some(w) = &frame.write {
+            if let Some(v) = &w.value {
+                out.push(v);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    match msg {
+        Message::WriteReq { value, .. } | Message::ReadAck { value, .. } => out.push(value),
+        Message::StatsReply { text, .. } => out.push(text),
+        Message::Ring(frame) => frame_values(frame, &mut out),
+        Message::RingBatch(frames) => {
+            for frame in frames {
+                frame_values(frame, &mut out);
+            }
+        }
+        Message::ReadReq { .. } | Message::WriteAck { .. } | Message::StatsRequest { .. } => {}
+    }
+    out
+}
+
 proptest! {
     #[test]
     fn codec_roundtrip(msg in arb_message()) {
@@ -69,6 +96,47 @@ proptest! {
         prop_assert_eq!(bytes.len(), codec::wire_size(&msg));
         let back = codec::decode(&bytes).unwrap();
         prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn decode_shared_matches_decode(msg in arb_message()) {
+        // The zero-copy decoder is byte-for-byte equivalent to the
+        // copying one over every message variant.
+        let bytes = codec::encode(&msg);
+        let shared = codec::decode_shared(&bytes).unwrap();
+        let copied = codec::decode(&bytes).unwrap();
+        prop_assert_eq!(&shared, &copied);
+        prop_assert_eq!(&shared, &msg);
+    }
+
+    #[test]
+    fn decode_shared_values_alias_the_input(msg in arb_message()) {
+        // Every decoded value's bytes must live INSIDE the input buffer:
+        // views, not copies.
+        let bytes = codec::encode(&msg);
+        let start = bytes.as_ptr() as usize;
+        let end = start + bytes.len();
+        let decoded = codec::decode_shared(&bytes).unwrap();
+        for value in values_of(&decoded) {
+            let p = value.as_bytes().as_ptr() as usize;
+            prop_assert!(
+                p >= start && p + value.len() <= end,
+                "value at {:#x}..{:#x} escapes input {:#x}..{:#x}",
+                p, p + value.len(), start, end
+            );
+        }
+    }
+
+    #[test]
+    fn decode_shared_batch_empty_and_order(frames in prop::collection::vec(arb_frame(), 0..32)) {
+        // RingBatch through the shared decoder, including the empty edge;
+        // the u16::MAX edge is pinned by a unit test in the codec module.
+        let msg = Message::RingBatch(frames.clone());
+        let bytes = codec::encode(&msg);
+        match codec::decode_shared(&bytes).unwrap() {
+            Message::RingBatch(back) => prop_assert_eq!(back, frames),
+            other => prop_assert!(false, "decoded wrong variant: {}", other),
+        }
     }
 
     #[test]

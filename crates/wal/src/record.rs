@@ -42,6 +42,14 @@ pub const FRAME_HEADER: usize = 8;
 
 const RECORD_FIXED: usize = 4 + 8 + 2 + 4; // object + ts + origin + value len
 
+/// Copies the `N`-byte field at `buf[at..]`, or `None` if the buffer is
+/// too short — the panic-free slice→array step for the decoders (their
+/// bounds checks make `None` unreachable, but recovery code never
+/// panics on principle: a torn tail is data, not a bug).
+fn field<const N: usize>(buf: &[u8], at: usize) -> Option<[u8; N]> {
+    buf.get(at..at + N)?.first_chunk::<N>().copied()
+}
+
 /// Appends one CRC frame wrapping `payload` to `out`.
 pub fn put_frame(out: &mut Vec<u8>, payload: &[u8]) {
     out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
@@ -59,8 +67,11 @@ pub fn take_frame<'a>(buf: &mut &'a [u8]) -> Result<&'a [u8], FrameError> {
     if buf.len() < FRAME_HEADER {
         return Err(FrameError::Truncated);
     }
-    let len = u32::from_be_bytes(buf[0..4].try_into().expect("4 bytes")) as usize;
-    let crc = u32::from_be_bytes(buf[4..8].try_into().expect("4 bytes"));
+    let (Some(len), Some(crc)) = (field::<4>(buf, 0), field::<4>(buf, 4)) else {
+        return Err(FrameError::Truncated);
+    };
+    let len = u32::from_be_bytes(len) as usize;
+    let crc = u32::from_be_bytes(crc);
     let rest = &buf[FRAME_HEADER..];
     if rest.len() < len {
         return Err(FrameError::Truncated);
@@ -73,11 +84,23 @@ pub fn take_frame<'a>(buf: &mut &'a [u8]) -> Result<&'a [u8], FrameError> {
     Ok(payload)
 }
 
-/// Encodes `record` as one frame appended to `out`.
+/// Encodes `record` as one frame appended to `out` — **borrowed-batch**
+/// form: the frame is built directly in `out` (a zeroed header first,
+/// then the payload — the value bytes are appended exactly **once**),
+/// and the length + CRC are patched over the written range. No
+/// per-record payload allocation, so a group commit of `n` records
+/// fills one scratch buffer with `n` in-place frames and zero
+/// intermediate copies of the values.
 pub fn encode_record(out: &mut Vec<u8>, record: &WalRecord) {
-    let mut payload = Vec::with_capacity(RECORD_FIXED + record.value.len());
-    put_record_payload(&mut payload, record);
-    put_frame(out, &payload);
+    let header_at = out.len();
+    out.reserve(FRAME_HEADER + RECORD_FIXED + record.value.len());
+    out.extend_from_slice(&[0u8; FRAME_HEADER]);
+    let payload_at = out.len();
+    put_record_payload(out, record);
+    let len = (out.len() - payload_at) as u32;
+    let crc = crate::crc::crc32(&out[payload_at..]);
+    out[header_at..header_at + 4].copy_from_slice(&len.to_be_bytes());
+    out[header_at + 4..payload_at].copy_from_slice(&crc.to_be_bytes());
 }
 
 /// Appends the raw (unframed) record payload to `out` — shared with the
@@ -100,10 +123,19 @@ pub fn take_record_payload(buf: &mut &[u8]) -> Result<WalRecord, FrameError> {
     if buf.len() < RECORD_FIXED {
         return Err(FrameError::Malformed);
     }
-    let object = ObjectId(u32::from_be_bytes(buf[0..4].try_into().expect("4 bytes")));
-    let ts = u64::from_be_bytes(buf[4..12].try_into().expect("8 bytes"));
-    let origin = ServerId(u16::from_be_bytes(buf[12..14].try_into().expect("2 bytes")));
-    let len = u32::from_be_bytes(buf[14..18].try_into().expect("4 bytes")) as usize;
+    let fields = (
+        field::<4>(buf, 0),
+        field::<8>(buf, 4),
+        field::<2>(buf, 12),
+        field::<4>(buf, 14),
+    );
+    let (Some(object), Some(ts), Some(origin), Some(len)) = fields else {
+        return Err(FrameError::Malformed);
+    };
+    let object = ObjectId(u32::from_be_bytes(object));
+    let ts = u64::from_be_bytes(ts);
+    let origin = ServerId(u16::from_be_bytes(origin));
+    let len = u32::from_be_bytes(len) as usize;
     let rest = &buf[RECORD_FIXED..];
     if rest.len() < len {
         return Err(FrameError::Malformed);
@@ -153,6 +185,21 @@ mod tests {
             let mut cursor = &bytes[..];
             assert_eq!(decode_record(&mut cursor).unwrap(), record);
             assert!(cursor.is_empty());
+        }
+    }
+
+    #[test]
+    fn in_place_encode_matches_framed_payload() {
+        // The borrowed-batch encoder must be byte-identical to framing a
+        // separately built payload — the on-disk format is pinned.
+        for record in [sample(1, 0), sample(9, 1), sample(u64::MAX, 4096)] {
+            let mut payload = Vec::new();
+            put_record_payload(&mut payload, &record);
+            let mut expect = vec![0xAB; 3]; // non-empty prefix: append semantics
+            put_frame(&mut expect, &payload);
+            let mut in_place = vec![0xAB; 3];
+            encode_record(&mut in_place, &record);
+            assert_eq!(in_place, expect);
         }
     }
 

@@ -9,7 +9,7 @@
 
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::ops::Deref;
+use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
 /// An immutable byte string; cloning is a reference-count bump.
@@ -19,7 +19,13 @@ pub struct Bytes(Repr);
 #[derive(Clone)]
 enum Repr {
     Static(&'static [u8]),
-    Shared(Arc<Vec<u8>>),
+    /// A window `[off, off + len)` over one shared allocation; slicing
+    /// produces further windows over the same allocation.
+    Shared {
+        buf: Arc<Vec<u8>>,
+        off: usize,
+        len: usize,
+    },
 }
 
 impl Bytes {
@@ -35,7 +41,54 @@ impl Bytes {
 
     /// Copies `data` into a new shared allocation.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes(Repr::Shared(Arc::new(data.to_vec())))
+        Bytes::from(data.to_vec())
+    }
+
+    /// A view of `range` sharing this value's allocation: no copy, the
+    /// clone of the backing reference count is the whole cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `range` is out of bounds or inverted, as in the real
+    /// crate.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            Bound::Included(&s) => s,
+            Bound::Excluded(&s) => s + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&e) => e + 1,
+            Bound::Excluded(&e) => e,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(
+            start <= end && end <= self.len(),
+            "slice [{start}, {end}) out of bounds of {} bytes",
+            self.len()
+        );
+        match &self.0 {
+            Repr::Static(s) => Bytes(Repr::Static(&s[start..end])),
+            Repr::Shared { buf, off, .. } => Bytes(Repr::Shared {
+                buf: Arc::clone(buf),
+                off: off + start,
+                len: end - start,
+            }),
+        }
+    }
+
+    /// Recovers the backing allocation for reuse when this is the only
+    /// handle to it (and a full-range view of it). Otherwise hands the
+    /// value back untouched — some other `Bytes` still aliases the
+    /// buffer.
+    pub fn try_into_mut(self) -> Result<BytesMut, Bytes> {
+        match self.0 {
+            Repr::Shared { buf, off: 0, len } if len == buf.len() => match Arc::try_unwrap(buf) {
+                Ok(v) => Ok(BytesMut(v)),
+                Err(buf) => Err(Bytes(Repr::Shared { buf, off: 0, len })),
+            },
+            repr => Err(Bytes(repr)),
+        }
     }
 }
 
@@ -45,7 +98,7 @@ impl Deref for Bytes {
     fn deref(&self) -> &[u8] {
         match &self.0 {
             Repr::Static(s) => s,
-            Repr::Shared(v) => v,
+            Repr::Shared { buf, off, len } => &buf[*off..off + len],
         }
     }
 }
@@ -64,7 +117,12 @@ impl Default for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes(Repr::Shared(Arc::new(v)))
+        let len = v.len();
+        Bytes(Repr::Shared {
+            buf: Arc::new(v),
+            off: 0,
+            len,
+        })
     }
 }
 
@@ -131,6 +189,11 @@ impl BytesMut {
         self.0.reserve(additional);
     }
 
+    /// Bytes the buffer can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.0.capacity()
+    }
+
     /// Empties the buffer.
     pub fn clear(&mut self) {
         self.0.clear();
@@ -138,7 +201,19 @@ impl BytesMut {
 
     /// Converts into an immutable [`Bytes`] without copying.
     pub fn freeze(self) -> Bytes {
-        Bytes(Repr::Shared(Arc::new(self.0)))
+        Bytes::from(self.0)
+    }
+
+    /// Grows to exactly `len` bytes, filling with zeroes (for
+    /// `read_exact` targets).
+    pub fn resize(&mut self, len: usize, fill: u8) {
+        self.0.resize(len, fill);
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(v: Vec<u8>) -> Self {
+        BytesMut(v)
     }
 }
 
@@ -147,6 +222,12 @@ impl Deref for BytesMut {
 
     fn deref(&self) -> &[u8] {
         &self.0
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.0
     }
 }
 
@@ -259,6 +340,44 @@ mod tests {
         let b = a.clone();
         assert_eq!(a.as_ptr(), b.as_ptr());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn slice_shares_the_allocation() {
+        let a = Bytes::from(vec![0u8, 1, 2, 3, 4, 5]);
+        let s = a.slice(2..5);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        assert_eq!(s.as_ptr(), unsafe { a.as_ptr().add(2) });
+        // Slicing a slice stays within the same allocation.
+        let t = s.slice(1..);
+        assert_eq!(&t[..], &[3, 4]);
+        assert_eq!(t.as_ptr(), unsafe { a.as_ptr().add(3) });
+        // Static data slices without allocating.
+        let st = Bytes::from_static(b"hello").slice(1..3);
+        assert_eq!(&st[..], b"el");
+    }
+
+    #[test]
+    #[should_panic]
+    fn slice_out_of_bounds_panics() {
+        let _ = Bytes::from(vec![1u8, 2]).slice(1..3);
+    }
+
+    #[test]
+    fn try_into_mut_reclaims_only_unique_full_views() {
+        let a = Bytes::from(vec![1u8, 2, 3]);
+        let ptr = a.as_ptr();
+        let m = a.try_into_mut().expect("unique full view reclaims");
+        assert_eq!(m.as_ptr(), ptr);
+
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let alias = b.slice(0..1);
+        let b = b
+            .try_into_mut()
+            .expect_err("aliased buffer must not reclaim");
+        drop(alias);
+        assert!(b.slice(1..).try_into_mut().is_err(), "partial view");
+        assert!(b.try_into_mut().is_ok(), "last full view reclaims");
     }
 
     #[test]
