@@ -119,35 +119,41 @@ pub fn lex(src: &str) -> Lexed<'_> {
                 });
             }
             b'"' => {
+                // The token carries the line it *starts* on; skip_* bumps
+                // `line` past any newlines inside the literal.
+                let start_line = line;
                 i = skip_string(bytes, i, &mut line);
                 out.toks.push(Tok {
                     kind: TokKind::Literal,
                     text: "\"\"",
-                    line,
+                    line: start_line,
                 });
             }
             b'r' | b'b' if is_raw_string_start(bytes, i) => {
+                let start_line = line;
                 i = skip_raw_string(bytes, i, &mut line);
                 out.toks.push(Tok {
                     kind: TokKind::Literal,
                     text: "\"\"",
-                    line,
+                    line: start_line,
                 });
             }
             b'b' if bytes.get(i + 1) == Some(&b'"') => {
+                let start_line = line;
                 i = skip_string(bytes, i + 1, &mut line);
                 out.toks.push(Tok {
                     kind: TokKind::Literal,
                     text: "\"\"",
-                    line,
+                    line: start_line,
                 });
             }
             b'b' if bytes.get(i + 1) == Some(&b'\'') => {
+                let start_line = line;
                 i = skip_char(bytes, i + 1, &mut line);
                 out.toks.push(Tok {
                     kind: TokKind::Literal,
                     text: "''",
-                    line,
+                    line: start_line,
                 });
             }
             b'\'' => {
@@ -167,16 +173,28 @@ pub fn lex(src: &str) -> Lexed<'_> {
                         line,
                     });
                 } else {
+                    let start_line = line;
                     i = skip_char(bytes, i, &mut line);
                     out.toks.push(Tok {
                         kind: TokKind::Literal,
                         text: "''",
-                        line,
+                        line: start_line,
                     });
                 }
             }
             _ if c.is_ascii_alphabetic() || c == b'_' || !c.is_ascii() => {
                 let start = i;
+                // A raw identifier (`r#match`) is one token whose text
+                // keeps the `r#` prefix — splitting it into `r`, `#`,
+                // `match` would hand the rules a phantom keyword.
+                if c == b'r'
+                    && bytes.get(i + 1) == Some(&b'#')
+                    && bytes
+                        .get(i + 2)
+                        .is_some_and(|&b| b.is_ascii_alphabetic() || b == b'_')
+                {
+                    i += 2;
+                }
                 while i < bytes.len() && is_ident_byte(bytes[i]) {
                     i += 1;
                 }
@@ -242,7 +260,14 @@ fn skip_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
     i += 1; // opening quote
     while i < bytes.len() {
         match bytes[i] {
-            b'\\' => i += 2,
+            b'\\' => {
+                // An escaped byte may itself be a newline (line
+                // continuation) — it is still a source line.
+                if bytes.get(i + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
             b'"' => return i + 1,
             b'\n' => {
                 *line += 1;
@@ -292,7 +317,12 @@ fn skip_char(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
     i += 1; // opening quote
     while i < bytes.len() {
         match bytes[i] {
-            b'\\' => i += 2,
+            b'\\' => {
+                if bytes.get(i + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
             b'\'' => return i + 1,
             b'\n' => {
                 *line += 1;
@@ -344,6 +374,44 @@ mod tests {
         let lexed = lex(src);
         let b = lexed.toks.iter().find(|t| t.is_ident("b")).unwrap();
         assert_eq!(b.line, 2);
+    }
+
+    #[test]
+    fn multi_line_literals_carry_their_start_line() {
+        // The literal token anchors where it *opens*; lines inside it
+        // still count toward what follows.
+        let src = "let a = \"one\ntwo\";\nlet b = r#\"three\nfour\"#;\nlet c = 1;";
+        let lexed = lex(src);
+        let lits: Vec<u32> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.text == "\"\"")
+            .map(|t| t.line)
+            .collect();
+        assert_eq!(lits, vec![1, 3]);
+        let c = lexed.toks.iter().find(|t| t.is_ident("c")).unwrap();
+        assert_eq!(c.line, 5);
+    }
+
+    #[test]
+    fn escaped_newline_in_a_string_still_counts_as_a_line() {
+        // `\` + newline is a string continuation, but the newline is a
+        // real source line — without counting it every later token
+        // drifts one line up.
+        let src = "let a = \"one\\\ntwo\";\nlet b = 1;";
+        let b = lex(src).toks.into_iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn raw_identifiers_are_single_tokens() {
+        let src = "fn r#match(r#unsafe: u32) {}";
+        let lexed = lex(src);
+        assert!(lexed.toks.iter().any(|t| t.is_ident("r#match")));
+        // No phantom keywords, no stray `#` punctuation.
+        assert!(!lexed.toks.iter().any(|t| t.is_ident("match")));
+        assert!(!lexed.toks.iter().any(|t| t.is_ident("unsafe")));
+        assert!(!lexed.toks.iter().any(|t| t.is('#')));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! caught before review: a `thread::sleep` stalling the ring writer, an
 //! `assert!` where an `io::Error` belonged, and a silent catch-all match
 //! arm hiding an alive-map recovery bug. This crate is that check — a
-//! dependency-free, token-level linter enforcing six rules over the
+//! dependency-free, token-level linter enforcing seven rules over the
 //! protocol crates (`crates/{types,core,net,wal,sim,metrics}`):
 //!
 //! * **L1 `no_panic`** — no `unwrap`/`expect`/`panic!`/`assert!`-family
@@ -22,17 +22,24 @@
 //! * **L6 `ring_hot_loop`** — no `Instant::now()` or allocation
 //!   constructors inside the per-frame ring hot functions (the
 //!   `hts_metrics` helpers are alloc-free and exempt by construction).
+//! * **L7 `atomic_ordering`** — every `Ordering::Relaxed` outside the
+//!   pure-counter metrics modules and every fence carries a
+//!   `// ordering:` comment, and every protocol-crate file constructing
+//!   atomics is covered by an `hts-mc` model (or explicitly exempted)
+//!   in the `mc-models.toml` manifest (see [`manifest`]).
 //!
 //! Existing debt is frozen in `lint-baseline.toml` (see [`baseline`]):
 //! new violations fail CI, fixed ones shrink the ratchet. Run with
 //! `cargo run -p hts-check -- --ci`.
 //!
-//! The companion *runtime* check — the lock-order race detector the CI
-//! `lockorder` job enables — lives in `hts_types::sync` behind the
-//! `lock-order` feature.
+//! The companion *runtime* checks — the lock-order race detector the CI
+//! `lockorder` job enables, and the `hts-mc` model checker the
+//! `modelcheck` job runs — live in `hts_types::sync` (behind the
+//! `lock-order` feature) and `crates/mc`.
 
 pub mod baseline;
 pub mod lexer;
+pub mod manifest;
 pub mod rules;
 
 use std::fs;
@@ -59,6 +66,7 @@ pub const PROTOCOL_CRATES: [&str; 6] = ["types", "core", "net", "wal", "sim", "m
 /// make an empty report look clean).
 pub fn check_workspace(root: &Path, crates: &[&str]) -> io::Result<Vec<Violation>> {
     let mut violations = Vec::new();
+    let mut atomic_files: std::collections::BTreeMap<String, Vec<u32>> = Default::default();
     for krate in crates {
         let src = root.join("crates").join(krate).join("src");
         if !src.is_dir() {
@@ -80,8 +88,13 @@ pub fn check_workspace(root: &Path, crates: &[&str]) -> io::Result<Vec<Violation
                 .join("/");
             let text = fs::read_to_string(&path)?;
             violations.extend(check_file(&rel, &text));
+            let ctors = manifest::atomic_ctor_lines(&text);
+            if !ctors.is_empty() {
+                atomic_files.insert(rel, ctors);
+            }
         }
     }
+    violations.extend(manifest::check_coverage(root, &atomic_files)?);
     violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(violations)
 }

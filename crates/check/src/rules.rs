@@ -1,4 +1,4 @@
-//! The six protocol-safety rules, run over one file's token stream.
+//! The seven protocol-safety rules, run over one file's token stream.
 //!
 //! | Rule | Guards against |
 //! |------|----------------|
@@ -8,6 +8,7 @@
 //! | L4 `message_catch_all` | `_ =>` catch-alls in a `match` dispatching [`Message`] wire variants |
 //! | L5 `unsafe_safety` | an `unsafe` block without a `// SAFETY:` comment |
 //! | L6 `ring_hot_loop` | `Instant::now()` / allocation constructors inside the per-frame ring hot functions |
+//! | L7 `atomic_ordering` | `Ordering::Relaxed` or a fence without a `// ordering:` comment arguing why it is sound |
 //!
 //! All rules skip test scope (`#[cfg(test)]` items and `#[test]` fns) and
 //! honor `// lint: allow(<rule>): reason` suppressions on the violating
@@ -33,11 +34,22 @@ pub enum Rule {
     /// No `Instant::now()` or allocation constructors in the per-frame
     /// ring hot functions.
     L6,
+    /// Every `Ordering::Relaxed` and every fence carries a
+    /// `// ordering:` comment (pure-counter modules excepted).
+    L7,
 }
 
 impl Rule {
     /// Every rule, in order.
-    pub const ALL: [Rule; 6] = [Rule::L1, Rule::L2, Rule::L3, Rule::L4, Rule::L5, Rule::L6];
+    pub const ALL: [Rule; 7] = [
+        Rule::L1,
+        Rule::L2,
+        Rule::L3,
+        Rule::L4,
+        Rule::L5,
+        Rule::L6,
+        Rule::L7,
+    ];
 
     /// The rule's short id (`"L1"`).
     pub fn id(self) -> &'static str {
@@ -48,6 +60,7 @@ impl Rule {
             Rule::L4 => "L4",
             Rule::L5 => "L5",
             Rule::L6 => "L6",
+            Rule::L7 => "L7",
         }
     }
 
@@ -61,6 +74,7 @@ impl Rule {
             Rule::L4 => "message_catch_all",
             Rule::L5 => "unsafe_safety",
             Rule::L6 => "ring_hot_loop",
+            Rule::L7 => "atomic_ordering",
         }
     }
 
@@ -115,6 +129,7 @@ pub fn check_file(file: &str, src: &str) -> Vec<Violation> {
     rule_l4(file, toks, &mut out);
     rule_l5(file, toks, &lexed.comments, &mut out);
     rule_l6(file, toks, &mut out);
+    rule_l7(file, toks, &lexed.comments, &mut out);
     out.retain(|v| {
         let tested = tok_in_test(toks, &test, v.line);
         let allowed = allows
@@ -135,7 +150,7 @@ fn tok_in_test(toks: &[Tok<'_>], mask: &[bool], line: u32) -> bool {
 }
 
 /// Marks every token covered by a `#[cfg(test)]`/`#[test]` item.
-fn test_mask(toks: &[Tok<'_>]) -> Vec<bool> {
+pub(crate) fn test_mask(toks: &[Tok<'_>]) -> Vec<bool> {
     let mut mask = vec![false; toks.len()];
     let mut i = 0usize;
     while i < toks.len() {
@@ -526,10 +541,11 @@ fn rule_l5(file: &str, toks: &[Tok<'_>], comments: &[Comment], out: &mut Vec<Vio
 /// throughput regression, not a style nit. The metrics helpers
 /// (`hts_metrics::now_nanos`, the `counter!`-family macros) are designed
 /// alloc-free and are not in the flagged construct set.
-const HOT_FUNCTIONS: [&str; 11] = [
+const HOT_FUNCTIONS: [&str; 12] = [
     "ring_writer",
     "ring_in_loop",
     "drain_batch",
+    "next_batch",
     "next_frame",
     "drain_frames",
     "drain_frames_with",
@@ -642,6 +658,60 @@ fn rule_l6(file: &str, toks: &[Tok<'_>], out: &mut Vec<Violation>) {
     }
 }
 
+/// Pure-counter modules where `Relaxed` is the designed default: every
+/// atomic there is an independent statistic (no cross-variable ordering
+/// to argue), so a justification per counter bump would be noise, not
+/// signal. Fences are still flagged even here.
+const L7_COUNTER_FILES: [&str; 2] = ["crates/metrics/src/lib.rs", "crates/metrics/src/hist.rs"];
+
+fn rule_l7(file: &str, toks: &[Tok<'_>], comments: &[Comment], out: &mut Vec<Violation>) {
+    let counter_file = L7_COUNTER_FILES.contains(&file);
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        // `use ... Ordering::Relaxed;` names an ordering without using
+        // one — skip import statements wholesale.
+        if t.is_ident("use") {
+            while i < toks.len() && !toks[i].is(';') {
+                i += 1;
+            }
+            continue;
+        }
+        // `Ordering::Relaxed` / `atomic::Ordering::Relaxed` — anything
+        // path-qualified. Relaxed gives *no* inter-thread ordering, so
+        // each site must say why none is needed.
+        let relaxed = t.is_ident("Relaxed") && i >= 2 && toks[i - 1].is(':') && toks[i - 2].is(':');
+        // `fence(..)` / `compiler_fence(..)`: ordering decoupled from
+        // any one access is the easiest kind to break by refactoring.
+        let fence = (t.is_ident("fence") || t.is_ident("compiler_fence"))
+            && toks.get(i + 1).is_some_and(|n| n.is('('));
+        if (relaxed && !counter_file) || fence {
+            let justified = comments.iter().any(|c| {
+                c.text.contains("ordering:") && c.end_line <= t.line && c.end_line + 2 >= t.line
+            });
+            if !justified {
+                let what = if fence {
+                    format!(
+                        "`{}` without a `// ordering:` comment; state what it pairs with",
+                        t.text
+                    )
+                } else {
+                    "`Ordering::Relaxed` without a `// ordering:` comment arguing why \
+                     no ordering is needed"
+                        .to_string()
+                };
+                out.push(Violation {
+                    rule: Rule::L7,
+                    file: file.to_string(),
+                    line: t.line,
+                    what,
+                });
+            }
+        }
+        i += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -723,6 +793,35 @@ mod tests {
         let src = "fn next_frame() {\n    let t0 = hts_metrics::now_nanos();\n    \
                    hts_metrics::histogram!(\"hts_x\").record(t0);\n    q.pop_front();\n}\n";
         assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn l7_requires_ordering_justification() {
+        let bad = "fn f() {\n    x.load(Ordering::Relaxed);\n    fence(Ordering::SeqCst);\n}\n";
+        assert_eq!(rules_of(bad), vec![(Rule::L7, 2), (Rule::L7, 3)]);
+        let good = "fn f() {\n    // ordering: a pure counter, read only for stats\n    \
+                    x.load(Ordering::Relaxed);\n    \
+                    fence(Ordering::Release); // ordering: pairs with the Acquire in g\n}\n";
+        assert!(rules_of(good).is_empty());
+    }
+
+    #[test]
+    fn l7_leaves_non_relaxed_orderings_alone() {
+        let src = "fn f() { x.store(1, Ordering::Release); y.load(Ordering::Acquire); }";
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn l7_skips_imports_and_counter_files() {
+        let src =
+            "use std::sync::atomic::Ordering::Relaxed;\nfn f() { x.load(Ordering::Relaxed); }\n";
+        // The import never fires; the use site does — except in the
+        // whitelisted pure-counter modules.
+        assert_eq!(rules_of(src), vec![(Rule::L7, 2)]);
+        assert!(check_file("crates/metrics/src/lib.rs", src).is_empty());
+        // Fences need a justification even in counter files.
+        let fenced = "fn f() { fence(Ordering::SeqCst); }";
+        assert_eq!(check_file("crates/metrics/src/hist.rs", fenced).len(), 1);
     }
 
     #[test]

@@ -1,0 +1,36 @@
+// Lexer-adversarial fixture: would-be violations hidden inside raw
+// strings, nested block comments and raw identifiers must NOT count,
+// while the one real violation AFTER all of them must still be found on
+// the right line. NEVER compiled — the linter lexes it as text. Exact
+// counts and line numbers are asserted by tests/linter.rs.
+
+pub fn hidden_in_literals() {
+    let a = r#"x.unwrap() panic!("no") thread::sleep(d) fence(o)"#;
+    let b = r##"nested "#" hashes: assert!(Ordering::Relaxed)"##;
+    let c = "escaped quote \" then x.unwrap() \" done";
+    let d = b"byte panic!(\"s\")";
+    let _ = (a, b, c, d);
+}
+
+/* a nested /* block comment holding x.unwrap() and
+   thread::sleep(d) and /* deeper: assert!(false) */ more */
+   still one single comment */
+
+pub fn r#match(x: Option<u32>) -> Option<u32> {
+    // A raw identifier must stay one token: split as `r`, `#`, `match`
+    // it would derail brace tracking and invent keywords.
+    let r#unsafe = x;
+    r#unsafe
+}
+
+pub fn multi_line_strings_keep_lines_honest() -> (&'static str, &'static str) {
+    let a = "first
+        second";
+    let b = "continued \
+        tail";
+    (a, b)
+}
+
+pub fn the_real_violation(x: Option<u32>) -> u32 {
+    x.unwrap() // line 35: the file’s single L1 — found despite the above
+}

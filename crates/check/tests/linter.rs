@@ -67,6 +67,21 @@ fn test_scope_and_allow_comments_are_exempt() {
     );
 }
 
+/// The lexer-adversarial fixture: violations spelled out inside raw
+/// strings (hash-matched), nested block comments, escaped quotes and
+/// byte strings never count; raw identifiers (`r#match`) neither invent
+/// keywords nor derail brace tracking; and multi-line strings (escaped
+/// newlines included) keep later line numbers honest — the file's one
+/// real violation is found, on exactly its line.
+#[test]
+fn tricky_lexing_neither_hides_nor_invents_violations() {
+    let v = check_workspace(&fixtures_root(), &["tricky"]).expect("fixture tree exists");
+    assert_eq!(v.len(), 1, "exactly one real violation: {v:?}");
+    assert_eq!(v[0].rule, Rule::L1);
+    assert_eq!(v[0].file, "crates/tricky/src/lib.rs");
+    assert_eq!(v[0].line, 35, "line drift through the literals: {v:?}");
+}
+
 #[test]
 fn baseline_freezes_and_ratchets() {
     let v = fixture_violations();

@@ -185,8 +185,9 @@ impl ForwardScheduler {
         if chosen == me && want_local {
             return Some(Selection::InitiateLocal);
         }
-        let queue = self.queues.get_mut(&chosen).expect("chosen origin queued");
-        let (_, pw) = queue.pop_front().expect("chosen queue non-empty");
+        // `chosen` came from a non-empty queue above, so the lookups
+        // cannot miss; `?` still beats a panic if that ever drifts.
+        let (_, pw) = self.queues.get_mut(&chosen)?.pop_front()?;
         *self.nb_msg.entry(chosen).or_insert(0) += 1;
         Some(Selection::Forward(pw))
     }
@@ -196,9 +197,9 @@ impl ForwardScheduler {
         let origin = self
             .queues
             .iter()
-            .filter(|(_, q)| !q.is_empty())
-            .min_by_key(|(origin, q)| (q.front().expect("non-empty").0, **origin))
-            .map(|(o, _)| *o)?;
+            .filter_map(|(origin, q)| q.front().map(|(arrival, _)| (*arrival, *origin)))
+            .min()
+            .map(|(_, o)| o)?;
         let (_, pw) = self.queues.get_mut(&origin)?.pop_front()?;
         Some(pw)
     }

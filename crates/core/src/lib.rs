@@ -89,6 +89,7 @@ mod client;
 mod config;
 mod fairness;
 mod lanes;
+mod mc_shim;
 mod multi;
 mod pending;
 mod ring;

@@ -1,0 +1,40 @@
+//! cfg-switched primitives for the seqlock cell (`snapshot.rs`).
+//!
+//! With the `model-check` feature on, the `ReadCell` protocol runs on
+//! the `hts-mc` shims so `crates/mc` models can explore its
+//! interleavings; off (the default, and always in release builds) the
+//! same names resolve to plain `std` types with zero overhead. The only
+//! API difference from `std` is `UnsafeCell`: accesses go through
+//! `with`/`with_mut` closures so the model checker can bracket them in
+//! begin/end schedule steps (loom's convention).
+
+#[cfg(feature = "model-check")]
+pub(crate) use hts_mc::sync::{spin_loop, AtomicU32, AtomicU64, UnsafeCell};
+
+#[cfg(not(feature = "model-check"))]
+pub(crate) use plain::{spin_loop, AtomicU32, AtomicU64, UnsafeCell};
+
+#[cfg(not(feature = "model-check"))]
+mod plain {
+    pub(crate) use std::hint::spin_loop;
+    pub(crate) use std::sync::atomic::{AtomicU32, AtomicU64};
+
+    /// `std::cell::UnsafeCell` behind the loom-style closure API the
+    /// model-checked build uses; compiles to the raw pointer accesses.
+    #[derive(Debug, Default)]
+    pub(crate) struct UnsafeCell<T>(std::cell::UnsafeCell<T>);
+
+    impl<T> UnsafeCell<T> {
+        pub(crate) const fn new(v: T) -> Self {
+            UnsafeCell(std::cell::UnsafeCell::new(v))
+        }
+
+        pub(crate) fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+            f(self.0.get())
+        }
+
+        pub(crate) fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+            f(self.0.get())
+        }
+    }
+}

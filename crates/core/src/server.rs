@@ -410,12 +410,13 @@ impl ServerCore {
             self.sync_reads.push((client, request));
             return Vec::new();
         }
-        let highest_pending = self.pending.max_tag();
-        let immediate = match highest_pending {
-            None => true,
-            Some(max) => self.config.read_fast_path && self.stored_tag >= max,
-        };
-        if immediate || self.ring.alive_count() == 1 {
+        // A read blocks only on a pending write it must wait out; with
+        // none pending (or the fast path satisfied, or no peers left to
+        // wait for) it is served immediately.
+        let target = self.pending.max_tag().filter(|&max| {
+            !(self.config.read_fast_path && self.stored_tag >= max) && self.ring.alive_count() > 1
+        });
+        let Some(target) = target else {
             self.stats.reads_immediate += 1;
             return vec![Action::ReadReply {
                 object: self.object,
@@ -424,12 +425,12 @@ impl ServerCore {
                 value: self.stored_value.clone(),
                 tag: self.stored_tag,
             }];
-        }
+        };
         self.stats.reads_blocked += 1;
         self.waiting_reads.push(WaitingRead {
             client,
             request,
-            target: highest_pending.expect("blocked read requires a pending write"),
+            target,
             begun_at: hts_metrics::now_nanos(),
         });
         Vec::new()
@@ -570,10 +571,10 @@ impl ServerCore {
             };
             match self.sched.select(me, want_local) {
                 Some(Selection::InitiateLocal) => {
-                    let (client, value) = self
-                        .write_queue
-                        .pop_front()
-                        .expect("InitiateLocal offered only when a write is queued");
+                    // Offered only when a write is queued (`want_local`);
+                    // if that ever drifts, skip the slot instead of
+                    // panicking the server.
+                    let (client, value) = self.write_queue.pop_front()?;
                     let tag = self.next_tag();
                     self.pending.insert(tag, value.clone());
                     hts_metrics::flight::record(

@@ -27,11 +27,11 @@
 // functions allocation-free.
 #![allow(unsafe_code)]
 
-use std::cell::UnsafeCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, RwLock};
 
+use crate::mc_shim::{spin_loop, AtomicU32, AtomicU64, UnsafeCell};
 use hts_types::{ObjectId, Tag, Value};
 
 /// Word bit 0: a publish is in progress; readers must fall back.
@@ -83,18 +83,20 @@ impl ReadCell {
     /// by a concurrent reader's refcount clone, i.e. nanoseconds unless
     /// the reader is preempted mid-clone) until the slot is reader-free.
     pub fn publish(&self, tag: Tag, value: &Value, blocked: bool) {
+        // ordering: Relaxed — single-writer read of our own last store;
+        // no other thread ever writes `word`.
         let w = self.word.load(Ordering::Relaxed);
         // Gate new readers out, then drain the registered ones.
         self.word.store(w | WRITING, Ordering::SeqCst);
         while self.readers.load(Ordering::SeqCst) != 0 {
-            std::hint::spin_loop();
+            spin_loop();
         }
         // Every future `try_read` bails at its validation step; no
         // reader touches the slot until the store below clears WRITING.
         // SAFETY: WRITING was set before we observed `readers == 0`.
-        unsafe {
-            *self.slot.get() = (tag, value.clone());
-        }
+        self.slot.with_mut(|slot| unsafe {
+            *slot = (tag, value.clone());
+        });
         let flags = if blocked { BLOCKED } else { 0 };
         self.word.store(
             (w | WRITING).wrapping_add(VERSION_ONE) & !WRITING & !BLOCKED | flags,
@@ -106,6 +108,8 @@ impl ReadCell {
     /// unchanged). Single-writer, like [`publish`](ReadCell::publish);
     /// never touches the slot, so it needs no reader drain.
     pub fn set_blocked(&self, blocked: bool) {
+        // ordering: Relaxed — single-writer read of our own last store;
+        // no other thread ever writes `word`.
         let w = self.word.load(Ordering::Relaxed);
         let flags = if blocked { BLOCKED } else { 0 };
         self.word.store(
@@ -136,7 +140,7 @@ impl ReadCell {
         // clone below races nothing.
         // SAFETY: our registration is visible (SeqCst) and the word was
         // validated WRITING-free after it.
-        let snap = unsafe { (*self.slot.get()).clone() };
+        let snap = self.slot.with(|slot| unsafe { (*slot).clone() });
         self.readers.fetch_sub(1, Ordering::SeqCst);
         Some(snap)
     }
@@ -156,6 +160,8 @@ impl Default for ReadCell {
 
 impl std::fmt::Debug for ReadCell {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // ordering: Relaxed — diagnostic-only snapshot of the word; a
+        // stale value merely prints stale.
         let w = self.word.load(Ordering::Relaxed);
         f.debug_struct("ReadCell")
             .field("version", &(w >> 2))
@@ -334,10 +340,12 @@ mod tests {
     fn hammer_publish_vs_optimistic_read_never_tears() {
         let cell = Arc::new(ReadCell::new());
         let stop = Arc::new(AtomicBool::new(false));
+        let seen_any = Arc::new(AtomicBool::new(false));
         let readers: Vec<_> = (0..4)
             .map(|_| {
                 let cell = Arc::clone(&cell);
                 let stop = Arc::clone(&stop);
+                let seen_any = Arc::clone(&seen_any);
                 thread::spawn(move || {
                     let mut seen = 0u64;
                     let mut last_ts = 0u64;
@@ -353,6 +361,7 @@ mod tests {
                             assert!(tag.ts >= last_ts, "snapshot went backwards");
                             last_ts = tag.ts;
                             seen += 1;
+                            seen_any.store(true, Ordering::Relaxed);
                         }
                     }
                     seen
@@ -367,6 +376,17 @@ mod tests {
             if ts % 3 == 0 {
                 cell.set_blocked(ts % 6 == 0);
             }
+        }
+        // Park on a final unblocked snapshot and wait for a successful
+        // read before stopping: on an oversubscribed machine the reader
+        // threads may not have been scheduled at all yet.
+        cell.publish(
+            Tag::new(50_001, ServerId(0)),
+            &Value::from_u64(50_001),
+            false,
+        );
+        while !seen_any.load(Ordering::Relaxed) {
+            thread::yield_now();
         }
         stop.store(true, Ordering::Relaxed);
         let total: u64 = readers.into_iter().map(|h| h.join().unwrap()).sum();

@@ -1,0 +1,771 @@
+//! The controlled-scheduling core.
+//!
+//! A model runs on real OS threads, but only one is ever runnable: every
+//! shimmed operation *yields* to the scheduler before it executes, so an
+//! interleaving is exactly a schedule — the sequence of thread ids picked
+//! at each step — and replaying a schedule replays the execution bit for
+//! bit. Blocking primitives (mutex, condvar, spin loops, joins) never
+//! block the OS thread on the modelled state; they park on the scheduler
+//! until the model-level condition makes them runnable again, which is
+//! what lets the explorer see (and report) deadlocks and lost wakeups
+//! instead of hanging.
+//!
+//! `UnsafeCell` accesses are checked for data races by window overlap:
+//! an access spans two schedule steps (begin/end), so any interleaving
+//! in which a write window overlaps another access window is reachable
+//! by the explorer and reported as a race — this is how seqlock bugs
+//! (torn reads) surface without real torn memory.
+
+use std::collections::HashMap;
+use std::panic::panic_any;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use crate::rng::SplitMix64;
+
+/// Marker payload for the internal unwind that tears a model thread down
+/// when the execution aborts (failure elsewhere, DFS prune, cleanup).
+/// Never surfaces to user code.
+pub(crate) struct McAbort;
+
+/// What a visible operation does, for trace labels and the independence
+/// relation used by sleep-set pruning.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum AccKind {
+    Load,
+    Store,
+    Rmw,
+    CellReadBegin,
+    CellReadEnd,
+    CellWriteBegin,
+    CellWriteEnd,
+    NotifyOne,
+    NotifyAll,
+}
+
+impl AccKind {
+    fn name(self) -> &'static str {
+        match self {
+            AccKind::Load => "load",
+            AccKind::Store => "store",
+            AccKind::Rmw => "rmw",
+            AccKind::CellReadBegin => "cell-read-begin",
+            AccKind::CellReadEnd => "cell-read-end",
+            AccKind::CellWriteBegin => "cell-write-begin",
+            AccKind::CellWriteEnd => "cell-write-end",
+            AccKind::NotifyOne => "notify_one",
+            AccKind::NotifyAll => "notify_all",
+        }
+    }
+
+    /// Read-like ops commute with each other on the same object.
+    fn read_like(self) -> bool {
+        matches!(
+            self,
+            AccKind::Load | AccKind::CellReadBegin | AccKind::CellReadEnd
+        )
+    }
+}
+
+/// One visible operation, recorded with the `Ordering` the caller wrote
+/// (execution itself is sequentially consistent; see crate docs).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Op {
+    pub acc: AccKind,
+    pub ty: &'static str,
+    pub addr: usize,
+    pub order: &'static str,
+}
+
+/// What a thread will do when next scheduled.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Pend {
+    /// Visible operation: picked ⇒ the thread runs it, then user code up
+    /// to its next yield.
+    Op(Op),
+    /// Waiting for a model mutex; enabled while free, acquires on pick.
+    LockAcquire { m: usize, timed_out: bool },
+    /// Parked on a condvar. `timed` waiters can be picked as a timeout.
+    CvWait { cv: usize, m: usize, timed: bool },
+    /// `spin_loop()`: enabled once any store lands after this thread's
+    /// last atomic load (the value it is spinning on may have changed).
+    Spin,
+    /// Waiting for thread `t` to finish.
+    Join { t: usize },
+    /// Spawned, parked before its first user instruction.
+    Start,
+    /// Running, or finished: not schedulable.
+    None,
+}
+
+/// Per-thread scheduler state.
+pub(crate) struct Th {
+    pub pending: Pend,
+    pub finished: bool,
+    /// `store_epoch` at this thread's last atomic load/rmw; a `Spin`
+    /// becomes runnable when the global epoch moves past it.
+    last_load_epoch: u64,
+    cv_timed_out: bool,
+}
+
+#[derive(Default)]
+struct CellWin {
+    readers: usize,
+    writer: bool,
+}
+
+pub(crate) struct ExecState {
+    pub threads: Vec<Th>,
+    active: usize,
+    live: usize,
+    /// Model-mutex holder by object address; absent = free.
+    locks: HashMap<usize, usize>,
+    /// FIFO wait queues per condvar (std leaves wake order unspecified;
+    /// we pick FIFO so schedules stay deterministic).
+    cv_waiters: HashMap<usize, Vec<usize>>,
+    cells: HashMap<usize, CellWin>,
+    /// Stable per-execution labels for raw addresses, in first-touch
+    /// order, so traces are readable and replay-stable under ASLR.
+    obj_names: HashMap<usize, usize>,
+    pub policy: Option<Policy>,
+    pub steps: usize,
+    max_steps: usize,
+    store_epoch: u64,
+    pub schedule: Vec<usize>,
+    pub trace: Vec<String>,
+    pub failure: Option<String>,
+    pub pruned: bool,
+    abort: bool,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ExecState {
+    fn enabled(&self, i: usize) -> bool {
+        let th = &self.threads[i];
+        if th.finished {
+            return false;
+        }
+        match th.pending {
+            Pend::Op(_) | Pend::Start => true,
+            Pend::LockAcquire { m, .. } => !self.locks.contains_key(&m),
+            Pend::CvWait { timed, .. } => timed,
+            Pend::Spin => self.store_epoch > th.last_load_epoch,
+            Pend::Join { t } => self.threads[t].finished,
+            Pend::None => false,
+        }
+    }
+
+    fn obj_label(&mut self, addr: usize) -> usize {
+        let next = self.obj_names.len();
+        *self.obj_names.entry(addr).or_insert(next)
+    }
+
+    fn describe(&mut self, i: usize) -> String {
+        match self.threads[i].pending {
+            Pend::Op(op) => {
+                let label = self.obj_label(op.addr);
+                if op.order == "-" {
+                    format!("{}#{} {}", op.ty, label, op.acc.name())
+                } else {
+                    format!("{}#{} {} {}", op.ty, label, op.acc.name(), op.order)
+                }
+            }
+            Pend::LockAcquire { m, timed_out } => {
+                let label = self.obj_label(m);
+                if timed_out {
+                    format!("mutex#{label} reacquire (after timeout)")
+                } else {
+                    format!("mutex#{label} acquire")
+                }
+            }
+            Pend::CvWait { cv, timed, .. } => {
+                let label = self.obj_label(cv);
+                if timed {
+                    format!("condvar#{label} wait_timeout fires")
+                } else {
+                    format!("condvar#{label} wait")
+                }
+            }
+            Pend::Spin => "spin".to_string(),
+            Pend::Join { t } => format!("join t{t}"),
+            Pend::Start => "start".to_string(),
+            Pend::None => "-".to_string(),
+        }
+    }
+}
+
+/// Outcome of asking the policy for the next thread.
+pub(crate) enum Pick {
+    Go(usize),
+    /// Sleep-set pruning: every enabled thread is asleep, the subtree is
+    /// covered elsewhere — abandon this execution quietly.
+    Prune,
+    Fail(String),
+}
+
+/// Scheduling policy for one execution.
+pub(crate) enum Policy {
+    Dfs(DfsPolicy),
+    Random { rng: SplitMix64 },
+}
+
+impl Policy {
+    pub(crate) fn dfs(stack: Vec<DfsNode>) -> Policy {
+        Policy::Dfs(DfsPolicy {
+            stack,
+            depth: 0,
+            cur_sleep: Vec::new(),
+        })
+    }
+
+    pub(crate) fn random(seed: u64) -> Policy {
+        Policy::Random {
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    pub(crate) fn into_dfs_stack(self) -> Vec<DfsNode> {
+        match self {
+            Policy::Dfs(d) => d.stack,
+            Policy::Random { .. } => Vec::new(),
+        }
+    }
+
+    fn pick(&mut self, enabled: &[usize], threads: &[Th]) -> Pick {
+        match self {
+            Policy::Random { rng } => Pick::Go(enabled[rng.below(enabled.len())]),
+            Policy::Dfs(d) => d.pick(enabled, threads),
+        }
+    }
+}
+
+/// One node of the DFS frontier: the state reached by the schedule
+/// prefix above it, with the branch currently taken and those still to
+/// explore. `entry_sleep` is the sleep set the node was entered with.
+pub(crate) struct DfsNode {
+    pub chosen: usize,
+    pub remaining: Vec<usize>,
+    pub explored: Vec<usize>,
+    entry_sleep: Vec<usize>,
+}
+
+pub(crate) struct DfsPolicy {
+    stack: Vec<DfsNode>,
+    depth: usize,
+    cur_sleep: Vec<usize>,
+}
+
+/// Sleep-set independence: two pending operations commute iff they are
+/// plain visible ops on different objects, or read-like ops on the same
+/// one. Everything else (locks, condvars, notifications, joins, spins)
+/// is conservatively dependent, which only costs extra exploration.
+fn independent(a: &Pend, b: &Pend) -> bool {
+    let (Pend::Op(x), Pend::Op(y)) = (a, b) else {
+        return false;
+    };
+    if matches!(x.acc, AccKind::NotifyOne | AccKind::NotifyAll)
+        || matches!(y.acc, AccKind::NotifyOne | AccKind::NotifyAll)
+    {
+        return false;
+    }
+    x.addr != y.addr || (x.acc.read_like() && y.acc.read_like())
+}
+
+impl DfsPolicy {
+    fn pick(&mut self, enabled: &[usize], threads: &[Th]) -> Pick {
+        if self.depth < self.stack.len() {
+            // Replaying the committed prefix.
+            let node = &self.stack[self.depth];
+            let c = node.chosen;
+            if !enabled.contains(&c) {
+                return Pick::Fail(format!(
+                    "schedule divergence during DFS replay at step {}: model is \
+                     nondeterministic (thread t{c} no longer enabled)",
+                    self.depth
+                ));
+            }
+            let mut sleep: Vec<usize> = node.entry_sleep.clone();
+            for &e in &node.explored {
+                if !sleep.contains(&e) {
+                    sleep.push(e);
+                }
+            }
+            sleep.retain(|&t| t != c && independent(&threads[t].pending, &threads[c].pending));
+            self.cur_sleep = sleep;
+            self.depth += 1;
+            Pick::Go(c)
+        } else {
+            // Frontier: open a new node.
+            let entry_sleep = self.cur_sleep.clone();
+            let cands: Vec<usize> = enabled
+                .iter()
+                .copied()
+                .filter(|t| !entry_sleep.contains(t))
+                .collect();
+            let Some((&chosen, rest)) = cands.split_first() else {
+                return Pick::Prune;
+            };
+            let mut sleep = entry_sleep.clone();
+            sleep.retain(|&t| independent(&threads[t].pending, &threads[chosen].pending));
+            self.stack.push(DfsNode {
+                chosen,
+                remaining: rest.to_vec(),
+                explored: Vec::new(),
+                entry_sleep,
+            });
+            self.cur_sleep = sleep;
+            self.depth += 1;
+            Pick::Go(chosen)
+        }
+    }
+}
+
+/// Advance the DFS frontier to the next unexplored branch. Returns
+/// `false` when the whole tree is exhausted.
+pub(crate) fn dfs_backtrack(stack: &mut Vec<DfsNode>) -> bool {
+    while let Some(top) = stack.last_mut() {
+        let done = top.chosen;
+        top.explored.push(done);
+        if !top.remaining.is_empty() {
+            top.chosen = top.remaining.remove(0);
+            return true;
+        }
+        stack.pop();
+    }
+    false
+}
+
+pub(crate) struct Execution {
+    st: Mutex<ExecState>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<Execution>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The (execution, thread-id) pair driving the calling thread, if it is
+/// a controlled model thread. `None` ⇒ shims fall through to std.
+pub(crate) fn ctx() -> Option<(Arc<Execution>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_ctx(v: Option<(Arc<Execution>, usize)>) {
+    CURRENT.with(|c| *c.borrow_mut() = v);
+}
+
+impl Execution {
+    pub(crate) fn new(policy: Policy, max_steps: usize) -> Execution {
+        Execution {
+            st: Mutex::new(ExecState {
+                threads: vec![Th {
+                    pending: Pend::None,
+                    finished: false,
+                    last_load_epoch: 0,
+                    cv_timed_out: false,
+                }],
+                active: 0,
+                live: 1,
+                locks: HashMap::new(),
+                cv_waiters: HashMap::new(),
+                cells: HashMap::new(),
+                obj_names: HashMap::new(),
+                policy: Some(policy),
+                steps: 0,
+                max_steps,
+                store_epoch: 0,
+                schedule: Vec::new(),
+                trace: Vec::new(),
+                failure: None,
+                pruned: false,
+                abort: false,
+                handles: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Poison-tolerant state lock: model threads unwind (with `McAbort`)
+    /// while holding it by design.
+    fn lock(&self) -> MutexGuard<'_, ExecState> {
+        self.st.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn wait<'a>(&'a self, st: MutexGuard<'a, ExecState>) -> MutexGuard<'a, ExecState> {
+        self.cv.wait(st).unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn fail_and_abort(&self, st: &mut ExecState, msg: String) {
+        if st.failure.is_none() && !st.pruned {
+            st.failure = Some(msg);
+        }
+        st.abort = true;
+        self.cv.notify_all();
+    }
+
+    /// Core loop: pick threads (applying bookkeeping-only transitions
+    /// inline) until one must run user code; set it active. `Err` means
+    /// the execution aborted (failure, prune, or budget).
+    fn schedule(&self, st: &mut ExecState) -> Result<(), ()> {
+        loop {
+            if st.abort {
+                return Err(());
+            }
+            let enabled: Vec<usize> = (0..st.threads.len()).filter(|&i| st.enabled(i)).collect();
+            if enabled.is_empty() {
+                if st.live == 0 {
+                    return Ok(());
+                }
+                let alive: Vec<usize> = (0..st.threads.len())
+                    .filter(|&i| !st.threads[i].finished)
+                    .collect();
+                let stuck: Vec<String> = alive
+                    .into_iter()
+                    .map(|i| format!("t{i}: {}", st.describe(i)))
+                    .collect();
+                self.fail_and_abort(
+                    st,
+                    format!(
+                        "deadlock: no thread is runnable ({}) — lost wakeup or cyclic wait",
+                        stuck.join("; ")
+                    ),
+                );
+                return Err(());
+            }
+            st.steps += 1;
+            if st.steps > st.max_steps {
+                let budget = st.max_steps;
+                self.fail_and_abort(
+                    st,
+                    format!(
+                        "step budget exceeded ({budget} steps): unbounded spin or runaway model"
+                    ),
+                );
+                return Err(());
+            }
+            let mut policy = st.policy.take().expect("scheduling policy present");
+            let picked = policy.pick(&enabled, &st.threads);
+            st.policy = Some(policy);
+            let pick = match picked {
+                Pick::Go(t) => t,
+                Pick::Prune => {
+                    st.pruned = true;
+                    st.abort = true;
+                    self.cv.notify_all();
+                    return Err(());
+                }
+                Pick::Fail(msg) => {
+                    self.fail_and_abort(st, msg);
+                    return Err(());
+                }
+            };
+            st.schedule.push(pick);
+            let step = st.steps;
+            let desc = st.describe(pick);
+            st.trace.push(format!("#{step:<5} t{pick} {desc}"));
+            match st.threads[pick].pending {
+                Pend::Op(op) => {
+                    if matches!(
+                        op.acc,
+                        AccKind::Store | AccKind::Rmw | AccKind::CellWriteEnd
+                    ) {
+                        st.store_epoch += 1;
+                    }
+                    if matches!(op.acc, AccKind::Load | AccKind::Rmw) {
+                        st.threads[pick].last_load_epoch = st.store_epoch;
+                    }
+                    st.threads[pick].pending = Pend::None;
+                    st.active = pick;
+                    return Ok(());
+                }
+                Pend::Start | Pend::Spin | Pend::Join { .. } => {
+                    st.threads[pick].pending = Pend::None;
+                    st.active = pick;
+                    return Ok(());
+                }
+                Pend::LockAcquire { m, timed_out } => {
+                    st.locks.insert(m, pick);
+                    st.threads[pick].cv_timed_out = timed_out;
+                    st.threads[pick].pending = Pend::None;
+                    st.active = pick;
+                    return Ok(());
+                }
+                Pend::CvWait { cv, m, timed } => {
+                    // Timeout fires: leave the wait queue, go reacquire
+                    // the mutex. Bookkeeping only — keep picking.
+                    debug_assert!(timed, "untimed waiter can never be picked");
+                    if let Some(ws) = st.cv_waiters.get_mut(&cv) {
+                        ws.retain(|&w| w != pick);
+                    }
+                    st.threads[pick].pending = Pend::LockAcquire { m, timed_out: true };
+                }
+                Pend::None => unreachable!("picked a thread with nothing pending"),
+            }
+        }
+    }
+
+    /// Record `pend` for `me`, run the scheduler, and park until it is
+    /// our turn again. Unwinds with `McAbort` if the execution aborts.
+    pub(crate) fn yield_with(&self, me: usize, pend: Pend) {
+        let mut st = self.lock();
+        st.threads[me].pending = pend;
+        if self.schedule(&mut st).is_err() {
+            drop(st);
+            panic_any(McAbort);
+        }
+        if st.active != me {
+            self.cv.notify_all();
+            loop {
+                if st.abort {
+                    drop(st);
+                    panic_any(McAbort);
+                }
+                if st.active == me {
+                    break;
+                }
+                st = self.wait(st);
+            }
+        }
+    }
+
+    // ---- shim entry points -------------------------------------------
+
+    pub(crate) fn atomic_op(&self, me: usize, op: Op) {
+        self.yield_with(me, Pend::Op(op));
+    }
+
+    /// Open an access window on an UnsafeCell; fails the execution when
+    /// it overlaps a conflicting open window (a data race some real
+    /// interleaving could turn into a torn read).
+    pub(crate) fn cell_begin(&self, me: usize, addr: usize, ty: &'static str, write: bool) {
+        let acc = if write {
+            AccKind::CellWriteBegin
+        } else {
+            AccKind::CellReadBegin
+        };
+        self.yield_with(
+            me,
+            Pend::Op(Op {
+                acc,
+                ty,
+                addr,
+                order: "-",
+            }),
+        );
+        let mut st = self.lock();
+        let label = st.obj_label(addr);
+        let win = st.cells.entry(addr).or_default();
+        let conflict = if write {
+            win.writer || win.readers > 0
+        } else {
+            win.writer
+        };
+        if conflict {
+            let kind = if write { "write" } else { "read" };
+            self.fail_and_abort(
+                &mut st,
+                format!(
+                    "data race on {ty}#{label}: t{me} {kind} access overlaps an open \
+                     {} window — a real interleaving could observe torn data",
+                    if write { "read or write" } else { "write" }
+                ),
+            );
+            drop(st);
+            panic_any(McAbort);
+        }
+        if write {
+            win.writer = true;
+        } else {
+            win.readers += 1;
+        }
+    }
+
+    pub(crate) fn cell_end(&self, me: usize, addr: usize, ty: &'static str, write: bool) {
+        let acc = if write {
+            AccKind::CellWriteEnd
+        } else {
+            AccKind::CellReadEnd
+        };
+        self.yield_with(
+            me,
+            Pend::Op(Op {
+                acc,
+                ty,
+                addr,
+                order: "-",
+            }),
+        );
+        let mut st = self.lock();
+        let win = st.cells.entry(addr).or_default();
+        if write {
+            win.writer = false;
+        } else {
+            win.readers -= 1;
+        }
+    }
+
+    pub(crate) fn lock_acquire(&self, me: usize, m: usize) {
+        self.yield_with(
+            me,
+            Pend::LockAcquire {
+                m,
+                timed_out: false,
+            },
+        );
+    }
+
+    pub(crate) fn lock_release(&self, _me: usize, m: usize) {
+        // Releasing is not a schedule point: no other thread runs until
+        // our next yield, where the freed lock becomes visible.
+        let mut st = self.lock();
+        st.locks.remove(&m);
+    }
+
+    /// Atomically release `m`, park on `cv`, reacquire on wake. Returns
+    /// whether the wake was a timeout (only possible when `timed`).
+    pub(crate) fn cv_wait(&self, me: usize, cv: usize, m: usize, timed: bool) -> bool {
+        {
+            let mut st = self.lock();
+            st.locks.remove(&m);
+            st.cv_waiters.entry(cv).or_default().push(me);
+            st.threads[me].cv_timed_out = false;
+        }
+        self.yield_with(me, Pend::CvWait { cv, m, timed });
+        // Resumed ⇒ the LockAcquire was applied: we hold `m` again.
+        self.lock().threads[me].cv_timed_out
+    }
+
+    pub(crate) fn cv_notify(&self, me: usize, cv: usize, all: bool) {
+        let acc = if all {
+            AccKind::NotifyAll
+        } else {
+            AccKind::NotifyOne
+        };
+        self.yield_with(
+            me,
+            Pend::Op(Op {
+                acc,
+                ty: "condvar",
+                addr: cv,
+                order: "-",
+            }),
+        );
+        let mut st = self.lock();
+        let woken: Vec<usize> = match st.cv_waiters.get_mut(&cv) {
+            None => Vec::new(),
+            Some(ws) if all => std::mem::take(ws),
+            Some(ws) if ws.is_empty() => Vec::new(),
+            Some(ws) => vec![ws.remove(0)],
+        };
+        for w in woken {
+            if let Pend::CvWait { m, .. } = st.threads[w].pending {
+                st.threads[w].pending = Pend::LockAcquire {
+                    m,
+                    timed_out: false,
+                };
+            }
+        }
+    }
+
+    pub(crate) fn spin(&self, me: usize) {
+        self.yield_with(me, Pend::Spin);
+    }
+
+    pub(crate) fn join_thread(&self, me: usize, t: usize) {
+        self.yield_with(me, Pend::Join { t });
+    }
+
+    // ---- thread lifecycle --------------------------------------------
+
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.lock();
+        st.threads.push(Th {
+            pending: Pend::Start,
+            finished: false,
+            last_load_epoch: 0,
+            cv_timed_out: false,
+        });
+        st.live += 1;
+        st.threads.len() - 1
+    }
+
+    pub(crate) fn store_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.lock().handles.push(h);
+    }
+
+    /// Park a freshly spawned thread until its `Start` step is picked.
+    /// Returns `false` if the execution aborted before it ever ran.
+    pub(crate) fn wait_for_start(&self, me: usize) -> bool {
+        let mut st = self.lock();
+        loop {
+            if st.abort {
+                return false;
+            }
+            if st.active == me {
+                return true;
+            }
+            st = self.wait(st);
+        }
+    }
+
+    /// A spawned thread is done (or panicked). Hands the schedule to the
+    /// next runnable thread.
+    pub(crate) fn finish_thread(&self, me: usize, panic_msg: Option<String>) {
+        let mut st = self.lock();
+        st.threads[me].finished = true;
+        st.threads[me].pending = Pend::None;
+        st.live -= 1;
+        if let Some(msg) = panic_msg {
+            self.fail_and_abort(&mut st, format!("model thread t{me} panicked: {msg}"));
+            return;
+        }
+        if st.abort {
+            return;
+        }
+        let _ = self.schedule(&mut st);
+        self.cv.notify_all();
+    }
+
+    /// The model closure returned (or panicked) on the main thread: wind
+    /// the execution down, join every spawned OS thread, and extract the
+    /// verdict. Returns `(failure, pruned, schedule, trace, steps, policy)`.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn main_done(
+        &self,
+        panic_msg: Option<String>,
+    ) -> (Option<String>, bool, Vec<usize>, Vec<String>, usize, Policy) {
+        let handles;
+        {
+            let mut st = self.lock();
+            st.threads[0].finished = true;
+            st.threads[0].pending = Pend::None;
+            st.live -= 1;
+            if let Some(msg) = panic_msg {
+                if st.failure.is_none() && !st.pruned {
+                    st.failure = Some(format!("model thread t0 panicked: {msg}"));
+                }
+            } else if st.failure.is_none() && !st.pruned && st.live > 0 {
+                st.failure = Some(format!(
+                    "model returned with {} spawned thread(s) still live — join every \
+                     hts_mc::spawn handle before returning",
+                    st.live
+                ));
+            }
+            st.abort = true;
+            self.cv.notify_all();
+            handles = std::mem::take(&mut st.handles);
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        let mut st = self.lock();
+        (
+            st.failure.take(),
+            st.pruned,
+            std::mem::take(&mut st.schedule),
+            std::mem::take(&mut st.trace),
+            st.steps,
+            st.policy.take().expect("policy returned after execution"),
+        )
+    }
+}

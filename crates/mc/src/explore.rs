@@ -1,0 +1,273 @@
+//! Exploration driver: exhaustive sleep-set DFS for small models,
+//! seeded pseudo-random scheduling for larger ones, and single-seed
+//! replay for failure reproduction.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crate::exec::{ctx, dfs_backtrack, set_ctx, Execution, McAbort, Policy};
+use crate::rng::SplitMix64;
+
+/// Callback invoked with a [`Failure`] before `explore` returns it.
+pub type FailureHook = Arc<dyn Fn(&Failure) + Send + Sync>;
+
+/// How to drive the schedule space.
+#[derive(Clone, Copy, Debug)]
+pub enum Mode {
+    /// Bounded-exhaustive DFS with sleep-set pruning. Deterministic: a
+    /// failure reproduces by rerunning the same model exhaustively.
+    Exhaustive,
+    /// `iters` executions under seeded pseudo-random scheduling; the
+    /// per-iteration seed is derived from `seed` and printed on failure.
+    Random { seed: u64, iters: usize },
+    /// Exactly one execution with the scheduler RNG seeded to `seed` —
+    /// paste the seed from a failure report to replay it.
+    ReplaySeed { seed: u64 },
+}
+
+/// Exploration knobs. `Default` is sized for the in-tree models.
+#[derive(Clone)]
+pub struct Options {
+    /// Model name, echoed in failure reports.
+    pub name: &'static str,
+    /// Per-execution schedule-step budget; exceeding it is a failure
+    /// (an unbounded spin under some interleaving is a liveness bug).
+    pub max_steps: usize,
+    /// Exhaustive-mode schedule budget; exceeding it is a failure
+    /// telling you the model is too big for DFS — shrink it or switch
+    /// to `Mode::Random`.
+    pub max_schedules: usize,
+    /// Called once with the failure before `explore` returns it; the
+    /// metrics models use this to dump the flight recorder so the
+    /// interleaving is reconstructible op by op.
+    pub failure_hook: Option<FailureHook>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            name: "model",
+            max_steps: 20_000,
+            max_schedules: 200_000,
+            failure_hook: None,
+        }
+    }
+}
+
+impl Options {
+    pub fn named(name: &'static str) -> Self {
+        Options {
+            name,
+            ..Options::default()
+        }
+    }
+}
+
+/// Successful exploration summary.
+#[derive(Debug)]
+pub struct Report {
+    /// Executions run (distinct schedules for `Exhaustive`).
+    pub schedules: usize,
+    /// Steps in the longest schedule seen.
+    pub deepest: usize,
+    /// The last execution's schedule (thread id per step) — for
+    /// `ReplaySeed` this is *the* schedule of the replayed run.
+    pub last_schedule: Vec<usize>,
+}
+
+/// A failing exploration: everything needed to reproduce and read the
+/// interleaving.
+#[derive(Debug)]
+pub struct Failure {
+    pub model: &'static str,
+    pub message: String,
+    /// Effective scheduler seed (random modes). `None` ⇒ the failure
+    /// came from deterministic DFS: rerun `Mode::Exhaustive` to replay.
+    pub seed: Option<u64>,
+    /// Thread id picked at each step.
+    pub schedule: Vec<usize>,
+    /// Human-readable per-op trace of the failing schedule.
+    pub trace: Vec<String>,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "model '{}' failed: {}", self.model, self.message)?;
+        match self.seed {
+            Some(s) => writeln!(
+                f,
+                "  seed: {s:#018x} — replay with Mode::ReplaySeed {{ seed: {s:#018x} }}"
+            )?,
+            None => writeln!(
+                f,
+                "  found by exhaustive DFS (deterministic) — rerun Mode::Exhaustive to replay"
+            )?,
+        }
+        write!(f, "  schedule ({} steps):", self.schedule.len())?;
+        for t in &self.schedule {
+            write!(f, " {t}")?;
+        }
+        writeln!(f)?;
+        writeln!(f, "  trace:")?;
+        for line in &self.trace {
+            writeln!(f, "    {line}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Failure {}
+
+struct RunResult {
+    failure: Option<String>,
+    schedule: Vec<usize>,
+    trace: Vec<String>,
+    steps: usize,
+    policy: Policy,
+}
+
+fn payload_msg(p: Box<dyn std::any::Any + Send>) -> Option<String> {
+    if p.downcast_ref::<McAbort>().is_some() {
+        return None; // internal abort: verdict already recorded
+    }
+    Some(if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    })
+}
+
+/// One complete execution of the model under `policy`.
+fn run_one<F: Fn()>(policy: Policy, opts: &Options, model: &F) -> RunResult {
+    assert!(
+        ctx().is_none(),
+        "hts-mc explorations do not nest: explore() called from inside a model"
+    );
+    let exec = Arc::new(Execution::new(policy, opts.max_steps));
+    set_ctx(Some((exec.clone(), 0)));
+    let caught = catch_unwind(AssertUnwindSafe(&model));
+    set_ctx(None);
+    let panic_msg = match caught {
+        Ok(()) => None,
+        Err(p) => payload_msg(p),
+    };
+    let (failure, _pruned, schedule, trace, steps, policy) = exec.main_done(panic_msg);
+    RunResult {
+        failure,
+        schedule,
+        trace,
+        steps,
+        policy,
+    }
+}
+
+/// Stateless per-iteration seed derivation: O(1) per iteration and
+/// reversible from the failure report (the printed seed *is* the RNG
+/// seed of the failing execution).
+fn derive_seed(base: u64, i: u64) -> u64 {
+    SplitMix64::mix(base ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+fn make_failure(
+    opts: &Options,
+    message: String,
+    seed: Option<u64>,
+    schedule: Vec<usize>,
+    trace: Vec<String>,
+) -> Box<Failure> {
+    let failure = Box::new(Failure {
+        model: opts.name,
+        message,
+        seed,
+        schedule,
+        trace,
+    });
+    if let Some(hook) = &opts.failure_hook {
+        hook(&failure);
+    }
+    failure
+}
+
+/// Run `model` under `mode`. Returns the exploration summary, or the
+/// first failing schedule with everything needed to replay it.
+pub fn explore<F>(mode: Mode, opts: Options, model: F) -> Result<Report, Box<Failure>>
+where
+    F: Fn(),
+{
+    match mode {
+        Mode::Exhaustive => {
+            let mut stack = Vec::new();
+            let mut schedules = 0usize;
+            let mut deepest = 0usize;
+            loop {
+                schedules += 1;
+                if schedules > opts.max_schedules {
+                    return Err(make_failure(
+                        &opts,
+                        format!(
+                            "exhaustive exploration exceeded {} schedules — the model is \
+                             too big for DFS; shrink it or use Mode::Random",
+                            opts.max_schedules
+                        ),
+                        None,
+                        Vec::new(),
+                        Vec::new(),
+                    ));
+                }
+                let r = run_one(Policy::dfs(stack), &opts, &model);
+                stack = r.policy.into_dfs_stack();
+                deepest = deepest.max(r.steps);
+                if let Some(msg) = r.failure {
+                    return Err(make_failure(&opts, msg, None, r.schedule, r.trace));
+                }
+                if !dfs_backtrack(&mut stack) {
+                    return Ok(Report {
+                        schedules,
+                        deepest,
+                        last_schedule: r.schedule,
+                    });
+                }
+            }
+        }
+        Mode::Random { seed, iters } => {
+            let mut deepest = 0usize;
+            let mut last = Vec::new();
+            for i in 0..iters {
+                let eff = derive_seed(seed, i as u64);
+                let r = run_one(Policy::random(eff), &opts, &model);
+                deepest = deepest.max(r.steps);
+                if let Some(msg) = r.failure {
+                    return Err(make_failure(&opts, msg, Some(eff), r.schedule, r.trace));
+                }
+                last = r.schedule;
+            }
+            Ok(Report {
+                schedules: iters,
+                deepest,
+                last_schedule: last,
+            })
+        }
+        Mode::ReplaySeed { seed } => {
+            let r = run_one(Policy::random(seed), &opts, &model);
+            if let Some(msg) = r.failure {
+                return Err(make_failure(&opts, msg, Some(seed), r.schedule, r.trace));
+            }
+            Ok(Report {
+                schedules: 1,
+                deepest: r.steps,
+                last_schedule: r.schedule,
+            })
+        }
+    }
+}
+
+/// [`explore`], panicking with the full failure report (seed, schedule,
+/// per-op trace) — the form tests use.
+pub fn check<F: Fn()>(mode: Mode, opts: Options, model: F) -> Report {
+    match explore(mode, opts, model) {
+        Ok(report) => report,
+        Err(failure) => panic!("{failure}"),
+    }
+}

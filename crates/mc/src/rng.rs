@@ -1,0 +1,77 @@
+//! SplitMix64: the deterministic PRNG behind seeded-random scheduling.
+//!
+//! Chosen because a failing schedule must replay from a single printed
+//! `u64`: SplitMix64 is a pure function of its state, has no hidden
+//! global state, and its finalizer doubles as a cheap seed deriver for
+//! per-iteration streams.
+
+/// SplitMix64 stream (Steele, Lea & Flood; the `java.util.SplittableRandom`
+/// mixer). One instance per model-checked execution.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Stream seeded with `seed`. The same seed always produces the
+    /// same sequence — that is the whole point.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The SplitMix64 finalizer as a standalone mixing function.
+    pub fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next value in the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish draw in `0..n` (modulo bias is irrelevant for
+    /// schedule picking; `n` is a handful of threads).
+    pub fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let a: Vec<u64> = (0..32)
+            .map({
+                let mut r = SplitMix64::new(42);
+                move |_| r.next_u64()
+            })
+            .collect();
+        let b: Vec<u64> = (0..32)
+            .map({
+                let mut r = SplitMix64::new(42);
+                move |_| r.next_u64()
+            })
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,360 @@
+//! Tests of the model checker itself: scheduler determinism, detection
+//! power (races, deadlocks, lost wakeups, livelocks), and the
+//! seed-replay contract. The models here are toys built directly on the
+//! shims; the models of the real hts primitives live in `models.rs`.
+
+use std::sync::atomic::Ordering::{Acquire, Relaxed, Release, SeqCst};
+use std::sync::Arc;
+
+use hts_mc::shim::{McAtomicU64, McCondvar, McMutex, McUnsafeCell};
+use hts_mc::{check, explore, spawn, Mode, Options};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Positive models: correct code must pass exhaustively.
+// ---------------------------------------------------------------------
+
+#[test]
+fn counter_increments_never_lost_exhaustive() {
+    let report = check(Mode::Exhaustive, Options::named("counter"), || {
+        let c = Arc::new(McAtomicU64::new(0));
+        let hs: Vec<_> = (0..2)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                spawn(move || {
+                    c.fetch_add(1, Relaxed);
+                    c.fetch_add(1, Relaxed);
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join();
+        }
+        assert_eq!(c.load(SeqCst), 4, "fetch_add lost an increment");
+    });
+    // Two independent RMW threads interleave in more than one way, but
+    // sleep sets prune the fully-commuting tail.
+    assert!(report.schedules > 1, "explored: {report:?}");
+}
+
+#[test]
+fn mutex_excludes_exhaustive() {
+    check(Mode::Exhaustive, Options::named("mutex-excl"), || {
+        let m = Arc::new(McMutex::new(0u64));
+        let hs: Vec<_> = (0..2)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                spawn(move || {
+                    let mut g = m.lock();
+                    let v = *g;
+                    *g = v + 1;
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join();
+        }
+        assert_eq!(*m.lock(), 2, "read-modify-write under the mutex tore");
+    });
+}
+
+#[test]
+fn condvar_handshake_exhaustive() {
+    check(Mode::Exhaustive, Options::named("cv-handshake"), || {
+        let pair = Arc::new((McMutex::new(false), McCondvar::new()));
+        let p2 = Arc::clone(&pair);
+        let consumer = spawn(move || {
+            let (m, cv) = &*p2;
+            let mut g = m.lock();
+            while !*g {
+                g = cv.wait(g);
+            }
+        });
+        let (m, cv) = &*pair;
+        *m.lock() = true;
+        cv.notify_one();
+        consumer.join();
+    });
+}
+
+#[test]
+fn spin_publish_exhaustive() {
+    // A seqlock-shaped spin: the writer spins until the reader count
+    // drains. The Spin pend must wake exactly when a store lands.
+    check(Mode::Exhaustive, Options::named("spin-publish"), || {
+        let readers = Arc::new(McAtomicU64::new(1));
+        let r2 = Arc::clone(&readers);
+        let reader = spawn(move || {
+            r2.fetch_sub(1, Release);
+        });
+        while readers.load(Acquire) != 0 {
+            hts_mc::shim::spin_loop();
+        }
+        reader.join();
+    });
+}
+
+#[test]
+fn timed_wait_can_time_out_or_be_notified() {
+    // Both wake paths of wait_timeout must be explored: count them.
+    let mut timed_out_seen = false;
+    let mut notified_seen = false;
+    for seed in 0..64u64 {
+        let pair = Arc::new((McMutex::new(false), McCondvar::new()));
+        let outcome = Arc::new(McAtomicU64::new(0));
+        let p2 = Arc::clone(&pair);
+        let o2 = Arc::clone(&outcome);
+        let r = explore(
+            Mode::ReplaySeed { seed },
+            Options::named("timed-wait"),
+            move || {
+                let p = Arc::clone(&p2);
+                let o = Arc::clone(&o2);
+                let waiter = spawn(move || {
+                    let (m, cv) = &*p;
+                    let g = m.lock();
+                    let (_g, timed_out) = cv.wait_timeout(g, std::time::Duration::from_millis(1));
+                    o.store(if timed_out { 1 } else { 2 }, SeqCst);
+                });
+                let (m, cv) = &*p2;
+                drop(m.lock());
+                cv.notify_one();
+                waiter.join();
+            },
+        );
+        assert!(r.is_ok(), "timed-wait model must never fail: {r:?}");
+        match outcome.load(SeqCst) {
+            1 => timed_out_seen = true,
+            2 => notified_seen = true,
+            other => panic!("waiter never ran (outcome {other})"),
+        }
+    }
+    assert!(timed_out_seen, "no schedule fired the timeout");
+    assert!(notified_seen, "no schedule delivered the notify");
+}
+
+// ---------------------------------------------------------------------
+// Negative models: the checker must catch seeded bugs.
+// ---------------------------------------------------------------------
+
+/// A deliberately torn seqlock: the reader checks the WRITING bit once
+/// and never registers itself nor revalidates, so a writer can open its
+/// write window while the reader is mid-read.
+struct TornSeqlock {
+    word: McAtomicU64,
+    slot: McUnsafeCell<(u64, u64)>,
+}
+
+// SAFETY: deliberately unsound under concurrency — that is the point of
+// the model; the checker must prove it so.
+unsafe impl Sync for TornSeqlock {}
+
+const WRITING: u64 = 1;
+
+fn torn_seqlock_model() {
+    let cell = Arc::new(TornSeqlock {
+        word: McAtomicU64::new(0),
+        slot: McUnsafeCell::new((0, 0)),
+    });
+    let c2 = Arc::clone(&cell);
+    let writer = spawn(move || {
+        let w = c2.word.load(Relaxed);
+        c2.word.store(w | WRITING, SeqCst);
+        c2.slot.with_mut(|p| unsafe { *p = (1, 1) });
+        c2.word.store((w | WRITING) + 1, SeqCst);
+    });
+    // BUG: no reader registration, no post-read validation.
+    let w = cell.word.load(SeqCst);
+    if w & WRITING == 0 {
+        let _pair = cell.slot.with(|p| unsafe { *p });
+    }
+    writer.join();
+}
+
+#[test]
+fn torn_seqlock_caught_exhaustively() {
+    let failure = explore(
+        Mode::Exhaustive,
+        Options::named("torn-seqlock"),
+        torn_seqlock_model,
+    )
+    .expect_err("the torn seqlock must be caught");
+    assert!(
+        failure.message.contains("data race"),
+        "unexpected failure kind: {failure}"
+    );
+    assert!(failure.seed.is_none(), "DFS failures carry no seed");
+    assert!(!failure.trace.is_empty(), "failure carries a per-op trace");
+}
+
+#[test]
+fn torn_seqlock_failure_replays_from_printed_seed() {
+    // Find it with random search, then replay from the reported seed:
+    // the replay must fail again with the identical schedule.
+    let failure = explore(
+        Mode::Random {
+            seed: 0xB5EF_CAFE,
+            iters: 500,
+        },
+        Options::named("torn-seqlock"),
+        torn_seqlock_model,
+    )
+    .expect_err("random search must find the race within 500 iterations");
+    let seed = failure.seed.expect("random failures print their seed");
+    for _ in 0..2 {
+        let replay = explore(
+            Mode::ReplaySeed { seed },
+            Options::named("torn-seqlock"),
+            torn_seqlock_model,
+        )
+        .expect_err("replaying the failing seed must fail again");
+        assert_eq!(replay.seed, Some(seed));
+        assert_eq!(
+            replay.schedule, failure.schedule,
+            "replay diverged from the original failing schedule"
+        );
+        assert_eq!(replay.message, failure.message);
+    }
+}
+
+#[test]
+fn abba_deadlock_detected() {
+    let failure = explore(Mode::Exhaustive, Options::named("abba"), || {
+        let a = Arc::new(McMutex::new(()));
+        let b = Arc::new(McMutex::new(()));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t = spawn(move || {
+            let _ga = a2.lock();
+            let _gb = b2.lock();
+        });
+        let _gb = b.lock();
+        let _ga = a.lock();
+        drop((_ga, _gb));
+        t.join();
+    })
+    .expect_err("ABBA locking must deadlock under some schedule");
+    assert!(
+        failure.message.contains("deadlock"),
+        "unexpected failure kind: {failure}"
+    );
+}
+
+#[test]
+fn lost_wakeup_detected() {
+    // The producer flips the flag but never notifies: the untimed
+    // waiter can hang forever under the schedule where it parks first.
+    let failure = explore(Mode::Exhaustive, Options::named("lost-wakeup"), || {
+        let pair = Arc::new((McMutex::new(false), McCondvar::new()));
+        let p2 = Arc::clone(&pair);
+        let waiter = spawn(move || {
+            let (m, cv) = &*p2;
+            let mut g = m.lock();
+            while !*g {
+                g = cv.wait(g); // BUG: nobody will ever notify
+            }
+        });
+        *pair.0.lock() = true;
+        waiter.join();
+    })
+    .expect_err("missing notify must be reported as a deadlock");
+    assert!(
+        failure.message.contains("deadlock"),
+        "unexpected failure kind: {failure}"
+    );
+}
+
+#[test]
+fn unjoined_thread_detected() {
+    let failure = explore(Mode::Exhaustive, Options::named("unjoined"), || {
+        let c = Arc::new(McAtomicU64::new(0));
+        let c2 = Arc::clone(&c);
+        let _handle = spawn(move || {
+            c2.store(1, SeqCst);
+        });
+        // BUG: handle dropped without join while the child may still run.
+    })
+    .expect_err("returning with live threads must fail");
+    assert!(
+        failure.message.contains("still live"),
+        "unexpected failure kind: {failure}"
+    );
+}
+
+#[test]
+fn unbounded_spin_hits_step_budget() {
+    let failure = explore(
+        Mode::ReplaySeed { seed: 7 },
+        Options {
+            max_steps: 500,
+            ..Options::named("spin-forever")
+        },
+        || {
+            let flag = Arc::new(McAtomicU64::new(0));
+            let f2 = Arc::clone(&flag);
+            let noisy = spawn(move || {
+                // Keeps storing, so the spinner keeps waking — a
+                // livelock rather than a deadlock.
+                for i in 0..10_000 {
+                    f2.store(i, Relaxed);
+                }
+            });
+            while flag.load(Relaxed) != u64::MAX {
+                hts_mc::shim::spin_loop(); // BUG: condition never satisfied
+            }
+            noisy.join();
+        },
+    )
+    .expect_err("runaway spin must blow the step budget");
+    assert!(
+        failure.message.contains("step budget"),
+        "unexpected failure kind: {failure}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Seed/determinism properties.
+// ---------------------------------------------------------------------
+
+/// A benign racy model with enough scheduling freedom that distinct
+/// schedules are overwhelmingly likely for distinct seeds.
+fn racy_benign_model() {
+    let x = Arc::new(McAtomicU64::new(0));
+    let hs: Vec<_> = (0..3)
+        .map(|i| {
+            let x = Arc::clone(&x);
+            spawn(move || {
+                x.fetch_add(i + 1, Relaxed);
+                x.load(Acquire);
+                x.fetch_add(1, Release);
+            })
+        })
+        .collect();
+    for h in hs {
+        h.join();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Same seed ⇒ bit-identical schedule, twice over.
+    #[test]
+    fn same_seed_same_schedule(seed in any::<u64>()) {
+        let a = check(Mode::ReplaySeed { seed }, Options::named("det"), racy_benign_model);
+        let b = check(Mode::ReplaySeed { seed }, Options::named("det"), racy_benign_model);
+        prop_assert_eq!(&a.last_schedule, &b.last_schedule);
+        prop_assert!(!a.last_schedule.is_empty());
+    }
+
+    /// The seeded buggy two-thread model is always caught within N
+    /// random iterations, whatever the base seed.
+    #[test]
+    fn torn_seqlock_always_caught(seed in any::<u64>()) {
+        let result = explore(
+            Mode::Random { seed, iters: 300 },
+            Options::named("torn-seqlock"),
+            torn_seqlock_model,
+        );
+        prop_assert!(result.is_err(), "seed {seed:#x} missed the race in 300 iters");
+    }
+}

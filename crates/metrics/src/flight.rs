@@ -15,9 +15,16 @@
 //! layers record op begin / phase / retry / complete keyed by
 //! `(ClientId, RequestId)`. With the `metrics` feature off, recording is
 //! a no-op and snapshots are empty.
+//!
+//! The ring itself is the generic [`FlightRing`] — the process-global
+//! recorder is one `FlightRing<4096>` behind the free functions, and the
+//! `hts-mc` models in `crates/mc` explore tiny instances (`FlightRing<2>`)
+//! whose full interleaving space is exhaustively checkable.
 
 #[cfg(feature = "metrics")]
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::mc_shim::AtomicU64;
+#[cfg(feature = "metrics")]
+use std::sync::atomic::Ordering;
 
 /// Ring capacity: the recorder keeps the most recent this-many events.
 pub const SLOTS: usize = 4096;
@@ -86,62 +93,84 @@ struct Slot {
 }
 
 #[cfg(feature = "metrics")]
-#[allow(clippy::declare_interior_mutable_const)] // splat template for the ring
-const EMPTY_SLOT: Slot = Slot {
-    seq: AtomicU64::new(0),
-    at_kind: AtomicU64::new(0),
-    a: AtomicU64::new(0),
-    b: AtomicU64::new(0),
-    c: AtomicU64::new(0),
-    check: AtomicU64::new(0),
-};
+impl Slot {
+    const fn new() -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            at_kind: AtomicU64::new(0),
+            a: AtomicU64::new(0),
+            b: AtomicU64::new(0),
+            c: AtomicU64::new(0),
+            check: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A lock-free event ring of `N` slots — the engine behind the global
+/// recorder (one `FlightRing<{SLOTS}>`). `N` is generic so the `hts-mc`
+/// models can exhaustively explore tiny instances where every writer
+/// collision and wraparound is reachable within the schedule budget.
+#[cfg(feature = "metrics")]
+pub struct FlightRing<const N: usize> {
+    slots: [Slot; N],
+    head: AtomicU64,
+}
 
 #[cfg(feature = "metrics")]
-static RING: [Slot; SLOTS] = [EMPTY_SLOT; SLOTS];
+impl<const N: usize> Default for FlightRing<N> {
+    fn default() -> Self {
+        FlightRing::new()
+    }
+}
 
 #[cfg(feature = "metrics")]
-static HEAD: AtomicU64 = AtomicU64::new(0);
+impl<const N: usize> FlightRing<N> {
+    /// A fresh, empty ring.
+    pub const fn new() -> FlightRing<N> {
+        FlightRing {
+            slots: [const { Slot::new() }; N],
+            head: AtomicU64::new(0),
+        }
+    }
 
-/// Records one event into the global ring (wait-free, allocation-free;
-/// no-op with the `metrics` feature off).
-#[inline]
-pub fn record(kind: u8, a: u64, b: u64, c: u64) {
-    #[cfg(feature = "metrics")]
-    {
-        let ticket = HEAD.fetch_add(1, Ordering::Relaxed);
-        let slot = &RING[(ticket % SLOTS as u64) as usize];
+    /// Records one event (wait-free, allocation-free).
+    #[inline]
+    pub fn record(&self, kind: u8, a: u64, b: u64, c: u64) {
+        // ordering: Relaxed — the ticket is a pure allocation counter;
+        // publication ordering is carried by the per-slot seq word.
+        let ticket = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(ticket % N as u64) as usize];
         let at_kind = (crate::now_nanos() & ((1 << 56) - 1)) | (u64::from(kind) << 56);
         let published = 2 * ticket + 2;
         slot.seq.store(2 * ticket + 1, Ordering::Release);
-        slot.at_kind.store(at_kind, Ordering::Relaxed);
-        slot.a.store(a, Ordering::Relaxed);
-        slot.b.store(b, Ordering::Relaxed);
-        slot.c.store(c, Ordering::Relaxed);
-        slot.check
-            .store(published ^ at_kind ^ a ^ b ^ c, Ordering::Relaxed);
+        let payload = [
+            (&slot.at_kind, at_kind),
+            (&slot.a, a),
+            (&slot.b, b),
+            (&slot.c, c),
+            (&slot.check, published ^ at_kind ^ a ^ b ^ c),
+        ];
+        for (cell, v) in payload {
+            // ordering: Relaxed — fenced by the seq Release stores around
+            // them; readers validate via seq + checksum, dropping torn slots.
+            cell.store(v, Ordering::Relaxed);
+        }
         slot.seq.store(published, Ordering::Release);
     }
-    #[cfg(not(feature = "metrics"))]
-    let _ = (kind, a, b, c);
-}
 
-/// Collects the currently readable events, oldest first. Slots being
-/// concurrently rewritten (or torn by a wraparound race) are skipped —
-/// the snapshot is a best-effort recent tail, not a transaction.
-pub fn snapshot() -> Vec<FlightEvent> {
-    #[cfg(feature = "metrics")]
-    {
+    /// Collects the currently readable events, oldest first. Slots being
+    /// concurrently rewritten (or torn by a wraparound race) are skipped.
+    pub fn snapshot(&self) -> Vec<FlightEvent> {
         let mut out = Vec::new();
-        for slot in RING.iter() {
+        for slot in self.slots.iter() {
             let seq1 = slot.seq.load(Ordering::Acquire);
             if seq1 == 0 || seq1 % 2 != 0 {
                 continue; // never written, or write in progress
             }
-            let at_kind = slot.at_kind.load(Ordering::Relaxed);
-            let a = slot.a.load(Ordering::Relaxed);
-            let b = slot.b.load(Ordering::Relaxed);
-            let c = slot.c.load(Ordering::Relaxed);
-            let check = slot.check.load(Ordering::Relaxed);
+            let cells = [&slot.at_kind, &slot.a, &slot.b, &slot.c, &slot.check];
+            // ordering: Relaxed — validated after the fact: the Acquire
+            // re-load of seq plus the checksum reject any torn read.
+            let [at_kind, a, b, c, check] = cells.map(|cell| cell.load(Ordering::Relaxed));
             let seq2 = slot.seq.load(Ordering::Acquire);
             if seq1 != seq2 || check != (seq1 ^ at_kind ^ a ^ b ^ c) {
                 continue; // torn read
@@ -158,16 +187,40 @@ pub fn snapshot() -> Vec<FlightEvent> {
         out.sort_by_key(|e| e.seq);
         out
     }
+
+    /// Dumps this ring's readable tail to stderr with a reason header.
+    /// Silent when empty.
+    pub fn dump_to_stderr(&self, reason: &str) {
+        dump_events(&self.snapshot(), reason);
+    }
+}
+
+#[cfg(feature = "metrics")]
+static RING: FlightRing<SLOTS> = FlightRing::new();
+
+/// Records one event into the global ring (wait-free, allocation-free;
+/// no-op with the `metrics` feature off).
+#[inline]
+pub fn record(kind: u8, a: u64, b: u64, c: u64) {
+    #[cfg(feature = "metrics")]
+    RING.record(kind, a, b, c);
+    #[cfg(not(feature = "metrics"))]
+    let _ = (kind, a, b, c);
+}
+
+/// Collects the currently readable events, oldest first. Slots being
+/// concurrently rewritten (or torn by a wraparound race) are skipped —
+/// the snapshot is a best-effort recent tail, not a transaction.
+pub fn snapshot() -> Vec<FlightEvent> {
+    #[cfg(feature = "metrics")]
+    {
+        RING.snapshot()
+    }
     #[cfg(not(feature = "metrics"))]
     Vec::new()
 }
 
-/// Dumps the recorded tail to stderr with a reason header — called on
-/// lincheck failures and crash verdicts so a failing run leaves its
-/// recent per-op trace behind. Silent when the recorder is empty (e.g.
-/// the `metrics` feature is off, or nothing instrumented ran).
-pub fn dump_to_stderr(reason: &str) {
-    let events = snapshot();
+fn dump_events(events: &[FlightEvent], reason: &str) {
     if events.is_empty() {
         return;
     }
@@ -175,7 +228,7 @@ pub fn dump_to_stderr(reason: &str) {
         "=== flight recorder: {} event(s), reason: {reason} ===",
         events.len()
     );
-    for e in &events {
+    for e in events {
         eprintln!(
             "  [{:>12} ns] #{:<8} {:<16} a={} b={} c={}",
             e.at_nanos,
@@ -187,6 +240,14 @@ pub fn dump_to_stderr(reason: &str) {
         );
     }
     eprintln!("=== end flight recorder dump ===");
+}
+
+/// Dumps the recorded tail to stderr with a reason header — called on
+/// lincheck failures and crash verdicts so a failing run leaves its
+/// recent per-op trace behind. Silent when the recorder is empty (e.g.
+/// the `metrics` feature is off, or nothing instrumented ran).
+pub fn dump_to_stderr(reason: &str) {
+    dump_events(&snapshot(), reason);
 }
 
 #[cfg(test)]
@@ -209,6 +270,22 @@ mod tests {
             .find(|e| e.kind == KIND_OP_BEGIN && e.b == 100)
             .expect("begin event recorded");
         assert_eq!((begin.a, begin.c), (1, 7));
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn tiny_ring_wraps_keeping_the_tail() {
+        let ring: FlightRing<2> = FlightRing::new();
+        for i in 0..5u64 {
+            ring.record(KIND_OP_BEGIN, i, 0, 0);
+        }
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 2, "a 2-slot ring holds 2 events");
+        assert_eq!(
+            events.iter().map(|e| e.a).collect::<Vec<_>>(),
+            vec![3, 4],
+            "the ring keeps the most recent events"
+        );
     }
 
     #[cfg(not(feature = "metrics"))]

@@ -9,7 +9,9 @@
 //! `fetch_add` per recording.
 
 #[cfg(feature = "metrics")]
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::mc_shim::AtomicU64;
+#[cfg(feature = "metrics")]
+use std::sync::atomic::Ordering;
 
 /// Number of buckets in every [`Histogram`].
 pub const BUCKETS: usize = 256;

@@ -45,11 +45,15 @@
 
 pub mod flight;
 mod hist;
+#[cfg(feature = "metrics")]
+mod mc_shim;
 
 pub use hist::{bucket_bound, bucket_index, Histogram, HistogramSnapshot, BUCKETS};
 
 #[cfg(feature = "metrics")]
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use crate::mc_shim::{AtomicI64, AtomicU64};
+#[cfg(feature = "metrics")]
+use std::sync::atomic::Ordering;
 #[cfg(feature = "metrics")]
 use std::sync::Mutex;
 #[cfg(feature = "metrics")]

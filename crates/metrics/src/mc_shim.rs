@@ -1,0 +1,13 @@
+//! cfg-switched atomics for the metrics primitives.
+//!
+//! With the `model-check` feature on, counters, gauges, histograms and
+//! the flight ring run on the `hts-mc` shim atomics so `crates/mc`
+//! models can explore their interleavings; off (the default, and always
+//! in release builds) the same names resolve to the plain `std` types
+//! with zero overhead.
+
+#[cfg(feature = "model-check")]
+pub(crate) use hts_mc::sync::{AtomicI64, AtomicU64};
+
+#[cfg(not(feature = "model-check"))]
+pub(crate) use std::sync::atomic::{AtomicI64, AtomicU64};

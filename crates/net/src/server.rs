@@ -582,13 +582,60 @@ fn drain_batch(
     }
 }
 
+/// The writer's blocking drain/linger/shutdown handshake, socket-free so
+/// the `hts-mc` model below can exhaustively explore it: blocks on the
+/// queue condvar until there is work, drains a batch, optionally lingers
+/// for a near-simultaneous burst to coalesce (the condvar — never a hard
+/// sleep — so a push that fills the batch or a shutdown wakes it
+/// immediately), and returns the batch with its encoded size. `None`
+/// means shutdown with an empty queue: the writer exits. Queued frames
+/// still flush on the way out — shutdown with work pending returns the
+/// batch, promptly (the linger loop exits on the shutdown flag).
+fn next_batch(
+    shared: &RingShared,
+    max_frames: usize,
+    max_bytes: usize,
+    linger: Duration,
+) -> Option<(Vec<RingFrame>, usize)> {
+    let mut batch = Vec::new();
+    let mut bytes = 0usize;
+    let mut q = shared.lock();
+    loop {
+        if !q.frames.is_empty() {
+            break;
+        }
+        if q.shutdown {
+            return None;
+        }
+        q = shared.ready.wait(q);
+    }
+    drain_batch(&mut q.frames, max_frames, max_bytes, &mut bytes, &mut batch);
+    if batch.len() < max_frames && bytes < max_bytes && !linger.is_zero() {
+        // Give a near-simultaneous burst one chance to coalesce. The
+        // byte budget carries over: the top-up cannot grow the batch
+        // past what one drain could.
+        let deadline = Instant::now() + linger;
+        while !q.shutdown {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            let (guard, _) = shared.ready.wait_timeout(q, remaining);
+            q = guard;
+            drain_batch(&mut q.frames, max_frames, max_bytes, &mut bytes, &mut batch);
+            if batch.len() >= max_frames || bytes >= max_bytes {
+                break;
+            }
+        }
+    }
+    Some((batch, bytes))
+}
+
 /// The coalescing ring writer: connect (with retries), then repeatedly
-/// drain everything queued into **one** buffered write and one flush per
-/// batch. FIFO is trivially preserved — frames leave the queue and hit
-/// the wire in push order. A partial batch lingers on the queue condvar
-/// (never a hard sleep): a push that fills the batch, or a shutdown,
-/// wakes it immediately, so a full batch always flushes at once and
-/// shutdown is prompt even with a long linger configured.
+/// drain everything queued ([`next_batch`]) into **one** buffered write
+/// and one flush per batch. FIFO is trivially preserved — frames leave
+/// the queue and hit the wire in push order. A full batch always flushes
+/// at once and shutdown is prompt even with a long linger configured.
 #[allow(clippy::too_many_arguments)]
 fn ring_writer(
     me: ServerId,
@@ -632,56 +679,12 @@ fn ring_writer(
     let linger = Duration::from_nanos(batching.linger.as_nanos());
     let mut scratch = BytesMut::new();
     loop {
-        let mut batch = Vec::new();
-        let mut bytes = 0usize;
-        {
-            let mut q = shared.lock();
-            // Block until there is work (or a shutdown with an empty
-            // queue — queued frames still flush on the way out).
-            loop {
-                if !q.frames.is_empty() {
-                    break;
-                }
-                if q.shutdown {
-                    return;
-                }
-                q = shared.ready.wait(q);
-            }
-            drain_batch(
-                &mut q.frames,
-                max_frames,
-                batching.max_bytes,
-                &mut bytes,
-                &mut batch,
-            );
-            if batch.len() < max_frames && bytes < batching.max_bytes && !linger.is_zero() {
-                // Give a near-simultaneous burst one chance to coalesce,
-                // waiting on the condvar — NOT a hard sleep — so a push
-                // that fills the batch flushes immediately and shutdown
-                // never waits out the linger. The byte budget carries
-                // over: the top-up cannot grow the batch past what one
-                // drain could.
-                let deadline = Instant::now() + linger;
-                while !q.shutdown {
-                    let remaining = deadline.saturating_duration_since(Instant::now());
-                    if remaining.is_zero() {
-                        break;
-                    }
-                    let (guard, _) = shared.ready.wait_timeout(q, remaining);
-                    q = guard;
-                    drain_batch(
-                        &mut q.frames,
-                        max_frames,
-                        batching.max_bytes,
-                        &mut bytes,
-                        &mut batch,
-                    );
-                    if batch.len() >= max_frames || bytes >= batching.max_bytes {
-                        break;
-                    }
-                }
-            }
-        } // release the queue lock before touching the socket
+        // `next_batch` returns with the queue lock released: never touch
+        // the socket with it held.
+        let Some((batch, bytes)) = next_batch(&shared, max_frames, batching.max_bytes, linger)
+        else {
+            return;
+        };
         hts_metrics::histogram!("hts_net_ring_batch_frames").record(batch.len() as u64);
         hts_metrics::histogram!("hts_net_ring_batch_bytes").record(bytes as u64);
         blocking_syscall("ring successor send");
@@ -1176,5 +1179,114 @@ mod tests {
         assert_eq!(lane_wal_dir(base, 0, 1), PathBuf::from("/tmp/wal"));
         assert_eq!(lane_wal_dir(base, 0, 4), PathBuf::from("/tmp/wal/lane-0"));
         assert_eq!(lane_wal_dir(base, 3, 4), PathBuf::from("/tmp/wal/lane-3"));
+    }
+}
+
+/// `hts-mc` model of the [`RingShared`] drain/linger/shutdown handshake
+/// (the manifest entry for this file in `mc-models.toml` points here).
+/// Runs via `cargo test -p hts-net --features model-check` — the CI
+/// `modelcheck` job. The model drives [`next_batch`] exactly as
+/// [`ring_writer`] does, minus the socket.
+#[cfg(all(test, feature = "model-check"))]
+mod ring_model {
+    use super::*;
+    use hts_mc::{check, Mode, Options};
+    use hts_types::{ObjectId, Tag, Value};
+
+    fn frame(ts: u64) -> RingFrame {
+        RingFrame::pre_write(ObjectId(1), Tag::new(ts, ServerId(0)), Value::from_u64(ts))
+    }
+
+    fn model_out() -> RingOut {
+        RingOut {
+            shared: Arc::new(RingShared {
+                queue: DebugMutex::new(
+                    "model.ring_writer.queue",
+                    RingQueue {
+                        frames: VecDeque::new(),
+                        shutdown: false,
+                    },
+                ),
+                ready: DebugCondvar::new(),
+            }),
+        }
+    }
+
+    /// One pusher (the main thread) + the writer loop: every pushed
+    /// frame must be delivered exactly once, in push order, and the
+    /// writer must terminate once the handle drops. `linger` and
+    /// `max_frames` parameterize which of `next_batch`'s paths the
+    /// schedule space reaches.
+    fn push_drain_shutdown_model(linger: Duration, max_frames: usize) {
+        let out = model_out();
+        let shared = Arc::clone(&out.shared);
+        let writer = hts_mc::spawn(move || {
+            let mut got = Vec::new();
+            while let Some((batch, _bytes)) = next_batch(&shared, max_frames, 1 << 20, linger) {
+                got.extend(batch);
+            }
+            got
+        });
+        out.push(vec![frame(1)]);
+        out.push(vec![frame(2), frame(3)]);
+        drop(out); // flags shutdown; queued frames still flush
+        let got = writer.join();
+        let expected: Vec<RingFrame> = (1..=3).map(frame).collect();
+        assert_eq!(got, expected, "frames lost, duplicated, or reordered");
+    }
+
+    #[test]
+    fn drain_shutdown_handshake_exhaustive() {
+        // linger zero: the handshake is pure block/drain/shutdown, small
+        // enough for exhaustive DFS.
+        let report = check(Mode::Exhaustive, Options::named("net-ring-drain"), || {
+            push_drain_shutdown_model(Duration::ZERO, 2)
+        });
+        assert!(report.schedules > 1, "explored: {report:?}");
+    }
+
+    #[test]
+    fn linger_topup_handshake_random() {
+        // A huge linger forces the condvar top-up path: the writer must
+        // still flush everything and exit promptly on shutdown (a hang
+        // here would blow the step budget). The timeout branch itself is
+        // a scheduling choice, so random search covers both wake paths.
+        check(
+            Mode::Random {
+                seed: 0x4E54_5249_4E47,
+                iters: 200,
+            },
+            Options::named("net-ring-linger"),
+            || push_drain_shutdown_model(Duration::from_secs(3600), 2),
+        );
+    }
+
+    #[test]
+    fn two_pushers_never_lose_frames_exhaustive() {
+        // Two concurrent pushers: per-pusher FIFO must survive any
+        // interleaving of the pushes with the drain.
+        check(Mode::Exhaustive, Options::named("net-ring-2push"), || {
+            let out = Arc::new(model_out());
+            let shared = Arc::clone(&out.shared);
+            let writer = hts_mc::spawn(move || {
+                let mut got = Vec::new();
+                while let Some((batch, _)) = next_batch(&shared, 4, 1 << 20, Duration::ZERO) {
+                    got.extend(batch);
+                }
+                got
+            });
+            let o2 = Arc::clone(&out);
+            let pusher = hts_mc::spawn(move || o2.push(vec![frame(10), frame(11)]));
+            out.push(vec![frame(20)]);
+            pusher.join();
+            drop(Arc::into_inner(out).expect("last handle")); // shutdown
+            let got = writer.join();
+            let tens: Vec<&RingFrame> = got
+                .iter()
+                .filter(|f| f == &&frame(10) || f == &&frame(11))
+                .collect();
+            assert_eq!(tens, vec![&frame(10), &frame(11)], "pusher FIFO broken");
+            assert_eq!(got.len(), 3, "frame lost or duplicated: {got:?}");
+        });
     }
 }

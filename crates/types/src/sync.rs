@@ -31,8 +31,65 @@
 //! of the wait and re-checked (order edges included) on re-acquisition.
 
 use std::sync::PoisonError;
-use std::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Duration;
+
+/// The raw mutex/condvar layer under the Debug wrappers: plain `std`
+/// (poison-recovering) by default, the `hts-mc` shims with the
+/// `model-check` feature on — so `crates/mc` models can explore code
+/// built on [`DebugMutex`]/[`DebugCondvar`] (the ring-writer handshake
+/// foremost). `DebugRwLock` stays on `std::sync::RwLock` either way:
+/// hts-mc has no rwlock shim, and no model covers one yet.
+#[cfg(not(feature = "model-check"))]
+mod raw {
+    use std::sync::PoisonError;
+    pub(super) use std::sync::{Condvar, Mutex, MutexGuard};
+    use std::time::Duration;
+
+    pub(super) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+        m.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub(super) fn wait<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        cv.wait(g).unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub(super) fn wait_timeout<'a, T>(
+        cv: &Condvar,
+        g: MutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        match cv.wait_timeout(g, timeout) {
+            Ok((g, r)) => (g, r.timed_out()),
+            Err(poisoned) => {
+                let (g, r) = poisoned.into_inner();
+                (g, r.timed_out())
+            }
+        }
+    }
+}
+
+#[cfg(feature = "model-check")]
+mod raw {
+    pub(super) use hts_mc::sync::{Condvar, Mutex, MutexGuard};
+    use std::time::Duration;
+
+    pub(super) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+        m.lock()
+    }
+
+    pub(super) fn wait<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        cv.wait(g)
+    }
+
+    pub(super) fn wait_timeout<'a, T>(
+        cv: &Condvar,
+        g: MutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        cv.wait_timeout(g, timeout)
+    }
+}
 
 #[cfg(feature = "lock-order")]
 mod track {
@@ -45,6 +102,8 @@ mod track {
 
     /// A fresh instance id for a tracked lock.
     pub fn new_id() -> u64 {
+        // ordering: Relaxed — a pure id allocator; uniqueness is all the
+        // RMW guarantees and all the detector needs.
         NEXT_ID.fetch_add(1, Ordering::Relaxed)
     }
 
@@ -158,7 +217,7 @@ pub fn blocking_syscall(what: &str) {
 /// A [`Mutex`] that recovers from poisoning and participates in the
 /// `lock-order` detector. See the [module docs](self).
 pub struct DebugMutex<T> {
-    inner: Mutex<T>,
+    inner: raw::Mutex<T>,
     name: &'static str,
     #[cfg(feature = "lock-order")]
     id: u64,
@@ -166,9 +225,9 @@ pub struct DebugMutex<T> {
 
 /// Guard of a [`DebugMutex`]; releases the hold record on drop.
 pub struct DebugMutexGuard<'a, T> {
-    // `Option` so a condvar wait can take the std guard out without
+    // `Option` so a condvar wait can take the raw guard out without
     // running the release bookkeeping twice.
-    inner: Option<MutexGuard<'a, T>>,
+    inner: Option<raw::MutexGuard<'a, T>>,
     #[cfg(feature = "lock-order")]
     id: u64,
 }
@@ -177,7 +236,7 @@ impl<T> DebugMutex<T> {
     /// Creates a named mutex (the name appears in detector panics).
     pub fn new(name: &'static str, value: T) -> Self {
         DebugMutex {
-            inner: Mutex::new(value),
+            inner: raw::Mutex::new(value),
             name,
             #[cfg(feature = "lock-order")]
             id: track::new_id(),
@@ -193,7 +252,7 @@ impl<T> DebugMutex<T> {
     pub fn lock(&self) -> DebugMutexGuard<'_, T> {
         #[cfg(feature = "lock-order")]
         track::pre_acquire(self.id, self.name);
-        let guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let guard = raw::lock(&self.inner);
         #[cfg(feature = "lock-order")]
         track::acquired(self.id, self.name);
         DebugMutexGuard {
@@ -233,7 +292,7 @@ impl<T> Drop for DebugMutexGuard<'_, T> {
 /// A [`Condvar`] paired with [`DebugMutex`]: waits keep the detector's
 /// held-set accurate (the lock is released for the wait's duration).
 pub struct DebugCondvar {
-    inner: Condvar,
+    inner: raw::Condvar,
 }
 
 impl DebugCondvar {
@@ -241,7 +300,7 @@ impl DebugCondvar {
     #[allow(clippy::new_without_default)]
     pub fn new() -> Self {
         DebugCondvar {
-            inner: Condvar::new(),
+            inner: raw::Condvar::new(),
         }
     }
 
@@ -250,16 +309,13 @@ impl DebugCondvar {
         #[cfg(feature = "lock-order")]
         let id = guard.id;
         // lint: allow(panic): unobservable, the wait consumes the guard
-        let std_guard = guard.inner.take().expect("guard not already waiting");
+        let raw_guard = guard.inner.take().expect("guard not already waiting");
         #[cfg(feature = "lock-order")]
         track::released(id);
-        let std_guard = self
-            .inner
-            .wait(std_guard)
-            .unwrap_or_else(PoisonError::into_inner);
+        let raw_guard = raw::wait(&self.inner, raw_guard);
         #[cfg(feature = "lock-order")]
         track::acquired(id, "condvar re-acquire");
-        guard.inner = Some(std_guard);
+        guard.inner = Some(raw_guard);
         guard
     }
 
@@ -273,20 +329,14 @@ impl DebugCondvar {
         #[cfg(feature = "lock-order")]
         let id = guard.id;
         // lint: allow(panic): unobservable, the wait consumes the guard
-        let std_guard = guard.inner.take().expect("guard not already waiting");
+        let raw_guard = guard.inner.take().expect("guard not already waiting");
         #[cfg(feature = "lock-order")]
         track::released(id);
-        let (std_guard, result) = match self.inner.wait_timeout(std_guard, timeout) {
-            Ok((g, r)) => (g, r.timed_out()),
-            Err(poisoned) => {
-                let (g, r) = poisoned.into_inner();
-                (g, r.timed_out())
-            }
-        };
+        let (raw_guard, timed_out) = raw::wait_timeout(&self.inner, raw_guard, timeout);
         #[cfg(feature = "lock-order")]
         track::acquired(id, "condvar re-acquire");
-        guard.inner = Some(std_guard);
-        (guard, result)
+        guard.inner = Some(raw_guard);
+        (guard, timed_out)
     }
 
     /// Wakes one waiter.

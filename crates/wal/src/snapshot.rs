@@ -100,8 +100,8 @@ pub fn read_snapshot(path: &Path) -> Option<(u64, Vec<WalRecord>)> {
     if !cursor.is_empty() || payload.len() < 12 {
         return None;
     }
-    let watermark = u64::from_be_bytes(payload[0..8].try_into().expect("8 bytes"));
-    let count = u32::from_be_bytes(payload[8..12].try_into().expect("4 bytes"));
+    let watermark = u64::from_be_bytes(payload[0..8].try_into().ok()?);
+    let count = u32::from_be_bytes(payload[8..12].try_into().ok()?);
     payload = &payload[12..];
     let mut records = Vec::with_capacity(count as usize);
     for _ in 0..count {
