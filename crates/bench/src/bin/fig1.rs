@@ -10,11 +10,14 @@
 //! vs 64 on a saturated small-value write workload), a **lane ablation**
 //! (1 vs 2 vs 4 parallel ring lanes on the saturated multi-object write
 //! workload), a **pipelining ablation** (client session window 1 vs 8
-//! vs 64 at a fixed small client count) and two **TCP-runtime
+//! vs 64 at a fixed small client count) and three **TCP-runtime
 //! ablations** over real sockets — zero-copy inbound decode off vs on
-//! under saturated 64 KiB writes, and the reader-thread read fast path
-//! off vs on under a read-heavy 64 KiB mix — so the performance
-//! trajectory of future changes can be diffed mechanically.
+//! under saturated 64 KiB writes, the reader-thread read fast path
+//! off vs on under a read-heavy 64 KiB mix, and the epoll **reactor
+//! backend** vs the thread-per-connection baseline (saturated 64 B,
+//! saturated 64 KiB, and 64 sessions × window 8, with a measured
+//! threads-per-node column) — so the performance trajectory of future
+//! changes can be diffed mechanically.
 //!
 //! Pass `--smoke` for a seconds-long CI run: identical report shape,
 //! tiny measurement windows.
@@ -408,6 +411,7 @@ fn main() {
                     zero_copy,
                     ..hts_core::Config::default()
                 },
+                ..TcpParams::default()
             },
         );
         println!(
@@ -457,6 +461,7 @@ fn main() {
                     read_fast_path,
                     ..hts_core::Config::default()
                 },
+                ..TcpParams::default()
             },
         );
         println!(
@@ -479,6 +484,87 @@ fn main() {
         "read fast path speedup on the read-heavy 64 KiB mix: {:.2}x",
         fp_on.m.read_mbps / fp_off.m.read_mbps
     );
+
+    // Reactor ablation: the identical protocol over the two `hts-net`
+    // backends — readiness-driven per-lane reactors (`Config::reactor`,
+    // the Linux default) vs the thread-per-connection baseline. Three
+    // workloads: saturated small writes (syscall/context-switch bound,
+    // where the reactor's coalescing and thread economy pay), saturated
+    // 64 KiB writes (byte bound, both backends should push similar
+    // Mbit/s), and a high-connection-count row (64 pipelined sessions ×
+    // window 8) where the threaded backend's 2-threads-per-connection
+    // tax is the headline: the reactor serves it all on lanes + 1
+    // threads per node.
+    let reactor_lanes = 4u16;
+    let reactor_available =
+        cfg!(target_os = "linux") && std::env::var_os("HTS_REACTOR").is_none_or(|v| v != "0");
+    struct ReactorRow {
+        reactor: bool,
+        workload: &'static str,
+        ops: u64,
+        mbps: f64,
+        p50_ms: f64,
+        p99_ms: f64,
+        latency_json: String,
+        cpu_us_per_op: f64,
+        threads_per_node: f64,
+    }
+    println!();
+    println!(
+        "## Reactor ablation (TCP runtime, n=3, lanes={reactor_lanes}, threaded vs epoll reactor)"
+    );
+    println!();
+    println!(
+        "| workload | reactor | ops completed | Mbit/s | p50 ms | p99 ms | cpu us/op | \
+         threads/node |"
+    );
+    println!("|---|---|---|---|---|---|---|---|");
+    let mut reactor_rows: Vec<ReactorRow> = Vec::new();
+    for (workload, writers, value_size, window) in [
+        ("write_64b_saturated", 32u32, 64usize, 1usize),
+        ("write_64kib_saturated", 12, 64 * 1024, 1),
+        ("sessions_64_window_8", 64, 64, 8),
+    ] {
+        for reactor in [false, true] {
+            let mut m = run_tcp(&TcpParams {
+                n: 3,
+                writers,
+                readers: 0,
+                value_size,
+                warmup: tcp_warmup,
+                measure: tcp_measure,
+                window,
+                distinct_objects: true,
+                config: hts_core::Config {
+                    lanes: reactor_lanes,
+                    reactor,
+                    ..hts_core::Config::default()
+                },
+            });
+            let row = ReactorRow {
+                reactor,
+                workload,
+                ops: m.writes,
+                mbps: m.write_mbps,
+                p50_ms: hts_bench::percentile_ms(&mut m.write_lat_nanos, 50.0),
+                p99_ms: hts_bench::percentile_ms(&mut m.write_lat_nanos, 99.0),
+                latency_json: latency_object(&mut m.write_lat_nanos),
+                cpu_us_per_op: m.cpu_us_per_op,
+                threads_per_node: m.threads_per_node,
+            };
+            println!(
+                "| {workload} | {} | {} | {:.2} | {:.3} | {:.3} | {:.1} | {:.1} |",
+                row.reactor,
+                row.ops,
+                row.mbps,
+                row.p50_ms,
+                row.p99_ms,
+                row.cpu_us_per_op,
+                row.threads_per_node,
+            );
+            reactor_rows.push(row);
+        }
+    }
 
     let ablation_row_json = |knob: &str, row: &AblationRow| {
         format!(
@@ -514,6 +600,21 @@ fn main() {
                 row.write_latency_json,
                 histogram_latency_object(&row.ring_write),
                 json_f64(row.m.cpu_us_per_op),
+            )
+        })
+        .collect();
+    let reactor_json: Vec<String> = reactor_rows
+        .iter()
+        .map(|row| {
+            format!(
+                r#"    {{"workload": "{}", "reactor": {}, "ops_completed": {}, "throughput_mbps": {}, "latency": {}, "cpu_us_per_op": {}, "threads_per_node": {}}}"#,
+                row.workload,
+                row.reactor,
+                row.ops,
+                json_f64(row.mbps),
+                row.latency_json,
+                json_f64(row.cpu_us_per_op),
+                json_f64(row.threads_per_node),
             )
         })
         .collect();
@@ -604,6 +705,15 @@ fn main() {
     "rows": [
 {}
     ]
+  }},
+  "tcp_reactor_ablation": {{
+    "n": 3,
+    "lanes": {},
+    "reactor_available": {},
+    "measure_seconds": {},
+    "rows": [
+{}
+    ]
   }}
 }}
 "#,
@@ -646,6 +756,10 @@ fn main() {
         tcp_readers,
         json_f64(tcp_measure.as_secs_f64()),
         fastpath_json.join(",\n"),
+        reactor_lanes,
+        reactor_available,
+        json_f64(tcp_measure.as_secs_f64()),
+        reactor_json.join(",\n"),
     );
     match write_report("fig1", &body) {
         Ok(path) => println!("wrote {}", path.display()),
@@ -748,6 +862,57 @@ fn main() {
             assert!(
                 baseline_server.cpu_us_per_op.is_finite(),
                 "cpu_us_per_op must be measurable on linux"
+            );
+        }
+    }
+    // Reactor ablation invariants. Smoke included: every row must carry
+    // a real thread census (the CI gate for silently-dead
+    // instrumentation); the performance directions are asserted on full
+    // runs only.
+    if cfg!(feature = "metrics") {
+        for row in &reactor_rows {
+            assert!(
+                row.threads_per_node.is_finite() && row.threads_per_node > 0.0,
+                "reactor ablation row ({}, reactor={}) has no thread census",
+                row.workload,
+                row.reactor
+            );
+        }
+        if reactor_available {
+            let find = |workload: &str, reactor: bool| {
+                reactor_rows
+                    .iter()
+                    .find(|r| r.workload == workload && r.reactor == reactor)
+                    .expect("ablation row exists")
+            };
+            // The tentpole's headline: a reactor node under 64 sessions
+            // runs on exactly lanes + 1 threads; the threaded backend
+            // needs several times that for the same load.
+            let sessions_on = find("sessions_64_window_8", true);
+            let sessions_off = find("sessions_64_window_8", false);
+            assert!(
+                (sessions_on.threads_per_node - f64::from(reactor_lanes + 1)).abs() < 0.51,
+                "reactor threads-per-node is {:.1}, expected lanes + 1 = {}",
+                sessions_on.threads_per_node,
+                reactor_lanes + 1
+            );
+            assert!(
+                smoke || sessions_off.threads_per_node >= 3.0 * sessions_on.threads_per_node,
+                "threaded backend ran 64 sessions on only {:.1} threads/node (reactor: {:.1}) — \
+                 the ablation no longer demonstrates the thread economy",
+                sessions_off.threads_per_node,
+                sessions_on.threads_per_node
+            );
+            let small_on = find("write_64b_saturated", true);
+            let small_off = find("write_64b_saturated", false);
+            assert!(
+                smoke
+                    || small_on.cpu_us_per_op.is_nan()
+                    || small_on.cpu_us_per_op < small_off.cpu_us_per_op,
+                "reactor regression: reactor=true ({:.1} us/op) must burn less CPU than the \
+                 threaded backend ({:.1} us/op) on saturated 64 B writes",
+                small_on.cpu_us_per_op,
+                small_off.cpu_us_per_op
             );
         }
     }

@@ -12,12 +12,13 @@
 //! counters, process CPU) are isolated per run by snapshot diffs of the
 //! process-global metrics registry taken at the window edges.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use hts_core::Config;
-use hts_net::{Client, Cluster};
+use hts_net::{Client, Cluster, Session};
 use hts_types::{ObjectId, ServerId, Value};
 
 /// Parameters of one TCP-runtime run.
@@ -36,6 +37,31 @@ pub struct TcpParams {
     pub measure: Duration,
     /// Protocol configuration under test.
     pub config: Config,
+    /// Operations each worker keeps in flight. `1` is the sequential
+    /// [`Client`]; anything wider drives a pipelined [`Session`] (one
+    /// socket per server, `window` concurrent ops), which is how a
+    /// high-connection-count workload is expressed: many workers, each a
+    /// session.
+    pub window: usize,
+    /// One register per worker instead of a shared one, so multi-lane
+    /// servers spread the load across their ring lanes.
+    pub distinct_objects: bool,
+}
+
+impl Default for TcpParams {
+    fn default() -> TcpParams {
+        TcpParams {
+            n: 3,
+            writers: 0,
+            readers: 0,
+            value_size: 64,
+            warmup: Duration::from_millis(100),
+            measure: Duration::from_millis(250),
+            config: Config::default(),
+            window: 1,
+            distinct_objects: false,
+        }
+    }
 }
 
 /// What one TCP run measured.
@@ -60,6 +86,12 @@ pub struct TcpMeasurement {
     /// Whole-process CPU microseconds per completed operation over the
     /// window (`NaN` where unsupported).
     pub cpu_us_per_op: f64,
+    /// Server-side OS threads per node, sampled at the end of the
+    /// measurement window (`hts_net_threads` gauge / `n`; 0 with metrics
+    /// off). The reactor backend's whole point: `lanes + 1` regardless
+    /// of connection count, where the threaded backend grows with every
+    /// client and ring peer.
+    pub threads_per_node: f64,
 }
 
 const WARMUP: u8 = 0;
@@ -83,28 +115,68 @@ pub fn run_tcp(params: &TcpParams) -> TcpMeasurement {
         let phase = Arc::clone(&phase);
         let value_size = params.value_size;
         let n = params.n;
+        let window = params.window.max(1);
+        let object = if params.distinct_objects {
+            ObjectId(id)
+        } else {
+            object
+        };
         std::thread::spawn(move || {
             let preferred = ServerId((id % u32::from(n)) as u16);
-            let mut client = Client::connect_preferring(id, addrs, preferred).expect("connect");
-            client.set_timeout(Duration::from_secs(2));
             let value = Value::filled(0x42, value_size);
             let mut ops = 0u64;
             let mut lats = Vec::new();
-            loop {
-                match phase.load(Ordering::Relaxed) {
-                    DONE => return (ops, lats),
-                    current => {
-                        let t0 = Instant::now();
-                        if is_writer {
-                            client.write_to(object, value.clone()).expect("write");
-                        } else {
-                            client.read_from(object).expect("read");
-                        }
-                        if current == MEASURE {
-                            ops += 1;
-                            lats.push(t0.elapsed().as_nanos() as u64);
+            if window == 1 {
+                let mut client = Client::connect_preferring(id, addrs, preferred).expect("connect");
+                client.set_timeout(Duration::from_secs(2));
+                loop {
+                    match phase.load(Ordering::Relaxed) {
+                        DONE => return (ops, lats),
+                        current => {
+                            let t0 = Instant::now();
+                            if is_writer {
+                                client.write_to(object, value.clone()).expect("write");
+                            } else {
+                                client.read_from(object).expect("read");
+                            }
+                            if current == MEASURE {
+                                ops += 1;
+                                lats.push(t0.elapsed().as_nanos() as u64);
+                            }
                         }
                     }
+                }
+            }
+            // Pipelined worker: one session, `window` ops in flight
+            // (fill the window, then complete-oldest/issue-one).
+            let mut session =
+                Session::connect_preferring(id, addrs, preferred, window).expect("connect");
+            session.set_timeout(Duration::from_secs(2));
+            let mut in_flight: VecDeque<(hts_types::RequestId, Instant)> =
+                VecDeque::with_capacity(window);
+            loop {
+                let current = phase.load(Ordering::Relaxed);
+                if current == DONE {
+                    for (request, _) in in_flight.drain(..) {
+                        let _ = session.wait(request);
+                    }
+                    return (ops, lats);
+                }
+                while in_flight.len() < window {
+                    let request = if is_writer {
+                        session
+                            .begin_write_to(object, value.clone())
+                            .expect("begin_write")
+                    } else {
+                        session.begin_read_from(object).expect("begin_read")
+                    };
+                    in_flight.push_back((request, Instant::now()));
+                }
+                let (request, t0) = in_flight.pop_front().expect("window is full");
+                session.wait(request).expect("wait");
+                if current == MEASURE {
+                    ops += 1;
+                    lats.push(t0.elapsed().as_nanos() as u64);
                 }
             }
         })
@@ -123,6 +195,9 @@ pub fn run_tcp(params: &TcpParams) -> TcpMeasurement {
     let cpu0 = hts_metrics::process_cpu_nanos();
     phase.store(MEASURE, Ordering::SeqCst);
     std::thread::sleep(params.measure);
+    // Sampled mid-run, while every connection is up: the steady-state
+    // server-side thread census this load actually costs.
+    let server_threads = hts_metrics::gauge("hts_net_threads").get().max(0) as f64;
     phase.store(DONE, Ordering::SeqCst);
     let hits = hts_metrics::counter("hts_net_read_fastpath_hits_total").get() - hits0;
     let falls = hts_metrics::counter("hts_net_read_fastpath_fallbacks_total").get() - falls0;
@@ -163,5 +238,6 @@ pub fn run_tcp(params: &TcpParams) -> TcpMeasurement {
         fastpath_hits: hits,
         fastpath_fallbacks: falls,
         cpu_us_per_op,
+        threads_per_node: server_threads / f64::from(params.n),
     }
 }

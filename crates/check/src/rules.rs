@@ -541,7 +541,7 @@ fn rule_l5(file: &str, toks: &[Tok<'_>], comments: &[Comment], out: &mut Vec<Vio
 /// throughput regression, not a style nit. The metrics helpers
 /// (`hts_metrics::now_nanos`, the `counter!`-family macros) are designed
 /// alloc-free and are not in the flagged construct set.
-const HOT_FUNCTIONS: [&str; 12] = [
+const HOT_FUNCTIONS: [&str; 15] = [
     "ring_writer",
     "ring_in_loop",
     "drain_batch",
@@ -556,6 +556,11 @@ const HOT_FUNCTIONS: [&str; 12] = [
     "decode_shared",
     "publish",
     "try_read",
+    // The reactor's per-wakeup path: every readiness event (so every
+    // frame, reply, and reconnect) flows through these.
+    "poll_ready",
+    "dispatch_event",
+    "resume_write",
 ];
 
 /// `Type::new()` constructors that heap-allocate.

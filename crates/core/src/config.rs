@@ -183,6 +183,17 @@ pub struct Config {
     /// identical either way; simulators ignore the flag (they pass
     /// values by refcount already).
     pub zero_copy: bool,
+    /// Readiness-driven (epoll reactor) runtime in `hts-net` (default
+    /// on under Linux, off elsewhere). On, each lane's event loop is a
+    /// reactor that owns its sockets directly — accepting, reading,
+    /// coalescing and writing on epoll readiness — so a node runs on
+    /// `lanes + 1` threads regardless of connection count. Off, the
+    /// thread-per-socket backend (spawned reader per inbound
+    /// connection, writer thread per client and ring peer) runs
+    /// instead — kept verbatim as the fig1 ablation baseline and the
+    /// non-Linux fallback. Wire format and protocol semantics are
+    /// byte-identical either way; simulators ignore the flag.
+    pub reactor: bool,
     /// Parallel ring **lanes** (default 1). Objects are partitioned
     /// across `lanes` fully independent ring instances
     /// ([`LaneMap`](crate::LaneMap) placement): each lane owns its own
@@ -209,6 +220,7 @@ impl Default for Config {
             durability: Durability::Volatile,
             batching: BatchConfig::default(),
             zero_copy: true,
+            reactor: cfg!(target_os = "linux"),
             lanes: 1,
         }
     }
@@ -236,6 +248,9 @@ mod tests {
         assert_eq!(c.durability, Durability::Volatile);
         assert!(!c.durability.is_persistent());
         assert!(c.zero_copy);
+        // The reactor changes scheduling, never semantics: it defaults
+        // on exactly where its epoll substrate exists.
+        assert_eq!(c.reactor, cfg!(target_os = "linux"));
         assert_eq!(c.lanes, 1);
         assert_eq!(c, Config::paper());
     }

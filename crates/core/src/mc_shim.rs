@@ -9,15 +9,15 @@
 //! begin/end schedule steps (loom's convention).
 
 #[cfg(feature = "model-check")]
-pub(crate) use hts_mc::sync::{spin_loop, AtomicU32, AtomicU64, UnsafeCell};
+pub(crate) use hts_mc::sync::{spin_loop, AtomicU32, AtomicU64, AtomicUsize, UnsafeCell};
 
 #[cfg(not(feature = "model-check"))]
-pub(crate) use plain::{spin_loop, AtomicU32, AtomicU64, UnsafeCell};
+pub(crate) use plain::{spin_loop, AtomicU32, AtomicU64, AtomicUsize, UnsafeCell};
 
 #[cfg(not(feature = "model-check"))]
 mod plain {
     pub(crate) use std::hint::spin_loop;
-    pub(crate) use std::sync::atomic::{AtomicU32, AtomicU64};
+    pub(crate) use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize};
 
     /// `std::cell::UnsafeCell` behind the loom-style closure API the
     /// model-checked build uses; compiles to the raw pointer accesses.

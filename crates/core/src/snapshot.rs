@@ -29,9 +29,9 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex};
 
-use crate::mc_shim::{spin_loop, AtomicU32, AtomicU64, UnsafeCell};
+use crate::mc_shim::{spin_loop, AtomicU32, AtomicU64, AtomicUsize, UnsafeCell};
 use hts_types::{ObjectId, Tag, Value};
 
 /// Word bit 0: a publish is in progress; readers must fall back.
@@ -171,14 +171,53 @@ impl std::fmt::Debug for ReadCell {
     }
 }
 
+/// One immutable generation of the registry's index. Once published it
+/// is never mutated again; writers build a fresh `Snap` and swap the
+/// pointer.
+type Snap = HashMap<ObjectId, Arc<ReadCell>>;
+
 /// The per-server map of [`ReadCell`]s, shared between the event loop
 /// (writer side, one cell per register) and the transport threads
-/// (reader side). Lookup is a `try_read` on an `RwLock`'d map — reader
-/// threads never block on it (a contended lookup just falls back to the
-/// event loop), and the map is only written when a register is created.
-#[derive(Default, Debug)]
+/// (reader side).
+///
+/// Lookup is wait-free: readers do one `Acquire` pointer load of the
+/// currently published immutable snapshot and index into it — no lock,
+/// no CAS loop, no chance of bouncing a reader to the slow path because
+/// a register happened to be created concurrently (the old `RwLock`
+/// design failed `try_read` under any write contention). Writers (only
+/// the event loop, only when a register is created) clone the map,
+/// insert, and publish the new snapshot with a `Release` store under a
+/// plain mutex that serialises writers against each other only.
+///
+/// Snapshot reclamation: superseded snapshots are retired to a list and
+/// freed in `Drop`. Readers access snapshots only through `&self`, so
+/// every snapshot published during the registry's lifetime remains
+/// valid until the registry itself is gone — registers are created a
+/// handful of times per run, so the retained memory is a few map
+/// headers, not a leak in any practical sense.
 pub struct ReadCellRegistry {
-    cells: RwLock<HashMap<ObjectId, Arc<ReadCell>>>,
+    /// Address of the current `Box<Snap>`, published with `Release`.
+    published: AtomicUsize,
+    /// Serialises writers; also owns the retired-snapshot list.
+    writer: Mutex<Vec<usize>>,
+}
+
+impl Default for ReadCellRegistry {
+    fn default() -> ReadCellRegistry {
+        let first = Box::leak(Box::new(Snap::new())) as *mut Snap as usize;
+        ReadCellRegistry {
+            published: AtomicUsize::new(first),
+            writer: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl std::fmt::Debug for ReadCellRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReadCellRegistry")
+            .field("registers", &self.snap().len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl ReadCellRegistry {
@@ -187,24 +226,61 @@ impl ReadCellRegistry {
         ReadCellRegistry::default()
     }
 
+    /// The currently published snapshot.
+    fn snap(&self) -> &Snap {
+        let addr = self.published.load(Ordering::Acquire);
+        // Superseded snapshots go to the retired list, not the
+        // allocator, and we hold `&self`, so `Drop` cannot free them
+        // concurrently; the `Acquire` load pairs with the writer's
+        // `Release` store to make the map's contents visible.
+        // SAFETY: `addr` is always the address of a live `Box<Snap>`
+        // leaked by `Default::default` or `cell` (see above).
+        unsafe { &*(addr as *const Snap) }
+    }
+
     /// The cell for `object`, creating it (blocked) on first use.
     /// Called by the event loop when it creates the register's core.
     pub fn cell(&self, object: ObjectId) -> Arc<ReadCell> {
-        let map = self.cells.read().unwrap_or_else(|e| e.into_inner());
-        if let Some(cell) = map.get(&object) {
+        let mut retired = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        // Re-check under the writer lock: the snapshot can only change
+        // while the lock is held, so this read is the authoritative one.
+        let current = self.snap();
+        if let Some(cell) = current.get(&object) {
             return Arc::clone(cell);
         }
-        drop(map);
-        let mut map = self.cells.write().unwrap_or_else(|e| e.into_inner());
-        Arc::clone(map.entry(object).or_default())
+        let cell: Arc<ReadCell> = Arc::default();
+        let mut next = current.clone();
+        next.insert(object, Arc::clone(&cell));
+        let addr = Box::leak(Box::new(next)) as *mut Snap as usize;
+        // ordering: Release publishes the fully built map to the
+        // `Acquire` loads in `snap`; the swap itself is already
+        // serialised by the writer lock.
+        let old = self.published.swap(addr, Ordering::Release);
+        retired.push(old);
+        cell
     }
 
     /// Optimistically answers a read for `object` from its published
     /// snapshot; `None` (fall back to the event loop) when the register
-    /// is unknown, the cell is blocked, or anything is contended.
+    /// is unknown or the cell is blocked. Wait-free: one atomic load
+    /// plus the cell's seqlock attempt.
     pub fn try_read(&self, object: ObjectId) -> Option<(Tag, Value)> {
-        let map = self.cells.try_read().ok()?;
-        map.get(&object)?.try_read()
+        self.snap().get(&object)?.try_read()
+    }
+}
+
+impl Drop for ReadCellRegistry {
+    fn drop(&mut self) {
+        let retired = self.writer.get_mut().unwrap_or_else(|e| e.into_inner());
+        retired.push(*self.published.get_mut());
+        for addr in retired.drain(..) {
+            // Every address in the retired list (and the final published
+            // one) came from `Box::leak(Box::new(..))`, and `&mut self`
+            // means no reader can still hold a `&Snap` through `&self`.
+            // SAFETY: each address is a leaked, still-live `Box<Snap>`,
+            // freed exactly once, here.
+            drop(unsafe { Box::from_raw(addr as *mut Snap) });
+        }
     }
 }
 

@@ -11,6 +11,10 @@
 //!   catch any read overlapping the writer's slot update as a data
 //!   race), the BLOCKED bit always forces `None`, and the WRITING bit
 //!   keeps readers out of the write window.
+//! * [`ReadCellRegistry`] — the snapshot-published index: a wait-free
+//!   `try_read` racing a register creation sees the old or new map,
+//!   never a torn pointer, and a lookup through either snapshot reaches
+//!   the same live cell.
 //! * [`FlightRing`] — concurrent `record`s never lose an event within
 //!   capacity, and a concurrent `snapshot` never observes a torn slot
 //!   (every event's payload passes the consistency checks).
@@ -23,11 +27,11 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use hts_core::ReadCell;
+use hts_core::{ReadCell, ReadCellRegistry};
 use hts_mc::{check, explore, spawn, Mode, Options};
 use hts_metrics::flight::{FlightRing, KIND_OP_BEGIN};
 use hts_metrics::{Counter, Histogram};
-use hts_types::{ServerId, Tag, Value};
+use hts_types::{ObjectId, ServerId, Tag, Value};
 
 // ---------------------------------------------------------------------
 // ReadCell: the published-snapshot seqlock from crates/core/snapshot.rs.
@@ -137,6 +141,62 @@ fn readcell_set_blocked_vs_read_exhaustive() {
             assert!(cell.try_read().is_none(), "BLOCKED bit lost");
         },
     );
+}
+
+// ---------------------------------------------------------------------
+// ReadCellRegistry: the snapshot-published index from snapshot.rs.
+// ---------------------------------------------------------------------
+
+#[test]
+fn registry_lookup_vs_insert_exhaustive() {
+    // The writer registers object 2 (clone-insert-swap of the published
+    // snapshot) while a reader looks up the pre-existing object 1 and
+    // the in-flight object 2. Either snapshot generation is fine; a
+    // torn pointer, a lost pre-existing entry, or a phantom hit on an
+    // unregistered object are not.
+    let report = check(Mode::Exhaustive, Options::named("registry-ins"), || {
+        let reg = Arc::new(ReadCellRegistry::new());
+        reg.cell(ObjectId(1))
+            .publish(Tag::new(1, ServerId(0)), &Value::from_u64(1), false);
+        let r2 = Arc::clone(&reg);
+        let writer = spawn(move || {
+            r2.cell(ObjectId(2))
+                .publish(Tag::new(2, ServerId(0)), &Value::from_u64(2), false);
+        });
+        // Object 1 predates the race: visible through every snapshot.
+        let (tag, value) = reg.try_read(ObjectId(1)).expect("old entry lost");
+        assert_eq!((tag.ts, value.as_u64()), (1, Some(1)));
+        // Object 2 is being registered: None (old snapshot or still
+        // blocked) or the published pair — nothing else.
+        if let Some((tag, value)) = reg.try_read(ObjectId(2)) {
+            assert_eq!((tag.ts, value.as_u64()), (2, Some(2)), "torn lookup");
+        }
+        writer.join();
+        let (tag, _) = reg.try_read(ObjectId(2)).expect("new entry published");
+        assert_eq!(tag.ts, 2);
+    });
+    assert!(report.schedules > 1, "explored: {report:?}");
+}
+
+#[test]
+fn registry_same_cell_across_snapshots_exhaustive() {
+    // A publish through a cell handle obtained before a concurrent
+    // snapshot swap must land in the cell the new snapshot serves:
+    // snapshots share cells by Arc, they don't copy them.
+    check(Mode::Exhaustive, Options::named("registry-alias"), || {
+        let reg = Arc::new(ReadCellRegistry::new());
+        let cell = reg.cell(ObjectId(1));
+        let r2 = Arc::clone(&reg);
+        let swapper = spawn(move || {
+            r2.cell(ObjectId(2)); // forces a snapshot swap
+        });
+        cell.publish(Tag::new(9, ServerId(0)), &Value::from_u64(9), false);
+        swapper.join();
+        let (tag, _) = reg
+            .try_read(ObjectId(1))
+            .expect("publish visible through the swapped snapshot");
+        assert_eq!(tag.ts, 9, "snapshot swap cloned the cell");
+    });
 }
 
 // ---------------------------------------------------------------------

@@ -71,7 +71,12 @@ impl Cluster {
     }
 
     fn launch_inner(n: u16, config: Config, wal_base: Option<PathBuf>) -> io::Result<Cluster> {
-        assert!(n > 0, "a cluster needs at least one server");
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a cluster needs at least one server",
+            ));
+        }
         // Reserve ephemeral ports first so every server knows the full map.
         let mut addrs = Vec::with_capacity(usize::from(n));
         {
@@ -120,14 +125,21 @@ impl Cluster {
     /// Crashes one server (kills its event loop and every connection;
     /// its WAL directory, if any, survives for a [`restart`](Cluster::restart)).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `s` is out of range or already crashed.
-    pub fn crash(&mut self, s: ServerId) {
-        self.servers[s.index()]
-            .take()
-            .expect("server alive")
-            .shutdown();
+    /// [`io::ErrorKind::NotFound`] if `s` is out of range or already
+    /// crashed.
+    pub fn crash(&mut self, s: ServerId) -> io::Result<()> {
+        match self.servers.get_mut(s.index()).and_then(Option::take) {
+            Some(server) => {
+                server.shutdown();
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("{s} is not a running server of this cluster"),
+            )),
+        }
     }
 
     /// Restarts a crashed server of a durable cluster from its WAL
@@ -136,20 +148,22 @@ impl Cluster {
     ///
     /// # Errors
     ///
-    /// Propagates rebind and log-recovery failures.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `s` is still running or the cluster is not durable.
+    /// Propagates rebind and log-recovery failures;
+    /// [`io::ErrorKind::InvalidInput`] if the cluster is not durable, and
+    /// [`io::ErrorKind::AlreadyExists`] if `s` is still running.
     pub fn restart(&mut self, s: ServerId) -> io::Result<()> {
-        assert!(
-            self.wal_base.is_some(),
-            "restart requires a durable cluster (launch_durable)"
-        );
-        assert!(
-            self.servers[s.index()].is_none(),
-            "{s} is still running; crash it first"
-        );
+        if self.wal_base.is_none() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "restart requires a durable cluster (launch_durable)",
+            ));
+        }
+        if self.servers.get(s.index()).is_none_or(Option::is_some) {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!("{s} is still running; crash it first"),
+            ));
+        }
         self.servers[s.index()] = Some(self.spawn_one(s)?);
         Ok(())
     }

@@ -10,6 +10,7 @@
 use std::io::{self, Read, Write};
 
 use bytes::BytesMut;
+use hts_poll::{read_nb, ReadStatus};
 use hts_types::{codec, Message, RingFrame};
 
 /// Upper bound on a frame body (64 MiB): guards against corrupt length
@@ -71,12 +72,26 @@ pub fn write_ring_frames<W: Write>(
     if frames.is_empty() {
         return Ok(());
     }
+    encode_ring_frames(frames, scratch);
+    writer.write_all(scratch)?;
+    writer.flush()
+}
+
+/// The encode half of [`write_ring_frames`]: clears `scratch` and fills
+/// it with the complete wire bytes (length prefix included) of the
+/// batch. The reactor backend uses this to stage a batch into its
+/// per-connection write buffer and let epoll writability drive the
+/// actual sends. An empty batch encodes to nothing.
+pub(crate) fn encode_ring_frames(frames: &[RingFrame], scratch: &mut BytesMut) {
+    scratch.clear();
+    if frames.is_empty() {
+        return;
+    }
     let body = if frames.len() == 1 {
         1 + codec::frame_wire_size(&frames[0])
     } else {
         3 + frames.iter().map(codec::frame_wire_size).sum::<usize>()
     };
-    scratch.clear();
     scratch.reserve(4 + body);
     scratch.extend_from_slice(&(body as u32).to_be_bytes());
     if frames.len() == 1 {
@@ -84,8 +99,6 @@ pub fn write_ring_frames<W: Write>(
     } else {
         codec::encode_ring_batch_into(frames, scratch);
     }
-    writer.write_all(scratch)?;
-    writer.flush()
 }
 
 /// Reads one message framed by [`write_message`].
@@ -179,6 +192,118 @@ impl MessageReader {
             self.spare = reclaimed;
         }
         msg
+    }
+}
+
+/// Result of one [`NbMessageReader::poll`].
+#[derive(Debug)]
+pub enum MessagePoll {
+    /// A complete decoded message.
+    Msg(Message),
+    /// Mid-frame or nothing buffered; wait for readability.
+    Pending,
+    /// Clean EOF on a frame boundary.
+    Closed,
+}
+
+/// Nonblocking twin of [`MessageReader`] for the reactor backend: the
+/// same zero-copy decode and spare-buffer recycling, but assembled
+/// across any number of partial reads instead of `read_exact`. Call
+/// [`poll`] in a loop on each readability report until it returns
+/// `Pending`.
+///
+/// With `zero_copy` false it decodes through the copying
+/// [`codec::decode`] instead, as the ablation baseline.
+///
+/// [`poll`]: NbMessageReader::poll
+pub struct NbMessageReader {
+    header: [u8; 4],
+    filled: usize,
+    body: BytesMut,
+    in_body: bool,
+    zero_copy: bool,
+}
+
+impl NbMessageReader {
+    /// An empty reader; `zero_copy` picks the decode path.
+    pub fn new(zero_copy: bool) -> NbMessageReader {
+        NbMessageReader {
+            header: [0; 4],
+            filled: 0,
+            body: BytesMut::new(),
+            in_body: false,
+            zero_copy,
+        }
+    }
+
+    /// Pulls bytes until a message completes, the socket would block,
+    /// or it cleanly closes. Each `Msg` may be followed by more — drain
+    /// the readiness burst by looping until `Pending`.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on oversized or undecodable frames,
+    /// `UnexpectedEof` on a mid-frame close, otherwise the socket
+    /// error (`Interrupted` is retried internally).
+    pub fn poll<R: Read>(&mut self, reader: &mut R) -> io::Result<MessagePoll> {
+        loop {
+            if !self.in_body {
+                let n = match read_nb(reader, &mut self.header[self.filled..])? {
+                    ReadStatus::Data(n) => n,
+                    ReadStatus::WouldBlock => return Ok(MessagePoll::Pending),
+                    ReadStatus::Eof => {
+                        if self.filled == 0 {
+                            return Ok(MessagePoll::Closed);
+                        }
+                        return Err(io::ErrorKind::UnexpectedEof.into());
+                    }
+                };
+                self.filled += n;
+                if self.filled < 4 {
+                    continue;
+                }
+                let len = u32::from_be_bytes(self.header) as usize;
+                if len > MAX_FRAME_BYTES {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"),
+                    ));
+                }
+                self.body.clear();
+                self.body.resize(len, 0);
+                self.filled = 0;
+                self.in_body = true;
+                continue;
+            }
+            if self.filled < self.body.len() {
+                let n = match read_nb(reader, &mut self.body[self.filled..])? {
+                    ReadStatus::Data(n) => n,
+                    ReadStatus::WouldBlock => return Ok(MessagePoll::Pending),
+                    ReadStatus::Eof => return Err(io::ErrorKind::UnexpectedEof.into()),
+                };
+                self.filled += n;
+                if self.filled < self.body.len() {
+                    continue;
+                }
+            }
+            self.in_body = false;
+            self.filled = 0;
+            let msg = if self.zero_copy {
+                let bytes = std::mem::take(&mut self.body).freeze();
+                let msg = codec::decode_shared(&bytes)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e));
+                // Value-free message (or failed decode): reclaim the
+                // allocation for the next frame, like MessageReader.
+                if let Ok(reclaimed) = bytes.try_into_mut() {
+                    self.body = reclaimed;
+                }
+                msg?
+            } else {
+                codec::decode(&self.body)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
+            };
+            return Ok(MessagePoll::Msg(msg));
+        }
     }
 }
 

@@ -1,8 +1,13 @@
 //! Real TCP runtime for the `hts` atomic storage.
 //!
 //! The same sans-io cores (`hts-core`) that drive the simulator run here
-//! over real sockets, one OS thread per connection, on one machine or a
-//! LAN:
+//! over real sockets, on one machine or a LAN. Two wire-identical
+//! backends serve a node's sockets: the **reactor** (default on Linux) —
+//! one epoll-driven thread per ring lane owns every connection, so a
+//! node runs on `lanes + 1` threads regardless of connection count —
+//! and the **threaded** baseline (`Config::reactor = false`, or any
+//! non-Linux host), one OS thread per connection with blocking I/O.
+//! Either way:
 //!
 //! * each server listens on one address; clients and the ring predecessor
 //!   connect to it (a 3-byte [`Hello`](hts_types::codec::Hello) handshake
@@ -53,6 +58,7 @@
 mod client;
 mod cluster;
 mod framing;
+mod reactor;
 mod server;
 mod session;
 

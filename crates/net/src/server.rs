@@ -1,4 +1,4 @@
-//! The threaded TCP server runtime.
+//! The TCP server runtime: backend dispatch plus the threaded backend.
 //!
 //! A server hosts [`Config::lanes`](hts_core::Config) **parallel ring
 //! lanes**: objects are partitioned across lanes by the shared
@@ -9,6 +9,15 @@
 //! node therefore scales across cores instead of funneling every object
 //! through a single event loop; `lanes = 1` (the default) is the
 //! original single-ring runtime, byte for byte.
+//!
+//! Two wire-identical backends implement that shape:
+//!
+//! * the **reactor** backend ([`crate::reactor`], default on Linux):
+//!   one epoll-driven thread per lane owns every socket — lanes + 1
+//!   threads per node, no per-connection threads;
+//! * the **threaded** backend (this file, `Config::reactor = false` or
+//!   non-Linux): thread-per-connection with blocking I/O — the fig1
+//!   ablation baseline and the portable fallback.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{self, Read, Write};
@@ -58,7 +67,7 @@ pub struct ServerConfig {
     pub wal_dir: Option<PathBuf>,
 }
 
-enum Event {
+pub(crate) enum Event {
     /// A message arrived from a client connection.
     FromClient(ClientId, Message),
     /// A ring frame arrived from the predecessor side (batches are
@@ -107,20 +116,33 @@ struct LaneRouter {
     zero_copy: bool,
 }
 
-/// A running storage server (per-lane event loops + connection threads).
+/// Which runtime actually serves this node's sockets.
+pub(crate) enum Backend {
+    /// Thread-per-connection with blocking I/O (the original runtime).
+    Threaded {
+        lanes: Vec<Sender<Event>>,
+        handles: Vec<JoinHandle<()>>,
+        accept_alive: Arc<AtomicBool>,
+    },
+    /// One epoll reactor thread per lane (see [`crate::reactor`]).
+    Reactor(crate::reactor::ReactorHandle),
+}
+
+/// A running storage server.
 ///
 /// See the [crate docs](crate) for the runtime's shape; create whole local
-/// clusters with [`Cluster`](crate::Cluster).
+/// clusters with [`Cluster`](crate::Cluster). Which backend serves the
+/// sockets is picked at [`spawn`](Server::spawn) from
+/// [`Config::reactor`](hts_core::Config) — both speak the identical wire
+/// protocol.
 pub struct Server {
-    lanes: Vec<Sender<Event>>,
-    handles: Vec<JoinHandle<()>>,
-    accept_alive: Arc<AtomicBool>,
+    backend: Backend,
     addr: SocketAddr,
 }
 
 /// The WAL directory of one lane: the base directory itself for a
 /// single-lane server (the pre-lane layout), `base/lane-<k>` otherwise.
-fn lane_wal_dir(base: &Path, lane: u16, lanes: u16) -> PathBuf {
+pub(crate) fn lane_wal_dir(base: &Path, lane: u16, lanes: u16) -> PathBuf {
     if lanes <= 1 {
         base.to_path_buf()
     } else {
@@ -128,43 +150,157 @@ fn lane_wal_dir(base: &Path, lane: u16, lanes: u16) -> PathBuf {
     }
 }
 
+/// Recovers (or creates) every lane's WAL ahead of serving: `None`
+/// entries mean that lane keeps no log (volatile durability or no
+/// `wal_dir`). Shared by both backends so a cluster can restart a node
+/// under either and recover the same directories.
+pub(crate) fn recover_lanes(config: &ServerConfig) -> io::Result<Vec<Option<(Wal, Recovery)>>> {
+    let lanes = config.config.lanes.max(1);
+    let fsync = wal_fsync_policy(config.config.durability);
+    let mut wal_states = Vec::with_capacity(usize::from(lanes));
+    for lane in 0..lanes {
+        let state = match (&config.wal_dir, fsync) {
+            (Some(dir), Some(fsync)) => {
+                let dir = lane_wal_dir(dir, lane, lanes);
+                let recovery = recover(&dir)?;
+                let wal = Wal::open(
+                    &dir,
+                    WalOptions {
+                        fsync,
+                        ..WalOptions::default()
+                    },
+                )?;
+                Some((wal, recovery))
+            }
+            _ => None,
+        };
+        wal_states.push(state);
+    }
+    Ok(wal_states)
+}
+
+/// Builds one lane's protocol core from its recovered WAL state:
+/// restores the registers the log proves committed, flags a restart
+/// rejoin when the directory already held a log, and attaches the
+/// lane's fast-path cells only **after** the rejoin gate is armed (the
+/// attach republishes every core with its resync bit already set, so a
+/// restarted server's restored state is never readable early).
+pub(crate) fn build_core(
+    id: ServerId,
+    n: u16,
+    config: Config,
+    wal_state: Option<(Wal, Recovery)>,
+    cells: Arc<ReadCellRegistry>,
+) -> (MultiObjectServer, Option<Wal>) {
+    let mut core = MultiObjectServer::new(id, n, config);
+    let mut wal = None;
+    if let Some((w, recovery)) = wal_state {
+        let restarting = recovery.had_log;
+        core.restore_state(
+            recovery
+                .state
+                .into_iter()
+                .map(|(object, (tag, value))| (object, tag, value)),
+        );
+        if restarting {
+            core.begin_rejoin();
+        }
+        wal = Some(w);
+    }
+    core.attach_read_cells(cells);
+    (core, wal)
+}
+
+/// The client-visible reply for one committed protocol action.
+pub(crate) fn action_into_message(action: Action) -> (ClientId, Message) {
+    match action {
+        Action::WriteAck {
+            object,
+            client,
+            request,
+        } => (client, Message::WriteAck { object, request }),
+        Action::ReadReply {
+            object,
+            client,
+            request,
+            value,
+            ..
+        } => (
+            client,
+            Message::ReadAck {
+                object,
+                request,
+                value,
+            },
+        ),
+    }
+}
+
+/// RAII increment of the `hts_net_threads` gauge: every server-side
+/// thread of either backend holds one for its lifetime, so the gauge
+/// reads the node's live thread count at any instant — the fig1
+/// reactor-ablation's threads-per-node column samples it.
+pub(crate) struct ThreadTally;
+
+impl ThreadTally {
+    pub(crate) fn new() -> ThreadTally {
+        hts_metrics::gauge!("hts_net_threads").add(1);
+        ThreadTally
+    }
+}
+
+impl Drop for ThreadTally {
+    fn drop(&mut self) {
+        hts_metrics::gauge!("hts_net_threads").sub(1);
+    }
+}
+
+/// Whether readiness-driven I/O (`hts-poll`) may be used at all on this
+/// host: the platform supports it and `HTS_REACTOR=0` is not set. Gates
+/// both the server reactor and the session's shared poller thread.
+pub(crate) fn readiness_enabled() -> bool {
+    hts_poll::supported() && std::env::var_os("HTS_REACTOR").is_none_or(|v| v != "0")
+}
+
 impl Server {
-    /// Binds `config.addrs[config.id]` and spawns the server: one event
-    /// loop per configured ring lane. With a WAL directory and
-    /// persistent durability, first recovers each lane's existing log —
-    /// a non-empty directory makes this a **restart**: every lane
-    /// rejoins its ring and resyncs before serving.
+    /// Binds `config.addrs[config.id]` and spawns the server. With a WAL
+    /// directory and persistent durability, first recovers each lane's
+    /// existing log — a non-empty directory makes this a **restart**:
+    /// every lane rejoins its ring and resyncs before serving.
+    ///
+    /// [`Config::reactor`](hts_core::Config) picks the backend: the
+    /// epoll reactor (lanes + 1 threads, Linux only) or the
+    /// thread-per-connection baseline. Setting `HTS_REACTOR=0` in the
+    /// environment forces the threaded backend regardless (the CI
+    /// backend-matrix leg).
     ///
     /// # Errors
     ///
     /// Returns the bind error if the listen address is unavailable, or
     /// the I/O error if log recovery / creation fails.
     pub fn spawn(config: ServerConfig) -> io::Result<Server> {
-        let lanes = config.config.lanes.max(1);
-        let fsync = wal_fsync_policy(config.config.durability);
-        let mut wal_states = Vec::with_capacity(usize::from(lanes));
-        for lane in 0..lanes {
-            let state = match (&config.wal_dir, fsync) {
-                (Some(dir), Some(fsync)) => {
-                    let dir = lane_wal_dir(dir, lane, lanes);
-                    let recovery = recover(&dir)?;
-                    let wal = Wal::open(
-                        &dir,
-                        WalOptions {
-                            fsync,
-                            ..WalOptions::default()
-                        },
-                    )?;
-                    Some((wal, recovery))
-                }
-                _ => None,
-            };
-            wal_states.push(state);
+        if config.config.reactor && readiness_enabled() {
+            return crate::reactor::spawn(config);
         }
+        Server::spawn_threaded(config)
+    }
+
+    /// Wraps a reactor backend (see [`crate::reactor::spawn`]).
+    pub(crate) fn from_reactor(handle: crate::reactor::ReactorHandle, addr: SocketAddr) -> Server {
+        Server {
+            backend: Backend::Reactor(handle),
+            addr,
+        }
+    }
+
+    /// The threaded backend: one event loop per configured ring lane
+    /// plus a blocking acceptor and a thread per connection.
+    fn spawn_threaded(config: ServerConfig) -> io::Result<Server> {
+        let lanes = config.config.lanes.max(1);
+        let wal_states = recover_lanes(&config)?;
         let addr = config.addrs[config.id.index()];
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
         let accept_alive = Arc::new(AtomicBool::new(true));
 
         // One event loop per lane, each with its own channel, WAL and
@@ -204,9 +340,11 @@ impl Server {
         }
 
         Ok(Server {
-            lanes: senders,
-            handles,
-            accept_alive,
+            backend: Backend::Threaded {
+                lanes: senders,
+                handles,
+                accept_alive,
+            },
             addr,
         })
     }
@@ -216,45 +354,80 @@ impl Server {
         self.addr
     }
 
-    /// Stops the server (crashing it, from the cluster's point of view).
+    /// Stops the server (crashing it, from the cluster's point of view),
+    /// joining its threads. The reactor backend additionally closes and
+    /// deregisters every socket before its lane threads exit, so the
+    /// listen port is immediately rebindable.
     pub fn shutdown(mut self) {
-        self.accept_alive.store(false, Ordering::SeqCst);
-        for lane in &self.lanes {
-            let _ = lane.send(Event::Shutdown);
-        }
-        for h in self.handles.drain(..) {
-            let _ = h.join();
+        self.stop(true);
+    }
+
+    /// Signals (and with `join`, waits out) every backend thread. The
+    /// threaded acceptor blocks in `accept`, so after dropping the alive
+    /// flag we poke the listen port with a throwaway connection to wake
+    /// it; the reactor's acceptor is woken through its eventfd instead.
+    fn stop(&mut self, join: bool) {
+        let addr = self.addr;
+        match &mut self.backend {
+            Backend::Threaded {
+                lanes,
+                handles,
+                accept_alive,
+            } => {
+                accept_alive.store(false, Ordering::SeqCst);
+                for lane in lanes.iter() {
+                    let _ = lane.send(Event::Shutdown);
+                }
+                let _ = TcpStream::connect(addr);
+                if join {
+                    for h in handles.drain(..) {
+                        let _ = h.join();
+                    }
+                }
+            }
+            Backend::Reactor(handle) => handle.stop(join),
         }
     }
 }
 
 impl Drop for Server {
     fn drop(&mut self) {
-        self.accept_alive.store(false, Ordering::SeqCst);
-        for lane in &self.lanes {
-            let _ = lane.send(Event::Shutdown);
-        }
-        // Threads exit on their own; not joined in drop (C-DTOR-BLOCK).
+        // Threaded lanes exit on their own; not joined in drop
+        // (C-DTOR-BLOCK). Reactor lanes *are* joined: each closes all
+        // its sockets on the way out, making drop-then-rebind
+        // deterministic, and wakes via eventfd so the join is prompt.
+        let join = matches!(self.backend, Backend::Reactor(_));
+        self.stop(join);
     }
 }
 
 fn accept_loop(listener: TcpListener, router: Arc<LaneRouter>, alive: Arc<AtomicBool>) {
-    while alive.load(Ordering::SeqCst) {
+    let _tally = ThreadTally::new();
+    loop {
         match listener.accept() {
             Ok((stream, _)) => {
+                if !alive.load(Ordering::SeqCst) {
+                    // The wake-up poke from `Server::stop` (or any
+                    // connection racing shutdown).
+                    return;
+                }
                 let router = Arc::clone(&router);
                 thread::spawn(move || {
+                    let _tally = ThreadTally::new();
                     let _ = handle_connection(stream, router);
                 });
             }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                // 10ms accept poll on the acceptor thread only — never
-                // an event-loop, writer or client attempt path, and
-                // shutdown flips `alive` to end it.
-                // lint: allow(sleep): accept poll, not a protocol path
-                thread::sleep(Duration::from_millis(10));
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted
+                ) =>
+            {
+                if !alive.load(Ordering::SeqCst) {
+                    return;
+                }
             }
-            Err(_) => break,
+            Err(_) => return,
         }
     }
 }
@@ -312,6 +485,7 @@ fn handle_connection(mut stream: TcpStream, router: Arc<LaneRouter>) -> io::Resu
             // syscall, not one per message).
             let mut writer = stream.try_clone()?;
             thread::spawn(move || {
+                let _tally = ThreadTally::new();
                 let mut scratch = BytesMut::new();
                 loop {
                     let Ok(first) = reply_rx.recv() else { return };
@@ -490,11 +664,7 @@ struct RingOut {
 impl RingOut {
     /// Queues frames for the writer and wakes it.
     fn push(&self, frames: Vec<RingFrame>) {
-        {
-            let mut q = self.shared.lock();
-            q.frames.extend(frames);
-            hts_metrics::histogram!("hts_net_ring_queue_depth").record(q.frames.len() as u64);
-        }
+        self.shared.lock().frames.extend(frames);
         self.shared.ready.notify_all();
     }
 
@@ -561,7 +731,7 @@ fn connect_ring_out(
 /// admitted unconditionally: even a zero byte budget must not wedge the
 /// link (and a single frame beyond the hard cap is unshippable batched
 /// or not).
-fn drain_batch(
+pub(crate) fn drain_batch(
     q: &mut VecDeque<RingFrame>,
     max_frames: usize,
     max_bytes: usize,
@@ -647,6 +817,7 @@ fn ring_writer(
     batching: BatchConfig,
     shared: Arc<RingShared>,
 ) {
+    let _tally = ThreadTally::new();
     let fail = |swallowed: Vec<RingFrame>| {
         let _ = events.send(Event::RingWriteFailed(to, swallowed));
     };
@@ -740,7 +911,7 @@ fn connect_with_retry(
 /// recorder to stderr so the events leading up to the verdict survive
 /// for post-mortem. Env-gated because verdicts are *routine* in the
 /// kill/restart tests; an unconditional dump would bury their output.
-fn note_crash_verdict(me: ServerId, lane: u16, peer: ServerId) {
+pub(crate) fn note_crash_verdict(me: ServerId, lane: u16, peer: ServerId) {
     hts_metrics::counter!("hts_net_crash_verdicts_total").inc();
     hts_metrics::flight::record(
         hts_metrics::flight::KIND_CRASH_VERDICT,
@@ -755,7 +926,7 @@ fn note_crash_verdict(me: ServerId, lane: u16, peer: ServerId) {
 
 /// How a [`Durability`] setting maps onto the WAL's fsync policy
 /// (`None` = no log at all).
-fn wal_fsync_policy(durability: Durability) -> Option<FsyncPolicy> {
+pub(crate) fn wal_fsync_policy(durability: Durability) -> Option<FsyncPolicy> {
     match durability {
         Durability::Volatile => None,
         Durability::Buffered => Some(FsyncPolicy::OsDefault),
@@ -764,13 +935,59 @@ fn wal_fsync_policy(durability: Durability) -> Option<FsyncPolicy> {
     }
 }
 
+/// Appends the core's freshly committed writes to the log as ONE
+/// group-committed batch: a single fsync covers every commit drained by
+/// this loop iteration. Runs BEFORE actions flush, so under `SyncAlways`
+/// a client never sees an ack whose write is not on stable storage.
+/// Returns `false` on an unrecoverable log failure (the server then
+/// stops = crash-stop). Shared by both backends — the durability
+/// ordering is a wire-visible guarantee, not a backend detail.
+pub(crate) fn persist_commits(
+    core: &mut MultiObjectServer,
+    wal: &mut Option<Wal>,
+    id: ServerId,
+    lane: u16,
+) -> bool {
+    let Some(wal) = wal.as_mut() else {
+        // Persistent durability without a wal_dir: nothing to log, but
+        // the core still accumulates commits — drain them or they pile
+        // up forever.
+        core.drain_commits();
+        return true;
+    };
+    let records: Vec<WalRecord> = core
+        .drain_commits()
+        .into_iter()
+        .map(|(object, tag, value)| WalRecord { object, tag, value })
+        .collect();
+    if let Err(e) = wal.append_batch(&records) {
+        eprintln!(
+            "hts-net server {id} lane {lane}: wal append failed ({e}); stopping to avoid \
+             acknowledging non-durable writes"
+        );
+        return false;
+    }
+    if wal.wants_compaction() {
+        let state: Vec<WalRecord> = core
+            .export_state()
+            .into_iter()
+            .map(|(object, tag, value)| WalRecord { object, tag, value })
+            .collect();
+        if let Err(e) = wal.compact(&state) {
+            // Non-fatal: the uncompacted log remains recoverable.
+            eprintln!("hts-net server {id} lane {lane}: wal compaction failed ({e})");
+        }
+    }
+    true
+}
+
 /// Everything one lane's event loop needs to know about its place in the
 /// deployment.
-struct LaneConfig {
-    lane: u16,
-    id: ServerId,
-    addrs: Vec<SocketAddr>,
-    config: Config,
+pub(crate) struct LaneConfig {
+    pub(crate) lane: u16,
+    pub(crate) id: ServerId,
+    pub(crate) addrs: Vec<SocketAddr>,
+    pub(crate) config: Config,
 }
 
 fn event_loop(
@@ -780,35 +997,14 @@ fn event_loop(
     wal_state: Option<(Wal, Recovery)>,
     cells: Arc<ReadCellRegistry>,
 ) {
+    let _tally = ThreadTally::new();
     let n = lc.addrs.len() as u16;
     let batching = lc.config.batching.normalized();
     // Frames the event loop may hand the active writer ahead of TxDone
     // acknowledgements: one batch on the wire, one batch queued behind
     // it. `max_frames = 1` degenerates to (pipelined) frame-at-a-time.
     let pipeline_cap = batching.max_frames.max(1) * 2;
-    let mut core = MultiObjectServer::new(lc.id, n, lc.config.clone());
-    let mut wal = None;
-    if let Some((w, recovery)) = wal_state {
-        // Restart path: restore the registers the log proves committed,
-        // then announce the rejoin — reads queue until the announcement
-        // makes it around the ring and back (the predecessor's recovery
-        // stream is FIFO-ordered ahead of it).
-        let restarting = recovery.had_log;
-        core.restore_state(
-            recovery
-                .state
-                .into_iter()
-                .map(|(object, (tag, value))| (object, tag, value)),
-        );
-        if restarting {
-            core.begin_rejoin();
-        }
-        wal = Some(w);
-    }
-    // Attach the fast-path cells only now: a restarted server's restored
-    // state must not be readable before `begin_rejoin` gates it (the
-    // attach republishes every core with its resync bit already set).
-    core.attach_read_cells(cells);
+    let (mut core, mut wal) = build_core(lc.id, n, lc.config.clone(), wal_state, cells);
     let mut clients: HashMap<ClientId, Sender<Message>> = HashMap::new();
     // Outbound ring connections by peer. The active one is the current
     // successor; older ones stay **parked**, not dropped — closing a
@@ -859,75 +1055,11 @@ fn event_loop(
 
     let flush = |clients: &HashMap<ClientId, Sender<Message>>, actions: Vec<Action>| {
         for action in actions {
-            let (client, msg) = match action {
-                Action::WriteAck {
-                    object,
-                    client,
-                    request,
-                } => (client, Message::WriteAck { object, request }),
-                Action::ReadReply {
-                    object,
-                    client,
-                    request,
-                    value,
-                    ..
-                } => (
-                    client,
-                    Message::ReadAck {
-                        object,
-                        request,
-                        value,
-                    },
-                ),
-            };
+            let (client, msg) = action_into_message(action);
             if let Some(tx) = clients.get(&client) {
                 let _ = tx.send(msg);
             }
         }
-    };
-
-    // Appends the core's freshly committed writes to the log as ONE
-    // group-committed batch: a single fsync covers every commit drained
-    // by this event-loop iteration. Runs BEFORE actions flush, so under
-    // `SyncAlways` a client never sees an ack whose write is not on
-    // stable storage. Returns `false` on an unrecoverable log failure
-    // (the server then stops = crash-stop).
-    let persist = |core: &mut MultiObjectServer, wal: &mut Option<Wal>| -> bool {
-        let Some(wal) = wal.as_mut() else {
-            // Persistent durability without a wal_dir: nothing to log,
-            // but the core still accumulates commits — drain them or
-            // they pile up forever.
-            core.drain_commits();
-            return true;
-        };
-        let records: Vec<WalRecord> = core
-            .drain_commits()
-            .into_iter()
-            .map(|(object, tag, value)| WalRecord { object, tag, value })
-            .collect();
-        if let Err(e) = wal.append_batch(&records) {
-            eprintln!(
-                "hts-net server {} lane {}: wal append failed ({e}); stopping to avoid \
-                 acknowledging non-durable writes",
-                lc.id, lc.lane
-            );
-            return false;
-        }
-        if wal.wants_compaction() {
-            let state: Vec<WalRecord> = core
-                .export_state()
-                .into_iter()
-                .map(|(object, tag, value)| WalRecord { object, tag, value })
-                .collect();
-            if let Err(e) = wal.compact(&state) {
-                // Non-fatal: the uncompacted log remains recoverable.
-                eprintln!(
-                    "hts-net server {} lane {}: wal compaction failed ({e})",
-                    lc.id, lc.lane
-                );
-            }
-        }
-        true
     };
 
     let pump = |core: &mut MultiObjectServer,
@@ -1054,7 +1186,7 @@ fn event_loop(
                 Vec::new()
             }
         };
-        if !persist(&mut core, &mut wal) {
+        if !persist_commits(&mut core, &mut wal, lc.id, lc.lane) {
             return;
         }
         flush(&clients, actions);

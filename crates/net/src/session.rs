@@ -2,10 +2,14 @@
 //! socket.
 //!
 //! [`Session`] is the transport for [`SessionCore`]: a **window** of
-//! concurrent operations multiplexed over one connection per server. A
-//! dedicated reader thread per connection pumps replies into a channel,
-//! so completions are matched asynchronously and out of order; the
-//! writer half runs on the caller thread and **coalesces** back-to-back
+//! concurrent operations multiplexed over one connection per server.
+//! Replies from every connection pump into one event channel, so
+//! completions are matched asynchronously and out of order. On Linux a
+//! **single poller thread** owns every connection's read half (epoll
+//! readiness via `hts-poll` — one thread per session, however many
+//! servers it talks to); elsewhere — or with `HTS_REACTOR=0` — the
+//! fallback spawns one reader thread per connection. The writer half
+//! runs on the caller thread either way and **coalesces** back-to-back
 //! requests into one buffered write + one flush per burst (a pipeline
 //! fill of 64 small requests costs one syscall, not 64). Every request
 //! keeps its own deadline and retry budget, reusing the stall-fix
@@ -16,15 +20,19 @@
 use std::collections::HashMap;
 use std::io::{self, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::os::fd::AsRawFd;
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use bytes::BytesMut;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use hts_core::SessionCore;
+use hts_poll::{Events, Interest, Poller, Token, Waker};
 use hts_types::{codec::Hello, ClientId, Message, ObjectId, RequestId, ServerId, Value};
 
 use crate::client::{validate_addrs, RETRY_CYCLES};
-use crate::framing::{frame_into, MessageReader};
+use crate::framing::{frame_into, MessagePoll, MessageReader, NbMessageReader};
+use std::sync::Arc;
 
 /// Coalesced requests flush once this many buffered bytes accumulate
 /// (bounds the scratch buffers under a pipeline of large writes).
@@ -37,6 +45,138 @@ enum SessionEvent {
     /// connection is gone. Stale generations are ignored — the session
     /// may long since have reconnected.
     Disconnected(ServerId, u64),
+}
+
+/// Where the read halves of a session's connections are pumped from.
+enum ReaderBackend {
+    /// One shared epoll poller thread owns every read half (Linux): the
+    /// session costs one thread total, however many servers it talks to.
+    Hub(ReaderHub),
+    /// One blocking reader thread per connection (non-Linux hosts, or
+    /// `HTS_REACTOR=0`).
+    Threads,
+}
+
+struct ReaderHub {
+    ctl: Sender<HubCtl>,
+    waker: Arc<Waker>,
+    handle: Option<JoinHandle<()>>,
+}
+
+enum HubCtl {
+    /// Adopt the read half of a fresh connection to `server` at
+    /// connection generation `gen`.
+    Add(ServerId, u64, TcpStream),
+    Exit,
+}
+
+impl ReaderBackend {
+    /// Picks the backend: a shared poller thread where `hts-poll` is
+    /// available (and not disabled via `HTS_REACTOR=0`), else falling
+    /// back to per-connection reader threads. The poller thread spawns
+    /// eagerly — it is the session's only helper thread and parks in
+    /// `epoll_wait` until woken.
+    fn new(events: Sender<SessionEvent>) -> ReaderBackend {
+        if !crate::server::readiness_enabled() {
+            return ReaderBackend::Threads;
+        }
+        let Ok(poller) = Poller::new() else {
+            return ReaderBackend::Threads;
+        };
+        let Ok(waker) = Waker::new(&poller, Token(0)) else {
+            return ReaderBackend::Threads;
+        };
+        let waker = Arc::new(waker);
+        let (ctl_tx, ctl_rx) = unbounded();
+        let hub_waker = Arc::clone(&waker);
+        let handle = std::thread::spawn(move || hub_loop(poller, hub_waker, ctl_rx, events));
+        ReaderBackend::Hub(ReaderHub {
+            ctl: ctl_tx,
+            waker,
+            handle: Some(handle),
+        })
+    }
+}
+
+/// The session's shared reader: one epoll loop pumping every
+/// connection's replies into the event channel. Token 0 is the waker
+/// (control-channel doorbell); each adopted connection gets the next
+/// monotone token. A connection that reads EOF or an error is dropped
+/// with a [`SessionEvent::Disconnected`] carrying its generation, so
+/// the session can tell a live connection's death from a stale one's.
+fn hub_loop(
+    poller: Poller,
+    waker: Arc<Waker>,
+    ctl: Receiver<HubCtl>,
+    events: Sender<SessionEvent>,
+) {
+    struct HubConn {
+        stream: TcpStream,
+        server: ServerId,
+        gen: u64,
+        reader: NbMessageReader,
+    }
+    let mut conns: HashMap<u64, HubConn> = HashMap::new();
+    let mut next_token: u64 = 1;
+    let mut ready = Events::with_capacity(16);
+    loop {
+        if poller.wait(&mut ready, None).is_err() {
+            return;
+        }
+        for ev in ready.iter() {
+            let token = ev.token().0;
+            if token == 0 {
+                waker.drain();
+                continue;
+            }
+            let Some(conn) = conns.get_mut(&token) else {
+                continue;
+            };
+            let dead = loop {
+                match conn.reader.poll(&mut conn.stream) {
+                    Ok(MessagePoll::Msg(msg)) => {
+                        if events.send(SessionEvent::Reply(msg)).is_err() {
+                            return; // session gone
+                        }
+                    }
+                    Ok(MessagePoll::Pending) => break false,
+                    Ok(MessagePoll::Closed) | Err(_) => break true,
+                }
+            };
+            if dead {
+                if let Some(conn) = conns.remove(&token) {
+                    poller.deregister(conn.stream.as_raw_fd());
+                    let _ = events.send(SessionEvent::Disconnected(conn.server, conn.gen));
+                }
+            }
+        }
+        loop {
+            match ctl.try_recv() {
+                Ok(HubCtl::Add(server, gen, stream)) => {
+                    let token = next_token;
+                    next_token += 1;
+                    if poller
+                        .register(stream.as_raw_fd(), Token(token), Interest::READABLE)
+                        .is_err()
+                    {
+                        let _ = events.send(SessionEvent::Disconnected(server, gen));
+                        continue;
+                    }
+                    conns.insert(
+                        token,
+                        HubConn {
+                            stream,
+                            server,
+                            gen,
+                            reader: NbMessageReader::new(true),
+                        },
+                    );
+                }
+                Ok(HubCtl::Exit) | Err(TryRecvError::Disconnected) => return,
+                Err(TryRecvError::Empty) => break,
+            }
+        }
+    }
 }
 
 struct Conn {
@@ -94,6 +234,8 @@ pub struct Session {
     deadlines: HashMap<RequestId, Instant>,
     /// Finished operations awaiting their `wait` call.
     completed: HashMap<RequestId, io::Result<Option<Value>>>,
+    /// Who pumps replies off the sockets.
+    reader: ReaderBackend,
 }
 
 impl Session {
@@ -131,6 +273,7 @@ impl Session {
         let n = addrs.len() as u16;
         let id = ClientId(id);
         let (events_tx, events_rx) = unbounded();
+        let reader = ReaderBackend::new(events_tx.clone());
         Ok(Session {
             core: SessionCore::new(id, ObjectId::SINGLE, n, preferred, window),
             conns: (0..n).map(|_| None).collect(),
@@ -142,6 +285,7 @@ impl Session {
             events_rx,
             deadlines: HashMap::new(),
             completed: HashMap::new(),
+            reader,
         })
     }
 
@@ -325,6 +469,7 @@ impl Session {
     /// arms the flushed requests' retry deadlines from this instant (the
     /// moment they are actually on the wire).
     fn flush_server(&mut self, server: ServerId) -> io::Result<()> {
+        let timeout = self.timeout;
         let Some(conn) = self.conns[server.index()].as_mut() else {
             return Ok(());
         };
@@ -339,7 +484,7 @@ impl Session {
                 ..
             } = conn;
             hts_types::sync::blocking_syscall("session coalesced send");
-            let result = stream.write_all(outbuf).and_then(|()| stream.flush());
+            let result = write_all_waiting(stream, outbuf, timeout);
             outbuf.clear();
             (result, std::mem::take(buffered))
         };
@@ -498,9 +643,10 @@ impl Session {
 
     /// (Re)opens the connection to `server`, bounded by the per-attempt
     /// timeout (a SYN-blackholed server costs one attempt, not the OS
-    /// connect timeout), and spawns its dedicated reader thread. Success
-    /// clears any suspicion against `server` — this is how a restarted
-    /// server re-earns its place in the routing map.
+    /// connect timeout), and hands the read half to the shared poller
+    /// thread (or spawns a dedicated reader thread on the fallback
+    /// backend). Success clears any suspicion against `server` — this is
+    /// how a restarted server re-earns its place in the routing map.
     fn ensure_connection(&mut self, server: ServerId) -> io::Result<()> {
         if self.conns[server.index()].is_some() {
             return Ok(());
@@ -511,8 +657,22 @@ impl Session {
         writer.write_all(&Hello::Client(self.id).encode())?;
         let gen = self.gens[server.index()];
         let reader = stream.try_clone()?;
-        let events = self.events_tx.clone();
-        std::thread::spawn(move || reader_loop(reader, server, gen, events));
+        match &self.reader {
+            ReaderBackend::Hub(hub) => {
+                // O_NONBLOCK lives on the shared file description, so
+                // this also makes the writer clone nonblocking —
+                // `flush_server` waits out WouldBlock explicitly.
+                reader.set_nonblocking(true)?;
+                if hub.ctl.send(HubCtl::Add(server, gen, reader)).is_err() {
+                    return Err(io::Error::other("session poller thread gone"));
+                }
+                hub.waker.wake();
+            }
+            ReaderBackend::Threads => {
+                let events = self.events_tx.clone();
+                std::thread::spawn(move || reader_loop(reader, server, gen, events));
+            }
+        }
         self.conns[server.index()] = Some(Conn {
             stream: writer,
             outbuf: BytesMut::new(),
@@ -524,11 +684,45 @@ impl Session {
     }
 }
 
+/// `write_all` over a possibly-nonblocking socket: parks in
+/// [`hts_poll::wait_fd`] on `WouldBlock` instead of spinning, bounded by
+/// `timeout` per stall. On the blocking fallback backend the socket
+/// never reports `WouldBlock` and this is a plain `write_all`.
+fn write_all_waiting(stream: &mut TcpStream, mut buf: &[u8], timeout: Duration) -> io::Result<()> {
+    while !buf.is_empty() {
+        match stream.write(buf) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => buf = &buf[n..],
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if !hts_poll::wait_fd(stream.as_raw_fd(), Interest::WRITABLE, Some(timeout))? {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "session send stalled past the reply timeout",
+                    ));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
 impl Drop for Session {
     fn drop(&mut self) {
-        // Unblock and retire every reader thread.
+        // Unblock and retire every reader (threads exit on the socket
+        // error; the hub drops each connection as it reads EOF).
         for i in 0..self.conns.len() {
             self.teardown(ServerId(i as u16));
+        }
+        // Then retire the poller thread itself, deterministically: when
+        // drop returns, the session holds no threads and no sockets.
+        if let ReaderBackend::Hub(hub) = &mut self.reader {
+            let _ = hub.ctl.send(HubCtl::Exit);
+            hub.waker.wake();
+            if let Some(handle) = hub.handle.take() {
+                let _ = handle.join();
+            }
         }
     }
 }

@@ -86,7 +86,7 @@ fn batched_ring_stays_atomic_under_kill_restart() {
     // Bounce s1 while the batched ring is under fire: its recovery
     // stream and rejoin announcement travel inside batches too.
     std::thread::sleep(Duration::from_millis(40));
-    cluster.crash(ServerId(1));
+    cluster.crash(ServerId(1)).expect("crash");
     std::thread::sleep(Duration::from_millis(150));
     cluster.restart(ServerId(1)).expect("restart");
 
@@ -153,7 +153,7 @@ fn restarted_server_resyncs_through_batched_stream() {
         writer.write(Value::from_u64(i)).expect("pre-crash write");
     }
 
-    cluster.crash(ServerId(2));
+    cluster.crash(ServerId(2)).expect("crash");
     std::thread::sleep(Duration::from_millis(150));
     // Committed while s2 is down: its log cannot contain this write.
     writer.write(Value::from_u64(99)).expect("downtime write");

@@ -138,7 +138,7 @@ fn fast_path_stays_atomic_through_kill_restart() {
     // Bounce s2 while the workers hammer the ring: its restored state
     // must stay unreadable (cell attached blocked) until resync ends.
     std::thread::sleep(Duration::from_millis(60));
-    cluster.crash(ServerId(2));
+    cluster.crash(ServerId(2)).expect("crash");
     std::thread::sleep(Duration::from_millis(150));
     cluster.restart(ServerId(2)).expect("restart");
 

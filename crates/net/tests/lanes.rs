@@ -122,7 +122,7 @@ fn multi_lane_lincheck_under_kill_restart() {
     // Bounce s1 while both lanes are under fire: each lane's recovery
     // stream and rejoin announcement travel its own batched link.
     std::thread::sleep(Duration::from_millis(40));
-    cluster.crash(ServerId(1));
+    cluster.crash(ServerId(1)).expect("crash");
     std::thread::sleep(Duration::from_millis(150));
     cluster.restart(ServerId(1)).expect("restart");
 
@@ -214,7 +214,7 @@ fn restarted_laned_server_resyncs_every_lane() {
             .expect("lane-1 write");
     }
 
-    cluster.crash(ServerId(2));
+    cluster.crash(ServerId(2)).expect("crash");
     std::thread::sleep(Duration::from_millis(150));
     // Committed while s2 is down: neither of its lane logs has these.
     writer

@@ -132,7 +132,7 @@ fn concurrent_sessions_under_kill_restart_stay_atomic() {
 
     // Bounce s2 while the pipelines are full.
     std::thread::sleep(Duration::from_millis(80));
-    cluster.crash(ServerId(2));
+    cluster.crash(ServerId(2)).expect("crash");
     std::thread::sleep(Duration::from_millis(200));
     cluster.restart(ServerId(2)).expect("restart");
 
@@ -264,7 +264,7 @@ fn restarted_server_is_trusted_again_after_reprobe() {
     client.set_timeout(Duration::from_millis(300));
     client.write(Value::from_u64(1)).expect("warm up via s0");
 
-    cluster.crash(ServerId(0));
+    cluster.crash(ServerId(0)).expect("crash");
     std::thread::sleep(Duration::from_millis(200));
     client.write(Value::from_u64(2)).expect("failover write");
     assert!(
@@ -289,7 +289,7 @@ fn restarted_server_is_trusted_again_after_reprobe() {
     let mut session = Session::connect(2, addrs, 4).expect("session");
     session.set_timeout(Duration::from_millis(300));
     session.write(Value::from_u64(100)).expect("warm up");
-    cluster.crash(ServerId(0));
+    cluster.crash(ServerId(0)).expect("crash");
     std::thread::sleep(Duration::from_millis(200));
     session.write(Value::from_u64(101)).expect("failover");
     assert!(!session.believed_alive()[0], "s0 suspect after crash");

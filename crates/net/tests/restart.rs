@@ -41,7 +41,7 @@ fn kill_restart_rejoin_serves_pre_and_post_crash_data() {
     }
 
     // Kill s1 and let the ring splice it out.
-    cluster.crash(ServerId(1));
+    cluster.crash(ServerId(1)).expect("crash");
     std::thread::sleep(Duration::from_millis(200));
 
     // This write commits while s1 is down — its log cannot contain it.
@@ -83,8 +83,8 @@ fn kill_restart_rejoin_serves_pre_and_post_crash_data() {
 
     // Kill everyone else: the restarted server alone must still hold the
     // full state (durability + resync, end to end).
-    cluster.crash(ServerId(0));
-    cluster.crash(ServerId(2));
+    cluster.crash(ServerId(0)).expect("crash");
+    cluster.crash(ServerId(2)).expect("crash");
     std::thread::sleep(Duration::from_millis(200));
     let op = history.invoke_read(ClientId(100), nanos_since(epoch));
     let got = reader.read().expect("read from lone restarted survivor");
@@ -153,7 +153,7 @@ fn concurrent_load_through_kill_restart_stays_atomic() {
 
     // Bounce s2 while the workers hammer the ring.
     std::thread::sleep(Duration::from_millis(60));
-    cluster.crash(ServerId(2));
+    cluster.crash(ServerId(2)).expect("crash");
     std::thread::sleep(Duration::from_millis(150));
     cluster.restart(ServerId(2)).expect("restart");
 
@@ -196,11 +196,17 @@ fn cold_restart_of_the_whole_cluster_recovers_all_data() {
 #[test]
 fn volatile_cluster_rejects_restart() {
     let mut cluster = Cluster::launch(2).expect("launch");
-    cluster.crash(ServerId(0));
-    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let _ = cluster.restart(ServerId(0));
-    }));
-    assert!(err.is_err(), "restart without durability must panic");
+    cluster.crash(ServerId(0)).expect("crash");
+    let err = cluster
+        .restart(ServerId(0))
+        .expect_err("restart without durability must fail");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    // Crashing twice (or out of range) reports the mistake too.
+    assert_eq!(
+        cluster.crash(ServerId(0)).expect_err("double crash").kind(),
+        std::io::ErrorKind::NotFound
+    );
+    assert!(cluster.crash(ServerId(9)).is_err());
     cluster.shutdown();
 }
 
@@ -221,7 +227,7 @@ fn stale_parked_connection_is_retried_not_declared_a_crash() {
     client.write(Value::from_u64(1)).expect("write v1");
 
     // s1 bounces: s0 parks its (live) connection to s2.
-    cluster.crash(ServerId(1));
+    cluster.crash(ServerId(1)).expect("crash");
     std::thread::sleep(Duration::from_millis(200));
     client
         .write(Value::from_u64(2))
@@ -230,14 +236,14 @@ fn stale_parked_connection_is_retried_not_declared_a_crash() {
     std::thread::sleep(Duration::from_millis(400));
 
     // s2 bounces: s0's parked connection to it is now a corpse.
-    cluster.crash(ServerId(2));
+    cluster.crash(ServerId(2)).expect("crash");
     std::thread::sleep(Duration::from_millis(200));
     cluster.restart(ServerId(2)).expect("restart s2");
     std::thread::sleep(Duration::from_millis(400));
 
     // s1 dies for good: s0's successor becomes s2 and the stale parked
     // connection gets activated.
-    cluster.crash(ServerId(1));
+    cluster.crash(ServerId(1)).expect("crash");
     std::thread::sleep(Duration::from_millis(300));
 
     client

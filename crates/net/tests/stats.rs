@@ -86,7 +86,7 @@ fn durable_cluster_serves_live_stats_with_nonzero_histograms() {
 fn stats_probe_fails_cleanly_against_a_crashed_server() {
     let base = tmp_base("crashed");
     let mut cluster = Cluster::launch_durable(3, Config::default(), &base).expect("launch");
-    cluster.crash(ServerId(2));
+    cluster.crash(ServerId(2)).expect("crash");
     // The endpoint must surface an error, not hang or panic.
     cluster
         .stats(ServerId(2))

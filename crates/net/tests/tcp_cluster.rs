@@ -69,7 +69,7 @@ fn survives_server_crash_with_client_retry() {
     client.write(Value::from_u64(1)).expect("write before");
 
     // Kill the server the client prefers (s0): retries must carry on.
-    cluster.crash(ServerId(0));
+    cluster.crash(ServerId(0)).expect("crash");
     std::thread::sleep(Duration::from_millis(100)); // let the ring splice
 
     client.write(Value::from_u64(2)).expect("write after crash");

@@ -29,7 +29,7 @@ fn main() -> std::io::Result<()> {
     println!("wrote v2; read back: {:?}", text(&client.read()?));
 
     println!("crashing server s0 (the one this client prefers)…");
-    cluster.crash(ServerId(0));
+    cluster.crash(ServerId(0)).expect("crash");
     std::thread::sleep(Duration::from_millis(150)); // ring splices
 
     client.write(Value::from_static(b"v3: still here after the crash"))?;

@@ -21,10 +21,10 @@ fn tcp_cluster_survives_to_a_single_server() {
     client.set_timeout(Duration::from_millis(300));
 
     client.write(Value::from_u64(1)).expect("write 1");
-    cluster.crash(ServerId(0));
+    cluster.crash(ServerId(0)).expect("crash");
     std::thread::sleep(Duration::from_millis(100));
     client.write(Value::from_u64(2)).expect("write 2");
-    cluster.crash(ServerId(1));
+    cluster.crash(ServerId(1)).expect("crash");
     std::thread::sleep(Duration::from_millis(100));
     client.write(Value::from_u64(3)).expect("write 3");
     assert_eq!(client.read().expect("read"), Value::from_u64(3));
